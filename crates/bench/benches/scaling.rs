@@ -1,0 +1,95 @@
+//! Scaling benchmarks for the complexity claims of Section 7.4:
+//! synthesis time is single-exponential in the specification size and
+//! linear in the description size of the fault actions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftsyn::{problems::barrier, problems::mutex, synthesize, Tolerance};
+use ftsyn_bench::mutex_failstop_with_k_faults;
+use std::hint::black_box;
+
+/// |spec| sweep: the mutex family over a growing number of processes.
+/// |spec| grows roughly quadratically with the process count (pairwise
+/// clauses), so the time column exhibits the exponential dependence.
+fn bench_spec_scaling_mutex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/spec-mutex-fault-free");
+    g.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let spec_len = {
+            let mut p = mutex::fault_free(n);
+            let f = p.spec.formula(&mut p.arena);
+            p.arena.length(f)
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("I={n} (|spec|={spec_len})")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut p = mutex::fault_free(n);
+                    black_box(synthesize(&mut p).is_solved())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// |spec| sweep over the barrier family (with its full general-state
+/// fault load, so |F| grows alongside the spec).
+fn bench_spec_scaling_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/spec-barrier-nonmasking");
+    g.sample_size(10);
+    for n in [2usize, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("I={n}")), &n, |b, &n| {
+            b.iter(|| {
+                let mut p = barrier::with_general_state_faults(n);
+                black_box(synthesize(&mut p).is_solved())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// |F| sweep at a fixed specification: the fail-stop mutex restricted to
+/// its first k fault actions. Section 7.4 predicts linear growth.
+fn bench_fault_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/faults-mutex2-failstop");
+    g.sample_size(10);
+    for k in [2usize, 4, 6, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
+            b.iter(|| {
+                let mut p = mutex_failstop_with_k_faults(k);
+                black_box(synthesize(&mut p).is_solved())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Masking vs nonmasking vs fail-safe on the same problem: the tolerance
+/// label changes the closure and the perturbed-state search space.
+fn bench_tolerance_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/tolerance-mutex2-failstop");
+    g.sample_size(10);
+    for (name, tol) in [
+        ("masking", Tolerance::Masking),
+        ("nonmasking", Tolerance::Nonmasking),
+        ("failsafe", Tolerance::FailSafe),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &tol, |b, &tol| {
+            b.iter(|| {
+                let mut p = mutex::with_fail_stop(2, tol);
+                black_box(synthesize(&mut p).is_solved())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spec_scaling_mutex,
+    bench_spec_scaling_barrier,
+    bench_fault_scaling,
+    bench_tolerance_comparison
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! End-to-end synthesis benchmarks: one per headline experiment
+//! (E3/E4 mutex+fail-stop, E5/E6 barrier, E7 impossibility, E9
+//! multitolerance, plus the fault-free Emerson–Clarke baseline that the
+//! paper extends).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
+use ftsyn::{
+    problems::{barrier, mutex},
+    synthesize, Tolerance, ToleranceAssignment,
+};
+use std::hint::black_box;
+
+fn bench_mutex_fault_free(c: &mut Criterion) {
+    c.bench_function("synthesis/mutex2-fault-free (EC82 baseline)", |b| {
+        b.iter(|| {
+            let mut p = mutex::fault_free(2);
+            black_box(synthesize(&mut p).is_solved())
+        })
+    });
+}
+
+fn bench_mutex_failstop(c: &mut Criterion) {
+    c.bench_function("synthesis/mutex2-failstop-masking (Fig 8-9)", |b| {
+        b.iter(|| {
+            let mut p = mutex::with_fail_stop(2, Tolerance::Masking);
+            black_box(synthesize(&mut p).is_solved())
+        })
+    });
+}
+
+fn bench_barrier_nonmasking(c: &mut Criterion) {
+    c.bench_function("synthesis/barrier2-nonmasking (Fig 10-11)", |b| {
+        b.iter(|| {
+            let mut p = barrier::with_general_state_faults(2);
+            black_box(synthesize(&mut p).is_solved())
+        })
+    });
+}
+
+fn bench_impossibility(c: &mut Criterion) {
+    c.bench_function("synthesis/barrier2-failstop-impossible (Sec 6.3)", |b| {
+        b.iter(|| {
+            let mut p = barrier::with_fail_stop_impossible(2);
+            black_box(!synthesize(&mut p).is_solved())
+        })
+    });
+}
+
+fn bench_multitolerance(c: &mut Criterion) {
+    c.bench_function("synthesis/mutex2-multitolerance (Sec 8.2)", |b| {
+        b.iter(|| {
+            let mut p = mutex::with_fail_stop(2, Tolerance::Masking);
+            let n1 = p.props.id("N1").unwrap();
+            let t1 = p.props.id("T1").unwrap();
+            let c1 = p.props.id("C1").unwrap();
+            let d1 = p.props.id("D1").unwrap();
+            p.faults.push(
+                FaultAction::new(
+                    "corrupt-P1-to-C",
+                    BoolExpr::tru(),
+                    vec![
+                        (c1, PropAssign::True),
+                        (n1, PropAssign::False),
+                        (t1, PropAssign::False),
+                        (d1, PropAssign::False),
+                    ],
+                )
+                .expect("valid"),
+            );
+            let k = p.faults.len();
+            p.tolerance = ToleranceAssignment::PerFault(
+                (0..k)
+                    .map(|i| {
+                        if i == k - 1 {
+                            Tolerance::Nonmasking
+                        } else {
+                            Tolerance::Masking
+                        }
+                    })
+                    .collect(),
+            );
+            black_box(synthesize(&mut p).is_solved())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mutex_fault_free, bench_mutex_failstop,
+              bench_barrier_nonmasking, bench_impossibility,
+              bench_multitolerance
+}
+criterion_main!(benches);

@@ -1,0 +1,373 @@
+//! Problem-description files for the `ftsyn` command line.
+//!
+//! A `.ftsyn` file declares the processes, propositions, specification,
+//! fault actions and required tolerance of a synthesis problem in a
+//! line-oriented format:
+//!
+//! ```text
+//! # Two-process mutual exclusion under fail-stop failures.
+//! processes 2
+//!
+//! props P1: N1 T1 C1
+//! aux   P1: D1
+//! props P2: N2 T2 C2
+//! aux   P2: D2
+//!
+//! init: N1 & N2
+//! global: N1 -> (AX1 T1 & EX1 T1)
+//! global: T1 -> AF C1
+//! coupling: D1 <-> ~(N1 | T1 | C1)
+//! coupling: D1 -> EG D1
+//!
+//! fault fail-P1: ~D1 -> D1 := true, N1 := false, T1 := false, C1 := false
+//! fault repair-P1-N: D1 -> D1 := false, N1 := true
+//!
+//! tolerance masking            # uniform; or per fault:
+//! tolerance fail-P1 = masking
+//! mode fault-free              # or fault-prone (Section 8.3)
+//! ```
+//!
+//! * `props Pk: a b c` registers propositions owned by (1-based) process
+//!   `k`; `aux` registers auxiliary (fault-specification) propositions.
+//! * `init:` / `global:` / `coupling:` lines hold CTL in the paper's
+//!   surface syntax; multiple lines of the same kind are conjoined.
+//!   `global:` and `coupling:` lines are implicitly wrapped in `AG`.
+//! * `fault NAME: GUARD -> ASSIGNMENTS` declares a fault action. The
+//!   guard is propositional; assignments are `prop := true|false|?`
+//!   (the `?` is the paper's nondeterministic choice).
+//! * `tolerance` is `masking`, `nonmasking` or `failsafe`, either
+//!   uniform or per fault name (multitolerance).
+
+use ftsyn::ctl::{parse::parse, Formula, FormulaArena, FormulaId, Owner, PropTable, Spec};
+use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
+use ftsyn::{SynthesisProblem, Tolerance, ToleranceAssignment};
+use std::fmt;
+
+/// Error while reading a problem description.
+#[derive(Debug)]
+pub struct FileError {
+    /// 1-based line number (0 = file-level).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for FileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+fn err(line: usize, message: impl Into<String>) -> FileError {
+    FileError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a `.ftsyn` problem description into a [`SynthesisProblem`].
+///
+/// # Errors
+///
+/// Returns a [`FileError`] pinpointing the offending line.
+pub fn parse_problem(input: &str) -> Result<SynthesisProblem, FileError> {
+    // Pass 1: find the process count (needed before any formula parses).
+    let mut n_procs = None;
+    for (ln, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw);
+        if let Some(rest) = line.strip_prefix("processes") {
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(ln + 1, "expected `processes <count>`"))?;
+            if n == 0 {
+                return Err(err(ln + 1, "at least one process is required"));
+            }
+            n_procs = Some(n);
+        }
+    }
+    let n_procs = n_procs.ok_or_else(|| err(0, "missing `processes <count>` declaration"))?;
+
+    let mut props = PropTable::new();
+    let mut arena = FormulaArena::new(n_procs);
+    let mut init: Vec<FormulaId> = Vec::new();
+    let mut global: Vec<FormulaId> = Vec::new();
+    let mut coupling: Vec<FormulaId> = Vec::new();
+    let mut faults: Vec<FaultAction> = Vec::new();
+    let mut uniform_tol: Option<Tolerance> = None;
+    let mut per_fault_tol: Vec<(String, Tolerance)> = Vec::new();
+    let mut fault_prone = false;
+
+    // Pass 2a: register propositions (before formulas reference them).
+    for (ln, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let aux = line.starts_with("aux");
+        if aux || line.starts_with("props") {
+            let rest = line
+                .strip_prefix(if aux { "aux" } else { "props" })
+                .expect("prefix checked");
+            let (proc_part, names) = rest
+                .split_once(':')
+                .ok_or_else(|| err(ln + 1, "expected `props P<k>: name …`"))?;
+            let proc_part = proc_part.trim();
+            let owner = if proc_part.eq_ignore_ascii_case("env") {
+                Owner::Env
+            } else {
+                let k: usize = proc_part
+                    .trim_start_matches(['P', 'p'])
+                    .parse()
+                    .map_err(|_| err(ln + 1, format!("bad process `{proc_part}`")))?;
+                if k == 0 || k > n_procs {
+                    return Err(err(ln + 1, format!("process {k} out of range 1..={n_procs}")));
+                }
+                Owner::Process(k - 1)
+            };
+            for name in names.split_whitespace() {
+                let r = if aux {
+                    props.add_aux(name, owner)
+                } else {
+                    props.add(name, owner)
+                };
+                r.map_err(|e| err(ln + 1, e.to_string()))?;
+            }
+        }
+    }
+
+    // Pass 2b: everything else.
+    for (ln, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty()
+            || line.starts_with("processes")
+            || line.starts_with("props")
+            || line.starts_with("aux")
+        {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("init:") {
+            let f = parse(&mut arena, &mut props, rest, false)
+                .map_err(|e| err(ln + 1, e.to_string()))?;
+            init.push(f);
+        } else if let Some(rest) = line.strip_prefix("global:") {
+            let f = parse(&mut arena, &mut props, rest, false)
+                .map_err(|e| err(ln + 1, e.to_string()))?;
+            global.push(f);
+        } else if let Some(rest) = line.strip_prefix("coupling:") {
+            let f = parse(&mut arena, &mut props, rest, false)
+                .map_err(|e| err(ln + 1, e.to_string()))?;
+            coupling.push(f);
+        } else if let Some(rest) = line.strip_prefix("fault") {
+            faults.push(parse_fault(ln + 1, rest, &mut arena, &mut props)?);
+        } else if let Some(rest) = line.strip_prefix("tolerance") {
+            let rest = rest.trim();
+            if let Some((name, tol)) = rest.split_once('=') {
+                per_fault_tol.push((name.trim().to_owned(), parse_tol(ln + 1, tol.trim())?));
+            } else {
+                uniform_tol = Some(parse_tol(ln + 1, rest)?);
+            }
+        } else if let Some(rest) = line.strip_prefix("mode") {
+            match rest.trim() {
+                "fault-free" => fault_prone = false,
+                "fault-prone" => fault_prone = true,
+                other => return Err(err(ln + 1, format!("unknown mode `{other}`"))),
+            }
+        } else {
+            return Err(err(ln + 1, format!("unrecognized directive: `{line}`")));
+        }
+    }
+
+    if init.is_empty() {
+        return Err(err(0, "missing `init:`"));
+    }
+    if global.is_empty() {
+        return Err(err(0, "missing `global:`"));
+    }
+    let init = arena.and_all(init);
+    let global = arena.and_all(global);
+    let coupling = arena.and_all(coupling);
+    let spec = Spec::with_coupling(init, global, coupling);
+    let base_tol = uniform_tol.unwrap_or(Tolerance::Masking);
+    let mut problem = SynthesisProblem::new(arena, props, spec, faults, base_tol);
+    if !per_fault_tol.is_empty() {
+        let mut tols = vec![base_tol; problem.faults.len()];
+        for (name, tol) in per_fault_tol {
+            let i = problem
+                .faults
+                .iter()
+                .position(|f| f.name() == name)
+                .ok_or_else(|| err(0, format!("tolerance for unknown fault `{name}`")))?;
+            tols[i] = tol;
+        }
+        problem.tolerance = ToleranceAssignment::PerFault(tols);
+    }
+    if fault_prone {
+        problem = problem.with_fault_prone_correctness();
+    }
+    Ok(problem)
+}
+
+fn strip_comment(raw: &str) -> &str {
+    match raw.find('#') {
+        Some(i) => raw[..i].trim(),
+        None => raw.trim(),
+    }
+}
+
+fn parse_tol(line: usize, s: &str) -> Result<Tolerance, FileError> {
+    match s.to_ascii_lowercase().as_str() {
+        "masking" => Ok(Tolerance::Masking),
+        "nonmasking" => Ok(Tolerance::Nonmasking),
+        "failsafe" | "fail-safe" => Ok(Tolerance::FailSafe),
+        other => Err(err(line, format!("unknown tolerance `{other}`"))),
+    }
+}
+
+/// Parses `NAME: GUARD -> assign, assign, …`.
+fn parse_fault(
+    line: usize,
+    rest: &str,
+    arena: &mut FormulaArena,
+    props: &mut PropTable,
+) -> Result<FaultAction, FileError> {
+    let (name, body) = rest
+        .split_once(':')
+        .ok_or_else(|| err(line, "expected `fault NAME: guard -> assignments`"))?;
+    let name = name.trim();
+    let (guard_src, assigns_src) = body
+        .split_once("->")
+        .ok_or_else(|| err(line, "expected `guard -> assignments`"))?;
+    let guard_f = parse(arena, props, guard_src, false).map_err(|e| err(line, e.to_string()))?;
+    let guard = formula_to_boolexpr(arena, guard_f)
+        .ok_or_else(|| err(line, "fault guards must be propositional"))?;
+    let mut assigns = Vec::new();
+    for part in assigns_src.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (lhs, rhs) = part
+            .split_once(":=")
+            .ok_or_else(|| err(line, format!("expected `prop := value` in `{part}`")))?;
+        let p = props
+            .id(lhs.trim())
+            .map_err(|e| err(line, e.to_string()))?;
+        let v = match rhs.trim() {
+            "true" | "1" => PropAssign::True,
+            "false" | "0" => PropAssign::False,
+            "?" => PropAssign::NonDet,
+            other => return Err(err(line, format!("bad assignment value `{other}`"))),
+        };
+        assigns.push((p, v));
+    }
+    FaultAction::new(name, guard, assigns).map_err(|e| err(line, e.to_string()))
+}
+
+/// Converts a propositional formula to a guard expression; `None` if it
+/// contains temporal modalities.
+fn formula_to_boolexpr(arena: &FormulaArena, f: FormulaId) -> Option<BoolExpr> {
+    Some(match arena.get(f) {
+        Formula::True => BoolExpr::Const(true),
+        Formula::False => BoolExpr::Const(false),
+        Formula::Prop(p) => BoolExpr::Prop(p),
+        Formula::NegProp(p) => BoolExpr::not_prop(p),
+        Formula::And(a, b) => BoolExpr::And(vec![
+            formula_to_boolexpr(arena, a)?,
+            formula_to_boolexpr(arena, b)?,
+        ]),
+        Formula::Or(a, b) => BoolExpr::Or(vec![
+            formula_to_boolexpr(arena, a)?,
+            formula_to_boolexpr(arena, b)?,
+        ]),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsyn::synthesize;
+
+    const MINI: &str = r#"
+# a one-process toggler
+processes 1
+props P1: on off
+init: off & ~on
+global: (on <-> ~off) & (on -> AX1 off) & (off -> AX1 on) & AG EX true
+tolerance masking
+"#;
+
+    #[test]
+    fn minimal_file_parses_and_synthesizes() {
+        let mut p = parse_problem(MINI).expect("parses");
+        let s = synthesize(&mut p).unwrap_solved();
+        assert!(s.verification.ok(), "{:?}", s.verification.failures);
+        assert_eq!(s.program.processes.len(), 1);
+    }
+
+    #[test]
+    fn faults_and_per_fault_tolerance_parse() {
+        let src = r#"
+processes 1
+props P1: on off
+aux P1: broken
+init: off & ~on & ~broken
+global: (on <-> ~off) & (on -> AX1 off) & (off -> AX1 on) & AG EX true
+coupling: broken -> AX1 broken
+fault break: ~broken & on -> broken := true
+tolerance masking
+tolerance break = nonmasking
+"#;
+        let p = parse_problem(src).expect("parses");
+        assert_eq!(p.faults.len(), 1);
+        assert_eq!(p.tolerance.of(0), Tolerance::Nonmasking);
+    }
+
+    #[test]
+    fn nondet_assignment_parses() {
+        let src = r#"
+processes 1
+props P1: x y
+init: x & ~y
+global: (x <-> ~y) & AG EX1 true & (x -> AX1 y) & (y -> AX1 x)
+fault scramble: true -> x := ?, y := ?
+tolerance nonmasking
+"#;
+        let p = parse_problem(src).expect("parses");
+        assert_eq!(p.faults[0].assigns().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "processes 1\nprops P1: a\ninit: a\nglobal: a\nbogus directive\n";
+        let e = parse_problem(bad).unwrap_err();
+        assert_eq!(e.line, 5);
+
+        let bad2 = "processes 1\nprops P1: a\ninit: a\nglobal: a\nfault f: AF a -> a := true\n";
+        let e2 = parse_problem(bad2).unwrap_err();
+        assert!(e2.message.contains("propositional"), "{e2}");
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        assert!(parse_problem("props P1: a\n").unwrap_err().message.contains("processes"));
+        assert!(parse_problem("processes 1\nprops P1: a\nglobal: a\n")
+            .unwrap_err()
+            .message
+            .contains("init"));
+    }
+
+    #[test]
+    fn mode_directive_switches_certificates() {
+        let src = "processes 1\nprops P1: a\ninit: a\nglobal: AG EX1 true\nmode fault-prone\n";
+        let p = parse_problem(src).expect("parses");
+        assert_eq!(p.mode, ftsyn::CertMode::FaultProne);
+    }
+}

@@ -1,0 +1,119 @@
+//! `ftsyn` — synthesize a fault-tolerant concurrent program from a
+//! problem-description file.
+//!
+//! ```text
+//! USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
+//! ```
+
+use ftsyn::kripke::StateRole;
+use ftsyn::SynthesisOutcome;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut dot_out: Option<String> = None;
+    let mut quiet = false;
+    let mut show_program = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dot" => {
+                i += 1;
+                dot_out = args.get(i).cloned();
+                if dot_out.is_none() {
+                    eprintln!("--dot requires a path");
+                    return ExitCode::from(2);
+                }
+            }
+            "--quiet" => quiet = true,
+            "--no-program" => show_program = false,
+            "--help" | "-h" => {
+                println!(
+                    "USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() => file = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        eprintln!("USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]");
+        return ExitCode::from(2);
+    };
+
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut problem = match ftsyn_cli::parse_problem(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match ftsyn::synthesize(&mut problem) {
+        SynthesisOutcome::Solved(s) => {
+            if !quiet {
+                let roles = s.model.classify();
+                let count = |r: StateRole| roles.iter().filter(|x| **x == r).count();
+                println!(
+                    "solved: {} states (normal {}, perturbed {}, recovery {}), \
+                     {} program + {} fault transitions, {:.1?}",
+                    s.stats.model_states,
+                    count(StateRole::Normal),
+                    count(StateRole::Perturbed),
+                    count(StateRole::Recovery),
+                    s.stats.program_transitions,
+                    s.stats.fault_transitions,
+                    s.stats.elapsed
+                );
+                println!(
+                    "verification: {}",
+                    if s.verification.ok() {
+                        "PASS".to_owned()
+                    } else {
+                        format!("FAIL — {:?}", s.verification.failures)
+                    }
+                );
+            }
+            if show_program {
+                println!("{}", s.program.display(&problem.props));
+            }
+            if let Some(path) = dot_out {
+                if let Err(e) = std::fs::write(&path, s.model.to_dot(&problem.props)) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                if !quiet {
+                    println!("model written to {path}");
+                }
+            }
+            if s.verification.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(3)
+            }
+        }
+        SynthesisOutcome::Impossible(imp) => {
+            println!(
+                "impossible: no program satisfies the specification with the \
+                 required tolerance (tableau {} nodes, {} deleted, {:.1?})",
+                imp.stats.tableau_nodes,
+                imp.stats.deletion.total(),
+                imp.stats.elapsed
+            );
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The shipped `.ftsyn` specification files parse and synthesize.
+
+use ftsyn::{synthesize, SynthesisOutcome};
+use ftsyn_cli::parse_problem;
+
+fn spec(name: &str) -> String {
+    let path = format!("{}/../../specs/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(path).expect("spec file exists")
+}
+
+#[test]
+fn mutex_failstop_file_solves_and_verifies() {
+    let mut p = parse_problem(&spec("mutex_failstop.ftsyn")).expect("parses");
+    assert_eq!(p.faults.len(), 8);
+    let s = synthesize(&mut p).unwrap_solved();
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+    assert_eq!(s.program.processes.len(), 2);
+    // Identical to the programmatic builder's outcome.
+    let mut builder = ftsyn::problems::mutex::with_fail_stop(2, ftsyn::Tolerance::Masking);
+    let s2 = synthesize(&mut builder).unwrap_solved();
+    assert_eq!(s.stats.model_states, s2.stats.model_states);
+}
+
+#[test]
+fn reset_task_file_solves_under_fault_prone_mode() {
+    let mut p = parse_problem(&spec("reset_task.ftsyn")).expect("parses");
+    assert_eq!(p.mode, ftsyn::CertMode::FaultProne);
+    let s = synthesize(&mut p).unwrap_solved();
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+}
+
+#[test]
+fn unbounded_reset_variant_is_impossible() {
+    let unbounded = spec("reset_task.ftsyn").replace("try & ~cnt0", "try");
+    let mut p = parse_problem(&unbounded).expect("parses");
+    assert!(matches!(
+        synthesize(&mut p),
+        SynthesisOutcome::Impossible(_)
+    ));
+}

@@ -1,0 +1,469 @@
+//! Program extraction (step 5 of the synthesis method).
+//!
+//! First, maximal sets of states with identical valuations are
+//! disambiguated with fresh shared variables `x` (value `k` labels the
+//! `k`-th member; every transition entering it is labeled `x := k`).
+//! Then the model is projected onto each process index: a transition
+//! `s →ᵢ t` contributes an arc of `Pᵢ` from `s↑i` to `t↑i` guarded by
+//! `∧(L(s)↓i)` — the other processes' local states plus the shared
+//! variable values. Arcs with equal endpoints and assignments are merged
+//! by disjoining their guards (this is how Figure 9's `N2 ∨ C2` guards
+//! arise).
+
+use ftsyn_ctl::{Owner, PropTable};
+use ftsyn_guarded::{BoolExpr, LocalState, ProcArc, Process, Program, SharedVar};
+use ftsyn_kripke::{FtKripke, PropSet, StateId, TransKind};
+use std::collections::HashMap;
+
+/// Introduces the disambiguating shared variables into `model` (mutating
+/// each state's `shared` vector) and returns their declarations plus,
+/// for each state, its group memberships `(var, value)`.
+pub fn introduce_shared_variables(model: &mut FtKripke) -> Vec<SharedVar> {
+    // Group states by valuation, in state order.
+    let mut groups: Vec<(PropSet, Vec<StateId>)> = Vec::new();
+    let mut index: HashMap<PropSet, usize> = HashMap::new();
+    for s in model.state_ids() {
+        let v = model.state(s).props.clone();
+        match index.get(&v) {
+            Some(&g) => groups[g].1.push(s),
+            None => {
+                index.insert(v.clone(), groups.len());
+                groups.push((v, vec![s]));
+            }
+        }
+    }
+    let shared: Vec<(usize, &Vec<StateId>)> = groups
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, members))| members.len() > 1)
+        .map(|(g, (_, members))| (g, members))
+        .collect();
+
+    let mut vars = Vec::new();
+    let mut assignments: Vec<(usize, Vec<StateId>)> = Vec::new();
+    for &(_, members) in &shared {
+        let vi = vars.len();
+        vars.push(SharedVar {
+            name: format!("x{vi}"),
+            domain: members.len() as u32,
+        });
+        assignments.push((vi, members.clone()));
+    }
+
+    // Default every state's shared vector, then pin group members.
+    let nvars = vars.len();
+    for s in model.state_ids().collect::<Vec<_>>() {
+        model.state_mut(s).shared = vec![1; nvars];
+    }
+    for (vi, members) in &assignments {
+        for (k, &s) in members.iter().enumerate() {
+            model.state_mut(s).shared[*vi] = (k + 1) as u32;
+        }
+    }
+    vars
+}
+
+/// For each state, the disambiguation variable of its valuation group
+/// (if its valuation is shared with another state).
+fn group_vars(model: &FtKripke) -> Vec<Option<usize>> {
+    let mut counts: HashMap<PropSet, usize> = HashMap::new();
+    for s in model.state_ids() {
+        *counts.entry(model.state(s).props.clone()).or_default() += 1;
+    }
+    // Variables were numbered by first occurrence of each duplicated
+    // valuation in `introduce_shared_variables`; reproduce that order.
+    let mut var_of: HashMap<PropSet, usize> = HashMap::new();
+    let mut seen: HashMap<PropSet, ()> = HashMap::new();
+    let mut next = 0usize;
+    for s in model.state_ids() {
+        let v = model.state(s).props.clone();
+        if seen.insert(v.clone(), ()).is_none() && counts[&v] > 1 {
+            var_of.insert(v, next);
+            next += 1;
+        }
+    }
+    model
+        .state_ids()
+        .map(|s| var_of.get(&model.state(s).props).copied())
+        .collect()
+}
+
+/// One disjunct of a merged guard: the other processes' local states
+/// plus shared-variable constraints observed in a source state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct GuardBlock {
+    /// `(process, local-state index)` for every process except the mover.
+    other_locals: Vec<(usize, usize)>,
+    /// `(variable, value)` constraints.
+    var_eqs: Vec<(usize, u32)>,
+}
+
+/// Extracts the concurrent program `P₁ ‖ … ‖ P_I` from the model.
+///
+/// `model` must already carry its disambiguating shared variables (call
+/// [`introduce_shared_variables`] first). `num_procs` is the number of
+/// processes `I`.
+///
+/// # Panics
+///
+/// Panics if the model has no initial state.
+pub fn extract_program(
+    model: &FtKripke,
+    props: &PropTable,
+    num_procs: usize,
+    shared: Vec<SharedVar>,
+) -> Program {
+    let proc_masks: Vec<PropSet> = (0..num_procs)
+        .map(|i| {
+            PropSet::from_iter_with_capacity(
+                props.len(),
+                props.iter().filter(|&p| props.owner(p) == Owner::Process(i)),
+            )
+        })
+        .collect();
+
+    // Discover local states per process.
+    let mut processes: Vec<Process> = (0..num_procs)
+        .map(|i| Process {
+            index: i,
+            states: Vec::new(),
+            arcs: Vec::new(),
+        })
+        .collect();
+    let local_of = |proc: &mut Process, props_table: &PropTable, lv: PropSet| -> usize {
+        if let Some(k) = proc.state_by_props(&lv) {
+            return k;
+        }
+        let name = if lv.is_empty() {
+            format!("idle{}", proc.index + 1)
+        } else {
+            lv.iter()
+                .map(|p| props_table.name(p).to_owned())
+                .collect::<Vec<_>>()
+                .join("")
+        };
+        proc.states.push(LocalState { name, props: lv });
+        proc.states.len() - 1
+    };
+
+    // Project every state up-front so local indices are stable.
+    let mut state_locals: Vec<Vec<usize>> = Vec::new();
+    for s in model.state_ids() {
+        let mut locals = Vec::with_capacity(num_procs);
+        for i in 0..num_procs {
+            let lv = model.state(s).props.intersect(&proc_masks[i]);
+            locals.push(local_of(&mut processes[i], props, lv));
+        }
+        state_locals.push(locals);
+    }
+
+    // Collect arcs: (proc, from, to, assigns) → guard blocks.
+    let group_var = group_vars(model);
+    type ArcKey = (usize, usize, usize, Vec<(usize, u32)>);
+    let mut arcs: HashMap<ArcKey, Vec<GuardBlock>> = HashMap::new();
+    let mut arc_order: Vec<ArcKey> = Vec::new();
+    for s in model.state_ids() {
+        for e in model.succ(s) {
+            let TransKind::Proc(i) = e.kind else { continue };
+            let from = state_locals[s.index()][i];
+            let to = state_locals[e.to.index()][i];
+            // Assignments: the full shared vector of the target state.
+            // The paper only assigns the target's own group variable;
+            // resetting the (don't-care, Section 5.3) remaining
+            // variables to their canonical value 1 is
+            // behavior-equivalent and keeps the runtime configuration
+            // space canonical, so the interpreter regenerates the
+            // model's fault-free portion exactly.
+            let assigns: Vec<(usize, u32)> = model
+                .state(e.to)
+                .shared
+                .iter()
+                .enumerate()
+                .map(|(vi, &k)| (vi, k))
+                .collect();
+            // Guard block from the source state.
+            let other_locals: Vec<(usize, usize)> = state_locals[s.index()]
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(j, &l)| (j, l))
+                .collect();
+            let mut var_eqs = Vec::new();
+            if let Some(vi) = group_var[s.index()] {
+                var_eqs.push((vi, model.state(s).shared[vi]));
+            }
+            let key = (i, from, to, assigns);
+            let block = GuardBlock {
+                other_locals,
+                var_eqs,
+            };
+            let entry = arcs.entry(key.clone()).or_insert_with(|| {
+                arc_order.push(key);
+                Vec::new()
+            });
+            if !entry.contains(&block) {
+                entry.push(block);
+            }
+        }
+    }
+
+    // Render guards and attach arcs.
+    for key in arc_order {
+        let blocks = arcs.remove(&key).expect("keyed above");
+        let (i, from, to, assigns) = key;
+        let guard = blocks_to_guard(&processes, &blocks);
+        processes[i].arcs.push(ProcArc {
+            from,
+            to,
+            guard,
+            assigns,
+        });
+    }
+
+    let init = model.init_states()[0];
+    let init_locals = state_locals[init.index()].clone();
+    let init_shared = model.state(init).shared.clone();
+
+    Program {
+        processes,
+        shared,
+        init_locals,
+        init_shared,
+        num_props: props.len(),
+    }
+}
+
+/// Converts a local state into the positive-proposition guard expression
+/// identifying it (one-hot local states are identified by their positive
+/// propositions under the global specification's exactly-one clauses).
+fn local_expr(proc: &Process, li: usize) -> BoolExpr {
+    let ps: Vec<BoolExpr> = proc.states[li].props.iter().map(BoolExpr::Prop).collect();
+    match ps.len() {
+        0 => BoolExpr::Const(true),
+        1 => ps.into_iter().next().expect("len checked"),
+        _ => BoolExpr::And(ps),
+    }
+}
+
+/// Renders a disjunction of guard blocks, factoring the common case where
+/// all blocks share their shared-variable constraints and vary in a
+/// single process dimension (yielding Figure 9-style `N2 ∨ C2` guards).
+fn blocks_to_guard(processes: &[Process], blocks: &[GuardBlock]) -> BoolExpr {
+    if blocks.is_empty() {
+        return BoolExpr::Const(false);
+    }
+    // Try single-dimension factoring.
+    if blocks.len() > 1 {
+        let first = &blocks[0];
+        let same_vars = blocks.iter().all(|b| b.var_eqs == first.var_eqs);
+        if same_vars {
+            // Find the set of process dimensions that vary.
+            let mut varying: Vec<usize> = Vec::new();
+            for (pos, &(j, l0)) in first.other_locals.iter().enumerate() {
+                if blocks.iter().any(|b| b.other_locals[pos] != (j, l0)) {
+                    varying.push(pos);
+                }
+            }
+            if varying.len() == 1 {
+                let pos = varying[0];
+                let j = first.other_locals[pos].0;
+                let mut states: Vec<usize> = blocks
+                    .iter()
+                    .map(|b| b.other_locals[pos].1)
+                    .collect();
+                states.sort_unstable();
+                states.dedup();
+                let mut conj: Vec<BoolExpr> = Vec::new();
+                // Fixed dimensions.
+                for (p2, &(j2, l2)) in first.other_locals.iter().enumerate() {
+                    if p2 != pos {
+                        conj.push(local_expr(&processes[j2], l2));
+                    }
+                }
+                // The varying one: disjunction over its observed states
+                // (or `true` if every local state of P_j is covered).
+                if states.len() < processes[j].states.len() {
+                    let alts: Vec<BoolExpr> = states
+                        .iter()
+                        .map(|&l| local_expr(&processes[j], l))
+                        .collect();
+                    conj.push(if alts.len() == 1 {
+                        alts.into_iter().next().expect("len checked")
+                    } else {
+                        BoolExpr::Or(alts)
+                    });
+                }
+                for &(v, k) in &first.var_eqs {
+                    conj.push(BoolExpr::VarEq(v, k));
+                }
+                return match conj.len() {
+                    0 => BoolExpr::Const(true),
+                    1 => conj.into_iter().next().expect("len checked"),
+                    _ => BoolExpr::And(conj),
+                };
+            }
+        }
+    }
+    // General case: disjunction of per-block conjunctions.
+    let alts: Vec<BoolExpr> = blocks
+        .iter()
+        .map(|b| {
+            let mut conj: Vec<BoolExpr> = b
+                .other_locals
+                .iter()
+                .map(|&(j, l)| local_expr(&processes[j], l))
+                .collect();
+            for &(v, k) in &b.var_eqs {
+                conj.push(BoolExpr::VarEq(v, k));
+            }
+            match conj.len() {
+                0 => BoolExpr::Const(true),
+                1 => conj.into_iter().next().expect("len checked"),
+                _ => BoolExpr::And(conj),
+            }
+        })
+        .collect();
+    match alts.len() {
+        1 => alts.into_iter().next().expect("len checked"),
+        _ => BoolExpr::Or(alts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsyn_kripke::State;
+
+    fn two_proc_props() -> PropTable {
+        let mut t = PropTable::new();
+        for (n, i) in [("a1", 0), ("b1", 0), ("a2", 1), ("b2", 1)] {
+            t.add(n, Owner::Process(i)).unwrap();
+        }
+        t
+    }
+
+    fn st(props: &PropTable, names: &[&str]) -> State {
+        State::new(PropSet::from_iter_with_capacity(
+            props.len(),
+            names.iter().map(|n| props.id(n).unwrap()),
+        ))
+    }
+
+    #[test]
+    fn shared_vars_disambiguate_duplicate_valuations() {
+        let props = two_proc_props();
+        let mut m = FtKripke::new();
+        let s0 = m.push_state(st(&props, &["a1", "a2"]));
+        let s1 = m.push_state(st(&props, &["b1", "a2"]));
+        let s2 = m.push_state(st(&props, &["b1", "a2"])); // duplicate valuation
+        m.add_init(s0);
+        m.add_edge(s0, TransKind::Proc(0), s1);
+        m.add_edge(s1, TransKind::Proc(1), s2);
+        m.add_edge(s2, TransKind::Proc(0), s0);
+        let vars = introduce_shared_variables(&mut m);
+        assert_eq!(vars.len(), 1);
+        assert_eq!(vars[0].domain, 2);
+        assert_eq!(m.state(s1).shared, vec![1]);
+        assert_eq!(m.state(s2).shared, vec![2]);
+        assert_eq!(m.state(s0).shared, vec![1]);
+    }
+
+    #[test]
+    fn no_duplicates_no_shared_vars() {
+        let props = two_proc_props();
+        let mut m = FtKripke::new();
+        let s0 = m.push_state(st(&props, &["a1", "a2"]));
+        let s1 = m.push_state(st(&props, &["b1", "a2"]));
+        m.add_init(s0);
+        m.add_edge(s0, TransKind::Proc(0), s1);
+        m.add_edge(s1, TransKind::Proc(0), s0);
+        let vars = introduce_shared_variables(&mut m);
+        assert!(vars.is_empty());
+    }
+
+    #[test]
+    fn extraction_produces_arcs_with_guards() {
+        let props = two_proc_props();
+        let mut m = FtKripke::new();
+        let s0 = m.push_state(st(&props, &["a1", "a2"]));
+        let s1 = m.push_state(st(&props, &["b1", "a2"]));
+        let s2 = m.push_state(st(&props, &["a1", "b2"]));
+        let s3 = m.push_state(st(&props, &["b1", "b2"]));
+        m.add_init(s0);
+        // P1 toggles a1/b1 in any P2 state; P2 toggles only when b1.
+        m.add_edge(s0, TransKind::Proc(0), s1);
+        m.add_edge(s1, TransKind::Proc(0), s0);
+        m.add_edge(s2, TransKind::Proc(0), s3);
+        m.add_edge(s3, TransKind::Proc(0), s2);
+        m.add_edge(s1, TransKind::Proc(1), s3);
+        m.add_edge(s3, TransKind::Proc(1), s1);
+        let vars = introduce_shared_variables(&mut m);
+        let prog = extract_program(&m, &props, 2, vars);
+        assert_eq!(prog.processes[0].states.len(), 2);
+        assert_eq!(prog.processes[1].states.len(), 2);
+        // P1's a1→b1 arc merged across P2 states: guard a2 ∨ b2 → covers
+        // all of P2's local states, so it factors to `true`.
+        let a1b1 = prog.processes[0]
+            .arcs
+            .iter()
+            .find(|a| {
+                prog.processes[0].states[a.from].name == "a1"
+                    && prog.processes[0].states[a.to].name == "b1"
+            })
+            .expect("arc a1→b1 exists");
+        assert_eq!(a1b1.guard, BoolExpr::Const(true));
+        // P2's a2→b2 arc guarded on b1.
+        let a2b2 = prog.processes[1]
+            .arcs
+            .iter()
+            .find(|a| {
+                prog.processes[1].states[a.from].name == "a2"
+                    && prog.processes[1].states[a.to].name == "b2"
+            })
+            .expect("arc a2→b2 exists");
+        let b1 = props.id("b1").unwrap();
+        assert_eq!(a2b2.guard, BoolExpr::Prop(b1));
+        assert_eq!(prog.init_locals, vec![0, 0]);
+    }
+
+    #[test]
+    fn guard_includes_shared_variable_tests() {
+        let props = two_proc_props();
+        let mut m = FtKripke::new();
+        let s0 = m.push_state(st(&props, &["a1", "a2"]));
+        let dup1 = m.push_state(st(&props, &["b1", "a2"]));
+        let dup2 = m.push_state(st(&props, &["b1", "a2"]));
+        let s3 = m.push_state(st(&props, &["b1", "b2"]));
+        m.add_init(s0);
+        m.add_edge(s0, TransKind::Proc(0), dup1);
+        // Only the x=2 copy allows P2 to move.
+        m.add_edge(dup1, TransKind::Proc(0), dup2);
+        m.add_edge(dup2, TransKind::Proc(1), s3);
+        m.add_edge(s3, TransKind::Proc(0), s0);
+        let vars = introduce_shared_variables(&mut m);
+        assert_eq!(vars.len(), 1);
+        let prog = extract_program(&m, &props, 2, vars);
+        let arc = prog.processes[1]
+            .arcs
+            .iter()
+            .find(|a| prog.processes[1].states[a.to].name == "b2")
+            .expect("P2 arc exists");
+        // Guard must mention x0=2.
+        fn mentions_var(e: &BoolExpr) -> bool {
+            match e {
+                BoolExpr::VarEq(_, 2) => true,
+                BoolExpr::And(v) | BoolExpr::Or(v) => v.iter().any(mentions_var),
+                BoolExpr::Not(i) => mentions_var(i),
+                _ => false,
+            }
+        }
+        assert!(mentions_var(&arc.guard), "guard: {arc:?}");
+        // The P1 arc entering the x=2 copy carries the assignment x := 2.
+        let entering = prog.processes[0]
+            .arcs
+            .iter()
+            .find(|a| a.assigns.contains(&(0, 2)))
+            .expect("an arc assigns x := 2");
+        assert_eq!(prog.processes[0].states[entering.to].name, "b1");
+    }
+}

@@ -1,0 +1,141 @@
+//! Semantic model minimization.
+//!
+//! The bisimulation quotient (crate `ftsyn-kripke`) collapses copies
+//! with *identical* behavior, but the unraveling also produces copies
+//! of a valuation whose behaviors differ in ways the specification does
+//! not care about (e.g. a recovery copy whose label carries `AF AG
+//! global` instead of the full normal label). This pass greedily merges
+//! pairs of states with the same valuation and keeps a merge exactly
+//! when the resulting model still satisfies the requirements of the
+//! synthesis problem statement (Section 3) — checked mechanically with
+//! the model checker. The result is a smaller correct model, typically
+//! with far fewer disambiguating shared variables, matching the paper's
+//! hand-drawn figures much more closely.
+
+use crate::problem::SynthesisProblem;
+use crate::verify::verify_semantic;
+use ftsyn_kripke::{FtKripke, PropSet, StateId};
+use std::collections::HashMap;
+
+/// Returns a copy of `m` with state `from` merged into state `into`
+/// (edges redirected, `from` removed), plus the old→new state mapping.
+fn merged(m: &FtKripke, from: StateId, into: StateId) -> (FtKripke, Vec<StateId>) {
+    let mut out = FtKripke::new();
+    // Old id -> new id (from maps to into's new id).
+    let mut map: HashMap<StateId, StateId> = HashMap::new();
+    for s in m.state_ids() {
+        if s == from {
+            continue;
+        }
+        let n = out.push_state(m.state(s).clone());
+        map.insert(s, n);
+    }
+    map.insert(from, map[&into]);
+    for s in m.state_ids() {
+        let ns = map[&s];
+        for e in m.succ(s) {
+            out.add_edge(ns, e.kind, map[&e.to]);
+        }
+    }
+    for &i in m.init_states() {
+        out.add_init(map[&i]);
+    }
+    let mapping = m.state_ids().map(|s| map[&s]).collect();
+    (out, mapping)
+}
+
+/// Greedily merges same-valuation states while the model keeps passing
+/// the semantic verification. Returns the minimized model together with
+/// the mapping from the input model's state ids to the output's.
+pub fn semantic_minimize(
+    problem: &mut SynthesisProblem,
+    model: FtKripke,
+) -> (FtKripke, Vec<StateId>) {
+    let mut model = model;
+    let mut total_map: Vec<StateId> = model.state_ids().collect();
+    'outer: loop {
+        // Group state ids by (valuation, normality). Merging a normal
+        // with a non-normal copy would enlarge the fault-free reachable
+        // region — correct, but it would lose the paper's Section 6.2
+        // observation that recovery transitions generate no new states
+        // under normal operation — so merges stay within a class.
+        let roles = model.classify();
+        let mut groups: HashMap<(PropSet, bool), Vec<StateId>> = HashMap::new();
+        for s in model.state_ids() {
+            let normal = roles[s.index()] == ftsyn_kripke::StateRole::Normal;
+            groups
+                .entry((model.state(s).props.clone(), normal))
+                .or_default()
+                .push(s);
+        }
+        let mut candidates: Vec<(StateId, StateId)> = Vec::new();
+        for members in groups.values() {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    candidates.push((b, a)); // merge later copy into earlier
+                }
+            }
+        }
+        for (from, into) in candidates {
+            let (cand, step_map) = merged(&model, from, into);
+            if verify_semantic(problem, &cand).ok() {
+                model = cand;
+                for t in total_map.iter_mut() {
+                    *t = step_map[t.index()];
+                }
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (model, total_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::mutex;
+    use crate::synthesize;
+    use ftsyn_kripke::TransKind;
+
+    #[test]
+    fn merged_redirects_edges() {
+        use ftsyn_kripke::State;
+        let mut m = FtKripke::new();
+        let mk = |bits: &[u32]| {
+            State::new(PropSet::from_iter_with_capacity(
+                4,
+                bits.iter().map(|&b| ftsyn_ctl::PropId(b)),
+            ))
+        };
+        let a = m.push_state(mk(&[0]));
+        let b1 = m.push_state(mk(&[1]));
+        let b2 = m.push_state(mk(&[1]));
+        m.add_init(a);
+        m.add_edge(a, TransKind::Proc(0), b1);
+        m.add_edge(b1, TransKind::Proc(0), b2);
+        m.add_edge(b2, TransKind::Proc(0), a);
+        let (out, mapping) = merged(&m, b2, b1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(mapping.len(), 3);
+        assert_eq!(mapping[1], mapping[2], "b2 merged into b1");
+        // b1 now has a self-loop (the b1→b2 edge redirected).
+        let nb1 = out
+            .state_ids()
+            .find(|&s| out.state(s).props.contains(ftsyn_ctl::PropId(1)))
+            .unwrap();
+        assert!(out.succ(nb1).iter().any(|e| e.to == nb1));
+    }
+
+    #[test]
+    fn minimization_keeps_the_model_correct_and_small() {
+        let mut problem = mutex::with_fail_stop(2, crate::Tolerance::Masking);
+        let solved = synthesize(&mut problem).unwrap_solved();
+        // synthesize already minimizes; minimizing again is a fixpoint.
+        let before = solved.model.len();
+        let (again, mapping) = semantic_minimize(&mut problem, solved.model.clone());
+        assert_eq!(again.len(), before, "minimization is a fixpoint");
+        assert_eq!(mapping.len(), before);
+        assert!(verify_semantic(&mut problem, &again).ok());
+    }
+}

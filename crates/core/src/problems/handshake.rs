@@ -1,0 +1,126 @@
+//! A two-phase producer–consumer handshake, subject to the buffer
+//! faults of Section 2.3 (omission and timing).
+//!
+//! The producer owns `full` (the buffer flag), the consumer owns `ack`.
+//! Normal operation is the four-phase cycle
+//!
+//! ```text
+//! (¬full,¬ack) --P1: fill--> (full,¬ack) --P2: ack--> (full,ack)
+//!      ^                                                  |
+//!      +---P2: clear ack--- (¬full,ack) <--P1: empty------+
+//! ```
+//!
+//! The *omission* fault (`is_full → is_full := false`) silently drops
+//! the buffered item; the *timing* fault delays it, setting the
+//! auxiliary `delayed` flag and releasing it later. Omission lands on
+//! valuations the normal cycle also visits, so masking tolerance is
+//! achievable; the timing fault's `delayed` flag blocks production
+//! (coupling) until the release fires, which only a fault can do — so
+//! masking/nonmasking are impossible for it and fail-safe is the right
+//! tolerance, mirroring the tolerance taxonomy of Section 2.5.
+
+use crate::problem::{SynthesisProblem, Tolerance};
+use ftsyn_ctl::{FormulaArena, FormulaId, Owner, PropId, PropTable, Spec};
+use ftsyn_guarded::faults::{omission, timing};
+
+/// Proposition handles for the handshake.
+#[derive(Clone, Debug)]
+pub struct HandshakeProps {
+    /// Buffer flag, owned by the producer.
+    pub full: PropId,
+    /// Acknowledgement, owned by the consumer.
+    pub ack: PropId,
+    /// Timing-fault auxiliary (timing variant only).
+    pub delayed: Option<PropId>,
+}
+
+/// Which fault class to subject the buffer to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufferFault {
+    /// No faults (the plain handshake).
+    None,
+    /// The buffer loses its content (`is_full → is_full := false`).
+    Omission,
+    /// Access to the content is delayed (Section 2.3's two actions).
+    Timing,
+}
+
+/// Builds the handshake problem with the given fault class and
+/// tolerance.
+pub fn build(fault: BufferFault, tol: Tolerance) -> SynthesisProblem {
+    let mut props = PropTable::new();
+    let full = props.add("full", Owner::Process(0)).expect("fresh");
+    let ack = props.add("ack", Owner::Process(1)).expect("fresh");
+    let delayed = (fault == BufferFault::Timing)
+        .then(|| props.add_aux("delayed", Owner::Process(0)).expect("fresh"));
+    let mut arena = FormulaArena::new(2);
+    let (ff, fa) = (arena.prop(full), arena.prop(ack));
+    let (nf, na) = (arena.neg_prop(full), arena.neg_prop(ack));
+
+    let mut globals: Vec<FormulaId> = Vec::new();
+    // Handshake order (safety): the producer fills only from
+    // (¬full,¬ack) and empties only from (full,ack); the consumer acks
+    // only a full buffer and clears only an empty one.
+    let pairs: [(FormulaId, FormulaId, usize, FormulaId); 4] = [
+        // (state-part-1, state-part-2, mover, what the mover must preserve)
+        (nf, fa, 0, nf), // producer cannot fill while ack pending
+        (ff, na, 0, ff), // producer cannot retract before ack
+        (nf, na, 1, na), // consumer cannot ack an empty buffer
+        (ff, fa, 1, fa), // consumer holds ack until the buffer clears
+    ];
+    for (a, b, mover, keep) in pairs {
+        let st = arena.and(a, b);
+        let ax = arena.ax(mover, keep);
+        let cl = arena.implies(st, ax);
+        globals.push(cl);
+    }
+    // Interleaving (Section 2.2 clause 6): the consumer never modifies
+    // `full`, the producer never modifies `ack`.
+    for (owner_lit, other) in [(ff, 1), (nf, 1), (fa, 0), (na, 0)] {
+        let ax = arena.ax(other, owner_lit);
+        let cl = arena.implies(owner_lit, ax);
+        globals.push(cl);
+    }
+    // Liveness: the cycle keeps turning.
+    let cycle: [(FormulaId, FormulaId, FormulaId); 4] = [
+        (nf, na, ff), // production
+        (ff, na, fa), // delivery
+        (ff, fa, nf), // emptying
+        (nf, fa, na), // ack clearing
+    ];
+    for (a, b, goal) in cycle {
+        let st = arena.and(a, b);
+        let af = arena.af(goal);
+        let cl = arena.implies(st, af);
+        globals.push(cl);
+    }
+    // Progress.
+    let t = arena.tru();
+    globals.push(arena.ex_all(t));
+    let global = arena.and_all(globals);
+    let init = arena.and(nf, na);
+
+    // Coupling for the timing fault: while delayed, the producer cannot
+    // re-fill the buffer (the item is in flight), and only the fault's
+    // release action clears `delayed`.
+    let coupling = if let Some(d) = delayed {
+        let fd = arena.prop(d);
+        let ax_nf = arena.ax(0, nf);
+        let c1 = arena.implies(fd, ax_nf);
+        let ax_d = arena.ax(0, fd);
+        let ax_d2 = arena.ax(1, fd);
+        let keep = arena.and(ax_d, ax_d2);
+        let c2 = arena.implies(fd, keep);
+        arena.and(c1, c2)
+    } else {
+        arena.tru()
+    };
+    let spec = Spec::with_coupling(init, global, coupling);
+
+    let faults = match fault {
+        BufferFault::None => vec![],
+        BufferFault::Omission => vec![omission(full)],
+        BufferFault::Timing => timing(full, delayed.expect("registered")),
+    };
+    SynthesisProblem::new(arena, props, spec, faults, tol)
+}

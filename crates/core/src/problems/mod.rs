@@ -1,0 +1,16 @@
+//! Ready-made synthesis problems.
+//!
+//! From the paper: mutual exclusion (Sections 2.2 / 6.1, generalized to
+//! `n` processes and to arbitrary conflict graphs — dining philosophers
+//! included), barrier synchronization (Sections 6.2 / 6.3, including the
+//! impossibility variant), and the wire of Section 2.3.
+//!
+//! Beyond the paper: a readers–writers problem (asymmetric exclusion,
+//! writer fail-stop) and a producer–consumer handshake subject to the
+//! omission/timing buffer faults of Section 2.3.
+
+pub mod barrier;
+pub mod handshake;
+pub mod mutex;
+pub mod readers_writers;
+pub mod wire;

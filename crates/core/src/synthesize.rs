@@ -1,0 +1,252 @@
+//! The end-to-end synthesis pipeline (Section 5.2, steps 1–5).
+
+use crate::extract::{extract_program, introduce_shared_variables};
+use crate::minimize::semantic_minimize;
+use crate::problem::SynthesisProblem;
+use crate::unravel::{unravel_mode, Unraveled};
+use crate::verify::{verify, verify_semantic, Verification};
+use ftsyn_ctl::Closure;
+use ftsyn_guarded::{fault_set_size, Program};
+use ftsyn_kripke::{bisimulation_quotient, FtKripke};
+use ftsyn_tableau::{
+    apply_deletion_rules_mode, build as build_tableau, DeletionStats, FaultSpec, NodeId, Tableau,
+};
+use std::time::{Duration, Instant};
+
+/// Size and timing measurements of one synthesis run (the quantities the
+/// complexity analysis of Section 7.4 is about).
+#[derive(Clone, Debug, Default)]
+pub struct SynthesisStats {
+    /// `|spec|`: length of the temporal specification.
+    pub spec_length: usize,
+    /// `|F|`: total description size of the fault actions.
+    pub fault_size: usize,
+    /// Closure size (`≤ 2|cl(spec ∧ AFAG global)|`).
+    pub closure_size: usize,
+    /// Total tableau nodes created.
+    pub tableau_nodes: usize,
+    /// Alive AND-nodes after deletion.
+    pub alive_and: usize,
+    /// Alive OR-nodes after deletion.
+    pub alive_or: usize,
+    /// Per-rule deletion counts.
+    pub deletion: DeletionStats,
+    /// States in the final model.
+    pub model_states: usize,
+    /// Program (non-fault) transitions in the final model.
+    pub program_transitions: usize,
+    /// Fault transitions in the final model.
+    pub fault_transitions: usize,
+    /// Wall-clock duration of the pipeline.
+    pub elapsed: Duration,
+    /// Time spent constructing the tableau.
+    pub build_time: Duration,
+    /// Time spent applying the deletion rules.
+    pub deletion_time: Duration,
+    /// Time spent on fragments + unraveling.
+    pub unravel_time: Duration,
+    /// Time spent on extraction.
+    pub extract_time: Duration,
+    /// Time spent on verification.
+    pub verify_time: Duration,
+}
+
+/// A successful synthesis: the model, the extracted program, and the
+/// artifacts needed to inspect or re-verify them.
+#[derive(Debug)]
+pub struct Synthesized {
+    /// The fault-tolerant model `M_F` (with shared variables installed).
+    pub model: FtKripke,
+    /// The extracted concurrent program `P₁ ‖ … ‖ P_I`.
+    pub program: Program,
+    /// The closure the tableau was built over.
+    pub closure: Closure,
+    /// The pruned tableau `T_F`.
+    pub tableau: Tableau,
+    /// Per-state tableau AND-node of origin. Exact on the
+    /// pre-minimization model (where label soundness is checked);
+    /// indicative after semantic minimization merges copies.
+    pub state_tableau: Vec<NodeId>,
+    /// Measurements.
+    pub stats: SynthesisStats,
+    /// Mechanical verification results (soundness, fault closure).
+    pub verification: Verification,
+}
+
+/// A mechanically derived impossibility result (Section 6.3): the root
+/// of the tableau was deleted, so *no* program satisfies the
+/// specification with the required tolerance.
+#[derive(Clone, Debug)]
+pub struct Impossibility {
+    /// Measurements of the failed run.
+    pub stats: SynthesisStats,
+}
+
+/// The outcome of synthesis.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Impossibility stats are small but useful by value
+pub enum SynthesisOutcome {
+    /// A program exists and was synthesized.
+    Solved(Box<Synthesized>),
+    /// No program exists (completeness: Corollary 7.2).
+    Impossible(Impossibility),
+}
+
+impl SynthesisOutcome {
+    /// The synthesized artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is [`SynthesisOutcome::Impossible`].
+    pub fn unwrap_solved(self) -> Box<Synthesized> {
+        match self {
+            SynthesisOutcome::Solved(s) => s,
+            SynthesisOutcome::Impossible(_) => {
+                panic!("synthesis returned an impossibility result")
+            }
+        }
+    }
+
+    /// Whether a program was produced.
+    pub fn is_solved(&self) -> bool {
+        matches!(self, SynthesisOutcome::Solved(_))
+    }
+}
+
+/// Runs the synthesis method on `problem`.
+///
+/// Implements steps 1–5 of Section 5.2: tableau construction, deletion,
+/// fragment construction, unraveling, and extraction, followed by
+/// mechanical verification of the produced model.
+pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
+    let start = Instant::now();
+    let mut stats = SynthesisStats {
+        fault_size: fault_set_size(&problem.faults),
+        ..SynthesisStats::default()
+    };
+
+    // Step 0: closure over the spec and all tolerance labels.
+    let roots = problem.closure_roots();
+    let spec_formula = roots[0];
+    stats.spec_length = problem.arena.length(spec_formula);
+    let closure = Closure::build(&mut problem.arena, &problem.props, &roots);
+    stats.closure_size = closure.len();
+
+    // Step 1: tableau.
+    let tol_labels = problem.tolerance_label_sets(&closure);
+    let fault_spec = FaultSpec {
+        actions: problem.faults.clone(),
+        tolerance_labels: tol_labels,
+    };
+    let mut root_label = closure.empty_label();
+    root_label.insert(
+        closure
+            .index_of(spec_formula)
+            .expect("spec is a closure root"),
+    );
+    let t_build = Instant::now();
+    let mut tableau = build_tableau(&closure, &problem.props, root_label, &fault_spec);
+    stats.build_time = t_build.elapsed();
+    stats.tableau_nodes = tableau.len();
+
+    // Step 2: deletion rules.
+    let t_del = Instant::now();
+    stats.deletion = apply_deletion_rules_mode(&mut tableau, &closure, problem.mode);
+    stats.deletion_time = t_del.elapsed();
+    let (alive_and, alive_or) = tableau.alive_counts();
+    stats.alive_and = alive_and;
+    stats.alive_or = alive_or;
+
+    if !tableau.alive(tableau.root()) {
+        stats.elapsed = start.elapsed();
+        return SynthesisOutcome::Impossible(Impossibility { stats });
+    }
+
+    // Steps 3–4: fragments and unraveling.
+    let c0 = tableau
+        .alive_succ(tableau.root(), |_| true)
+        .map(|(_, c)| c)
+        .next()
+        .expect("alive root has an alive AND child (DeleteOR)");
+    let t_unr = Instant::now();
+    let unraveled = unravel_mode(&tableau, &closure, &problem.props, c0, problem.mode);
+    // Quotient by labeled bisimulation: the unraveling duplicates states
+    // (one copy per fragment occurrence); the quotient collapses
+    // behaviorally identical copies. CTL satisfaction under both
+    // semantics is bisimulation-invariant, so all verified properties
+    // are preserved, and the extracted program needs far fewer
+    // disambiguating shared variables.
+    let q = bisimulation_quotient(&unraveled.model);
+    let model = q.model;
+    let state_tableau: Vec<NodeId> = q
+        .representative
+        .iter()
+        .map(|&r| unraveled.state_tableau[r.index()])
+        .collect();
+    // Verify the quotient model in full (including the Theorem 7.1.9
+    // label-soundness check, which is only meaningful while every state
+    // still corresponds to one tableau AND-node).
+    let pre_unr = Unraveled {
+        model,
+        state_tableau: state_tableau.clone(),
+    };
+    let full_verification = verify(problem, &closure, &tableau, &pre_unr);
+    // Semantic minimization: merge same-valuation copies as long as the
+    // model keeps satisfying the synthesis problem's requirements.
+    let (model, merge_map) = semantic_minimize(problem, pre_unr.model);
+    // Re-tag the minimized states: each final state keeps the tableau
+    // node of the first pre-minimization state merged into it. (Labels
+    // are exact on the pre-minimization model, where Theorem 7.1.9 is
+    // checked; after merging they are indicative.)
+    let state_tableau = {
+        let mut tags: Vec<Option<NodeId>> = vec![None; model.len()];
+        for (old, &new) in merge_map.iter().enumerate() {
+            if tags[new.index()].is_none() {
+                tags[new.index()] = Some(state_tableau[old]);
+            }
+        }
+        tags.into_iter()
+            .map(|t| t.expect("every final state has a source"))
+            .collect::<Vec<NodeId>>()
+    };
+    stats.unravel_time = t_unr.elapsed();
+    stats.model_states = model.len();
+    stats.fault_transitions = model.fault_edge_count();
+    stats.program_transitions = model.edge_count() - stats.fault_transitions;
+    let mut model = model;
+
+    // Step 5: shared variables and program extraction.
+    let t_ext = Instant::now();
+    let shared = introduce_shared_variables(&mut model);
+    let program = extract_program(
+        &model,
+        &problem.props,
+        problem.arena.num_procs(),
+        shared,
+    );
+
+    stats.extract_time = t_ext.elapsed();
+
+    // Final verification of the minimized model: the three semantic
+    // requirements of Section 3 re-checked on the exact structure the
+    // program was extracted from, combined with the label-soundness
+    // result (Theorem 7.1.9) established on the pre-minimization model.
+    let t_ver = Instant::now();
+    let mut verification = verify_semantic(problem, &model);
+    verification.labels_sound = full_verification.labels_sound;
+    verification
+        .failures
+        .extend(full_verification.failures.into_iter().filter(|f| f.contains("label")));
+    stats.verify_time = t_ver.elapsed();
+    stats.elapsed = start.elapsed();
+
+    SynthesisOutcome::Solved(Box::new(Synthesized {
+        model,
+        program,
+        closure,
+        tableau,
+        state_tableau,
+        stats,
+        verification,
+    }))
+}

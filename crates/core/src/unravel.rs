@@ -1,0 +1,252 @@
+//! Model construction by unraveling (step 4 of the synthesis method).
+//!
+//! Fragments are pasted together: each frontier node (a copy of some
+//! AND-node `c`) is either identified with the root of an already
+//! directly-embedded copy of `FFRAG[c]`, or replaced by a fresh copy of
+//! `FFRAG[c]`. Since each fragment is embedded at most once, the map
+//! from `c` to its embedded root implements the paper's
+//! "directly embedded" test as a hash lookup, and the process terminates
+//! with an empty frontier (Proposition 7.1.8, step 4).
+
+use crate::fragment::build_ffrag_mode;
+use ftsyn_ctl::{Closure, LabelSet, PropTable};
+use ftsyn_kripke::{FtKripke, State, StateId, TransKind};
+use ftsyn_tableau::{valuation_of, CertMode, EdgeKind, NodeId, Tableau};
+use std::collections::{HashMap, VecDeque};
+
+/// The unraveled model, with bookkeeping connecting model states back to
+/// tableau AND-nodes (needed for verification and extraction).
+#[derive(Clone, Debug)]
+pub struct Unraveled {
+    /// The fault-tolerant Kripke structure `M`.
+    pub model: FtKripke,
+    /// For every state: the tableau AND-node it is a copy of.
+    pub state_tableau: Vec<NodeId>,
+}
+
+impl Unraveled {
+    /// The (full, temporal) label of a model state.
+    pub fn state_label<'a>(&self, t: &'a Tableau, s: StateId) -> &'a LabelSet {
+        &t.node(self.state_tableau[s.index()]).label
+    }
+}
+
+#[derive(Clone, Debug)]
+struct MNode {
+    tableau_id: NodeId,
+    succ: Vec<(EdgeKind, usize)>,
+    frontier: bool,
+    /// When a frontier node is identified with an embedded root, this
+    /// points at that root.
+    redirect: Option<usize>,
+}
+
+/// Unravels the pruned tableau into a model, starting from the chosen
+/// initial AND-node `c0 ∈ Blocks(d0)`.
+pub fn unravel(t: &Tableau, closure: &Closure, props: &PropTable, c0: NodeId) -> Unraveled {
+    unravel_mode(t, closure, props, c0, CertMode::FaultFree)
+}
+
+/// [`unravel`] with an explicit certificate mode (Section 8.3).
+pub fn unravel_mode(
+    t: &Tableau,
+    closure: &Closure,
+    props: &PropTable,
+    c0: NodeId,
+    mode: CertMode,
+) -> Unraveled {
+    let mut nodes: Vec<MNode> = Vec::new();
+    let mut root_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    // Embeds FFRAG[c]; returns the index of its root.
+    let embed = |c: NodeId,
+                     nodes: &mut Vec<MNode>,
+                     root_of: &mut HashMap<NodeId, usize>,
+                     queue: &mut VecDeque<usize>|
+     -> usize {
+        let frag = build_ffrag_mode(t, closure, c, mode);
+        // Copy only the nodes reachable from the fragment root (frontier
+        // merging can orphan duplicates).
+        let mut map: HashMap<usize, usize> = HashMap::new();
+        let mut stack = vec![frag.root];
+        map.insert(frag.root, nodes.len());
+        nodes.push(MNode {
+            tableau_id: frag.nodes[frag.root].tableau_id,
+            succ: Vec::new(),
+            frontier: frag.nodes[frag.root].frontier,
+            redirect: None,
+        });
+        while let Some(i) = stack.pop() {
+            let succ: Vec<(EdgeKind, usize)> = frag.nodes[i].succ.clone();
+            for (kind, j) in succ {
+                let jj = if let Some(&jj) = map.get(&j) {
+                    jj
+                } else {
+                    let jj = nodes.len();
+                    map.insert(j, jj);
+                    nodes.push(MNode {
+                        tableau_id: frag.nodes[j].tableau_id,
+                        succ: Vec::new(),
+                        frontier: frag.nodes[j].frontier,
+                        redirect: None,
+                    });
+                    stack.push(j);
+                    jj
+                };
+                let ii = map[&i];
+                nodes[ii].succ.push((kind, jj));
+            }
+        }
+        for (&fi, &mi) in &map {
+            if frag.nodes[fi].frontier {
+                queue.push_back(mi);
+            }
+        }
+        let r = map[&frag.root];
+        root_of.insert(c, r);
+        r
+    };
+
+    let r0 = embed(c0, &mut nodes, &mut root_of, &mut queue);
+
+    while let Some(s) = queue.pop_front() {
+        if nodes[s].redirect.is_some() || !nodes[s].frontier {
+            continue;
+        }
+        let c = nodes[s].tableau_id;
+        let target = match root_of.get(&c) {
+            Some(&r) => r,
+            None => embed(c, &mut nodes, &mut root_of, &mut queue),
+        };
+        nodes[s].redirect = Some(target);
+        nodes[s].frontier = false;
+    }
+
+    // Resolve redirects and build the Kripke structure. Redirect chains
+    // have length ≤ 1 (roots are never frontier, hence never redirected).
+    let resolve = |i: usize, nodes: &[MNode]| -> usize { nodes[i].redirect.unwrap_or(i) };
+
+    let mut model = FtKripke::new();
+    let mut state_tableau: Vec<NodeId> = Vec::new();
+    let mut state_of: HashMap<usize, StateId> = HashMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.redirect.is_some() {
+            continue;
+        }
+        let valuation = valuation_of(closure, props, &t.node(n.tableau_id).label);
+        let sid = model.push_state(State::new(valuation));
+        state_of.insert(i, sid);
+        state_tableau.push(n.tableau_id);
+    }
+    for (i, n) in nodes.iter().enumerate() {
+        if n.redirect.is_some() {
+            continue;
+        }
+        let from = state_of[&i];
+        for &(kind, j) in &n.succ {
+            let to = state_of[&resolve(j, &nodes)];
+            match kind {
+                EdgeKind::Proc(p) => model.add_edge(from, TransKind::Proc(p), to),
+                EdgeKind::Fault(a) => model.add_edge(from, TransKind::Fault(a), to),
+                // Dummy self-loops are dropped: the state becomes a dead
+                // end, and the finite-fullpath semantics of the checker
+                // agrees with the tableau's treatment.
+                EdgeKind::Dummy | EdgeKind::Unlabeled => {}
+            }
+        }
+    }
+    model.add_init(state_of[&r0]);
+
+    Unraveled {
+        model,
+        state_tableau,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsyn_ctl::{parse::parse, FormulaArena, FormulaId, Owner};
+    use ftsyn_kripke::{Checker, Semantics};
+    use ftsyn_tableau::{apply_deletion_rules, build as build_tableau, FaultSpec};
+
+    fn synthesize_plain(
+        spec: &str,
+    ) -> (FormulaArena, PropTable, Closure, Tableau, Unraveled, FormulaId) {
+        let mut props = PropTable::new();
+        props.add("p", Owner::Process(0)).unwrap();
+        props.add("q", Owner::Process(0)).unwrap();
+        let mut arena = FormulaArena::new(1);
+        let f = parse(&mut arena, &mut props, spec, true).unwrap();
+        let cl = Closure::build(&mut arena, &props, &[f]);
+        let mut root = cl.empty_label();
+        root.insert(cl.index_of(f).unwrap());
+        let mut t = build_tableau(&cl, &props, root, &FaultSpec::none());
+        apply_deletion_rules(&mut t, &cl);
+        assert!(t.alive(t.root()), "spec must be satisfiable");
+        let c0 = t
+            .alive_succ(t.root(), |_| true)
+            .map(|(_, c)| c)
+            .next()
+            .unwrap();
+        let u = unravel(&t, &cl, &props, c0);
+        (arena, props, cl, t, u, f)
+    }
+
+    #[test]
+    fn model_satisfies_spec_at_initial_state() {
+        for spec in [
+            "p & AG EX1 true",
+            "~p & AF p & AG EX1 true",
+            "p & AG(EX1 true) & AG(p -> AX1 ~p) & AG(~p -> AX1 p)",
+            "~p & EF p & AG EX1 true",
+            "p & AG(p -> EX1 p)",
+        ] {
+            let (arena, _props, _cl, _t, u, f) = synthesize_plain(spec);
+            let init = u.model.init_states()[0];
+            let mut ck = Checker::new(&u.model, Semantics::FaultFree);
+            assert!(
+                ck.holds(&arena, f, init),
+                "model of `{spec}` must satisfy it at the initial state"
+            );
+        }
+    }
+
+    #[test]
+    fn every_state_satisfies_its_whole_label() {
+        // Theorem 7.1.9 (soundness), checked mechanically.
+        let (arena, _props, cl, t, u, _f) = synthesize_plain(
+            "~p & AF p & AG EX1 true & AG(p -> AF ~p)",
+        );
+        let mut ck = Checker::new(&u.model, Semantics::FaultFree);
+        for s in u.model.state_ids() {
+            let label = u.state_label(&t, s);
+            for idx in label.iter() {
+                let fid = cl.entry(idx).id;
+                assert!(
+                    ck.holds(&arena, fid, s),
+                    "state {s:?} must satisfy label formula {fid:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unraveling_terminates_and_is_finite() {
+        let (_, _, _, t, u, _) = synthesize_plain("~p & AF p & AG EX1 true");
+        let (and_alive, _) = t.alive_counts();
+        // |M| is bounded by Σ|FFRAG| ≤ (#AND)².
+        assert!(u.model.len() <= and_alive * and_alive + and_alive);
+        assert!(!u.model.is_empty());
+    }
+
+    #[test]
+    fn dead_end_states_allowed_for_pure_propositional_specs() {
+        let (arena, _, _, _, u, f) = synthesize_plain("p & q");
+        let init = u.model.init_states()[0];
+        assert!(u.model.succ(init).is_empty(), "dummy self-loop dropped");
+        let mut ck = Checker::new(&u.model, Semantics::FaultFree);
+        assert!(ck.holds(&arena, f, init));
+    }
+}

@@ -1,0 +1,194 @@
+//! Mechanical verification of synthesized models: the soundness and
+//! fault-closure theorems of Section 7, re-checked on every produced
+//! structure with the CTL model checker.
+
+use crate::problem::SynthesisProblem;
+use crate::unravel::Unraveled;
+use ftsyn_ctl::Closure;
+use ftsyn_kripke::{Checker, Semantics, StateRole, TransKind};
+use ftsyn_tableau::{valuation_of, CertMode, Tableau};
+
+/// The satisfaction relation matching a synthesis mode: `⊨ₙ` for the
+/// main method, plain `⊨` for Section 8.3's alternative method.
+fn semantics_of(mode: CertMode) -> Semantics {
+    match mode {
+        CertMode::FaultFree => Semantics::FaultFree,
+        CertMode::FaultProne => Semantics::IncludeFaults,
+    }
+}
+
+/// The outcome of verifying a synthesized model.
+#[derive(Clone, Debug, Default)]
+pub struct Verification {
+    /// `M_F, s0 ⊨ₙ init ∧ AG(global) ∧ AG(coupling)` (Corollary 7.1(1)).
+    pub init_satisfies_spec: bool,
+    /// `M_F, S_F ⊨ₙ Label_TOL(spec)` for every perturbed state, using
+    /// the tolerance of the fault action that reached it
+    /// (Corollary 7.1(2)).
+    pub perturbed_satisfy_tolerance: bool,
+    /// Every enabled fault action has a fault transition for each of its
+    /// outcomes at every state (Theorem 7.3.2, strengthened per-outcome).
+    pub fault_closed: bool,
+    /// Every formula in every state's tableau label holds at that state
+    /// under `⊨ₙ` (Theorem 7.1.9).
+    pub labels_sound: bool,
+    /// Number of perturbed states found.
+    pub perturbed_count: usize,
+    /// Human-readable descriptions of any violations.
+    pub failures: Vec<String>,
+}
+
+impl Verification {
+    /// Whether all checks passed.
+    pub fn ok(&self) -> bool {
+        self.init_satisfies_spec
+            && self.perturbed_satisfy_tolerance
+            && self.fault_closed
+            && self.labels_sound
+    }
+}
+
+/// Runs the semantic checks (spec at init, tolerance at perturbed
+/// states, fault closure) on any model — the three requirements of the
+/// synthesis problem statement (Section 3). `labels_sound` is left
+/// `true`; the full [`verify`] additionally checks it.
+pub fn verify_semantic(
+    problem: &mut SynthesisProblem,
+    model: &ftsyn_kripke::FtKripke,
+) -> Verification {
+    let mut v = Verification {
+        init_satisfies_spec: true,
+        perturbed_satisfy_tolerance: true,
+        fault_closed: true,
+        labels_sound: true,
+        ..Verification::default()
+    };
+    let spec_formula = problem.spec.formula(&mut problem.arena);
+    let mut ck = Checker::new(model, semantics_of(problem.mode));
+
+    // (1) Initial state satisfies the temporal specification. On
+    // failure, pin down the offending conjunct and, for invariances,
+    // attach a counterexample path.
+    let init = model.init_states()[0];
+    if !ck.holds(&problem.arena, spec_formula, init) {
+        v.init_satisfies_spec = false;
+        let conjuncts = problem.arena.conjuncts(spec_formula);
+        let mut detailed = false;
+        for conj in conjuncts {
+            if ck.holds(&problem.arena, conj, init) {
+                continue;
+            }
+            detailed = true;
+            let mut msg = format!(
+                "initial state violates `{}`",
+                ftsyn_ctl::print::render(&problem.arena, &problem.props, conj)
+            );
+            if let ftsyn_ctl::Formula::Aw(g, h) = problem.arena.get(conj) {
+                if problem.arena.get(g) == ftsyn_ctl::Formula::False {
+                    if let Some(cex) = ck.counterexample_ag(&problem.arena, h, init) {
+                        msg.push_str(&format!(
+                            "; counterexample: {}",
+                            cex.display(model, &problem.props)
+                        ));
+                    }
+                }
+            }
+            v.failures.push(msg);
+        }
+        if !detailed {
+            v.failures
+                .push("initial state violates the temporal specification".into());
+        }
+    }
+
+    // (2) Perturbed states satisfy their tolerance labels.
+    let roles = model.classify();
+    for s in model.state_ids() {
+        if roles[s.index()] != StateRole::Perturbed {
+            continue;
+        }
+        v.perturbed_count += 1;
+        // Tolerances of the fault actions that can reach s.
+        let mut tols = Vec::new();
+        for e in model.pred(s) {
+            if let TransKind::Fault(a) = e.kind {
+                let t = problem.tolerance.of(a);
+                if !tols.contains(&t) {
+                    tols.push(t);
+                }
+            }
+        }
+        for tol in tols {
+            for f in problem.label_tol_formulas(tol) {
+                if !ck.holds(&problem.arena, f, s) {
+                    v.perturbed_satisfy_tolerance = false;
+                    v.failures.push(format!(
+                        "perturbed state {} violates its {tol:?} tolerance label",
+                        model.state(s).display(&problem.props)
+                    ));
+                }
+            }
+        }
+    }
+
+    // (3) Fault closure: every enabled action is represented, outcome by
+    // outcome, at every state.
+    for s in model.state_ids() {
+        let valuation = &model.state(s).props;
+        for (ai, action) in problem.faults.iter().enumerate() {
+            if !action.enabled(valuation) {
+                continue;
+            }
+            for phi in action.outcomes(valuation, problem.props.len()) {
+                let covered = model.succ(s).iter().any(|e| {
+                    e.kind == TransKind::Fault(ai) && model.state(e.to).props == phi
+                });
+                if !covered {
+                    v.fault_closed = false;
+                    v.failures.push(format!(
+                        "state {} misses a fault transition for `{}`",
+                        model.state(s).display(&problem.props),
+                        action.name()
+                    ));
+                }
+            }
+        }
+    }
+
+    v
+}
+
+/// Runs all checks on an unraveled model, including label soundness
+/// (Theorem 7.1.9: every formula in a state's tableau label holds at
+/// that state under `⊨ₙ`).
+pub fn verify(
+    problem: &mut SynthesisProblem,
+    closure: &Closure,
+    tableau: &Tableau,
+    unr: &Unraveled,
+) -> Verification {
+    let mut v = verify_semantic(problem, &unr.model);
+    let model = &unr.model;
+    let mut ck = Checker::new(model, semantics_of(problem.mode));
+    for s in model.state_ids() {
+        let label = unr.state_label(tableau, s);
+        // Sanity: the state's valuation matches its label's literals.
+        debug_assert_eq!(
+            valuation_of(closure, &problem.props, label),
+            model.state(s).props
+        );
+        for idx in label.iter() {
+            let f = closure.entry(idx).id;
+            if !ck.holds(&problem.arena, f, s) {
+                v.labels_sound = false;
+                v.failures.push(format!(
+                    "state {} violates label formula {}",
+                    model.state(s).display(&problem.props),
+                    ftsyn_ctl::print::render(&problem.arena, &problem.props, f)
+                ));
+            }
+        }
+    }
+
+    v
+}

@@ -1,0 +1,50 @@
+//! CTL logic engine for the `ftsyn` fault-tolerant synthesis workspace.
+//!
+//! This crate implements the temporal-logic substrate of
+//! *Attie, Arora, Emerson — Synthesis of Fault-Tolerant Concurrent
+//! Programs* (TOPLAS 26(1), 2004; PODC 1998):
+//!
+//! * hash-consed CTL formulae in positive normal form, with the paper's
+//!   process-indexed nexttime modalities `AXᵢ`/`EXᵢ` ([`FormulaArena`]);
+//! * the generalized Fisher–Ladner closure with pre-resolved α/β
+//!   classification and dense bitset labels ([`Closure`], [`LabelSet`]);
+//! * a parser and pretty-printer for the paper's surface syntax
+//!   ([`parse::parse`], [`print::render`]);
+//! * the canonical specification shape
+//!   `init ∧ AG(global) ∧ AG(coupling)` with syntactic safety
+//!   extraction ([`Spec`]).
+//!
+//! # Examples
+//!
+//! Build and inspect the paper's starvation-freedom clause for mutual
+//! exclusion:
+//!
+//! ```
+//! use ftsyn_ctl::{FormulaArena, PropTable, Owner, parse::parse, print::render};
+//!
+//! let mut props = PropTable::new();
+//! props.add("T1", Owner::Process(0))?;
+//! props.add("C1", Owner::Process(0))?;
+//! let mut arena = FormulaArena::new(2);
+//! let f = parse(&mut arena, &mut props, "AG(T1 -> AF C1)", false)?;
+//! assert_eq!(render(&arena, &props, f), "AG(~T1 | AF C1)");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod arena;
+mod closure;
+mod ids;
+mod props;
+mod spec;
+
+pub mod parse;
+pub mod print;
+
+pub use arena::{Formula, FormulaArena};
+pub use closure::{Closure, ClosureEntry, ClosureIdx, EntryKind, Expansion, LabelIter, LabelSet};
+pub use ids::{FormulaId, PropId};
+pub use props::{Owner, PropError, PropTable};
+pub use spec::Spec;

@@ -1,0 +1,211 @@
+//! Pretty-printing of formulae, reconstructing the paper's abbreviations.
+//!
+//! `A[true U g]` prints as `AF g`, `A[false W g]` as `AG g`, and
+//! analogously for the existential forms. Process indices are printed
+//! 1-based to match the paper (`AX1`, `EX2`, …).
+
+use crate::arena::{Formula, FormulaArena};
+use crate::ids::FormulaId;
+use crate::props::PropTable;
+use std::fmt::Write as _;
+
+/// Precedence levels used to minimize parentheses.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Or,
+    And,
+    Unary,
+    Atom,
+}
+
+/// Renders `f` as a string using the paper's surface syntax.
+///
+/// # Examples
+///
+/// ```
+/// use ftsyn_ctl::{FormulaArena, PropTable, Owner, print::render};
+///
+/// let mut props = PropTable::new();
+/// let t1 = props.add("T1", Owner::Process(0)).unwrap();
+/// let c1 = props.add("C1", Owner::Process(0)).unwrap();
+/// let mut arena = FormulaArena::new(2);
+/// let (ft, fc) = (arena.prop(t1), arena.prop(c1));
+/// let af = arena.af(fc);
+/// let imp = arena.implies(ft, af);
+/// let spec = arena.ag(imp);
+/// assert_eq!(render(&arena, &props, spec), "AG(~T1 | AF C1)");
+/// ```
+pub fn render(arena: &FormulaArena, props: &PropTable, f: FormulaId) -> String {
+    let mut s = String::new();
+    go(arena, props, f, Prec::Or, &mut s);
+    s
+}
+
+fn go(arena: &FormulaArena, props: &PropTable, f: FormulaId, min: Prec, out: &mut String) {
+    let prec = prec_of(arena, f);
+    let parens = prec < min;
+    if parens {
+        out.push('(');
+    }
+    match arena.get(f) {
+        Formula::True => out.push_str("true"),
+        Formula::False => out.push_str("false"),
+        Formula::Prop(p) => out.push_str(props.name(p)),
+        Formula::NegProp(p) => {
+            out.push('~');
+            out.push_str(props.name(p));
+        }
+        // `&`/`|` parse right-associatively, so left children at the
+        // same precedence level are parenthesized to round-trip exactly.
+        Formula::And(a, b) => {
+            go(arena, props, a, Prec::Unary, out);
+            out.push_str(" & ");
+            go(arena, props, b, Prec::And, out);
+        }
+        Formula::Or(a, b) => {
+            go(arena, props, a, Prec::And, out);
+            out.push_str(" | ");
+            go(arena, props, b, Prec::Or, out);
+        }
+        Formula::Ax(i, g) => unary(arena, props, &format!("AX{}", i + 1), g, out),
+        Formula::Ex(i, g) => unary(arena, props, &format!("EX{}", i + 1), g, out),
+        Formula::Au(g, h) => {
+            if arena.get(g) == Formula::True {
+                unary(arena, props, "AF", h, out);
+            } else {
+                let _ = write!(
+                    out,
+                    "A[{} U {}]",
+                    render(arena, props, g),
+                    render(arena, props, h)
+                );
+            }
+        }
+        Formula::Eu(g, h) => {
+            if arena.get(g) == Formula::True {
+                unary(arena, props, "EF", h, out);
+            } else {
+                let _ = write!(
+                    out,
+                    "E[{} U {}]",
+                    render(arena, props, g),
+                    render(arena, props, h)
+                );
+            }
+        }
+        Formula::Aw(g, h) => {
+            if arena.get(g) == Formula::False {
+                unary(arena, props, "AG", h, out);
+            } else {
+                let _ = write!(
+                    out,
+                    "A[{} W {}]",
+                    render(arena, props, g),
+                    render(arena, props, h)
+                );
+            }
+        }
+        Formula::Ew(g, h) => {
+            if arena.get(g) == Formula::False {
+                unary(arena, props, "EG", h, out);
+            } else {
+                let _ = write!(
+                    out,
+                    "E[{} W {}]",
+                    render(arena, props, g),
+                    render(arena, props, h)
+                );
+            }
+        }
+    }
+    if parens {
+        out.push(')');
+    }
+}
+
+fn unary(arena: &FormulaArena, props: &PropTable, op: &str, g: FormulaId, out: &mut String) {
+    out.push_str(op);
+    if matches!(
+        arena.get(g),
+        Formula::True | Formula::False | Formula::Prop(_) | Formula::NegProp(_)
+    ) {
+        out.push(' ');
+        go(arena, props, g, Prec::Atom, out);
+    } else {
+        out.push('(');
+        go(arena, props, g, Prec::Or, out);
+        out.push(')');
+    }
+}
+
+fn prec_of(arena: &FormulaArena, f: FormulaId) -> Prec {
+    match arena.get(f) {
+        Formula::True | Formula::False | Formula::Prop(_) | Formula::NegProp(_) => Prec::Atom,
+        Formula::And(_, _) => Prec::And,
+        Formula::Or(_, _) => Prec::Or,
+        Formula::Ax(_, _) | Formula::Ex(_, _) => Prec::Unary,
+        // The until forms are self-bracketing (or rendered as unary sugar).
+        Formula::Au(_, _) | Formula::Eu(_, _) | Formula::Aw(_, _) | Formula::Ew(_, _) => {
+            Prec::Unary
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::Owner;
+
+    fn setup() -> (FormulaArena, PropTable) {
+        let mut props = PropTable::new();
+        props.add("p", Owner::Process(0)).unwrap();
+        props.add("q", Owner::Process(1)).unwrap();
+        (FormulaArena::new(2), props)
+    }
+
+    #[test]
+    fn sugar_reconstructed() {
+        let (mut a, props) = setup();
+        let p = props.id("p").unwrap();
+        let fp = a.prop(p);
+        let ag = a.ag(fp);
+        assert_eq!(render(&a, &props, ag), "AG p");
+        let ef = a.ef(fp);
+        assert_eq!(render(&a, &props, ef), "EF p");
+    }
+
+    #[test]
+    fn until_brackets() {
+        let (mut a, props) = setup();
+        let fp = a.prop(props.id("p").unwrap());
+        let fq = a.prop(props.id("q").unwrap());
+        let au = a.au(fp, fq);
+        assert_eq!(render(&a, &props, au), "A[p U q]");
+        let ew = a.ew(fp, fq);
+        assert_eq!(render(&a, &props, ew), "E[p W q]");
+    }
+
+    #[test]
+    fn indexed_nexttime_one_based() {
+        let (mut a, props) = setup();
+        let fp = a.prop(props.id("p").unwrap());
+        let ax = a.ax(0, fp);
+        assert_eq!(render(&a, &props, ax), "AX1 p");
+        let ex = a.ex(1, fp);
+        assert_eq!(render(&a, &props, ex), "EX2 p");
+    }
+
+    #[test]
+    fn parenthesization() {
+        let (mut a, props) = setup();
+        let fp = a.prop(props.id("p").unwrap());
+        let fq = a.prop(props.id("q").unwrap());
+        let or = a.or(fp, fq);
+        let and = a.and(or, fq);
+        assert_eq!(render(&a, &props, and), "(p | q) & q");
+        let nq = a.neg_prop(props.id("q").unwrap());
+        let and2 = a.and(fp, nq);
+        let or2 = a.or(and2, fq);
+        assert_eq!(render(&a, &props, or2), "p & ~q | q");
+    }
+}

@@ -1,0 +1,144 @@
+//! Temporal specifications in the paper's canonical shape.
+//!
+//! A *problem specification* is `init–spec ∧ AG(global–spec)`; together
+//! with a *problem-fault coupling specification* `AG(coupling–spec)` it
+//! forms the temporal specification
+//! `spec = init–spec ∧ AG(global–spec) ∧ AG(coupling–spec)` (Section 2.5).
+//!
+//! For fail-safe tolerance the safety component `global–safety–spec` of
+//! the global specification must be extractable; [`Spec::global_safety`]
+//! either uses a user-supplied component or extracts one syntactically
+//! (the conjuncts of `global–spec` that contain no `AU`/`EU`/`AF`/`EF`
+//! eventuality).
+
+use crate::arena::FormulaArena;
+use crate::ids::FormulaId;
+
+/// A temporal specification `init ∧ AG(global) ∧ AG(coupling)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Spec {
+    /// `init–spec`: propositional description of the initial state.
+    pub init: FormulaId,
+    /// `global–spec`: properties required at every normal state.
+    pub global: FormulaId,
+    /// `coupling–spec`: problem-fault coupling, required at *all* states.
+    pub coupling: FormulaId,
+    /// Explicit safety component of `global`, if the user supplied one.
+    pub explicit_safety: Option<FormulaId>,
+}
+
+impl Spec {
+    /// Creates a specification with coupling `true` (no fault coupling).
+    pub fn new(arena: &mut FormulaArena, init: FormulaId, global: FormulaId) -> Spec {
+        let coupling = arena.tru();
+        Spec {
+            init,
+            global,
+            coupling,
+            explicit_safety: None,
+        }
+    }
+
+    /// Creates a specification with a coupling component.
+    pub fn with_coupling(init: FormulaId, global: FormulaId, coupling: FormulaId) -> Spec {
+        Spec {
+            init,
+            global,
+            coupling,
+            explicit_safety: None,
+        }
+    }
+
+    /// Sets an explicit safety component for fail-safe tolerance.
+    #[must_use]
+    pub fn with_safety(mut self, safety: FormulaId) -> Spec {
+        self.explicit_safety = Some(safety);
+        self
+    }
+
+    /// The full temporal specification
+    /// `init ∧ AG(global) ∧ AG(coupling)` as a single formula.
+    pub fn formula(&self, arena: &mut FormulaArena) -> FormulaId {
+        let agg = arena.ag(self.global);
+        let agc = arena.ag(self.coupling);
+        let tail = arena.and(agg, agc);
+        arena.and(self.init, tail)
+    }
+
+    /// `AG(global)` alone.
+    pub fn ag_global(&self, arena: &mut FormulaArena) -> FormulaId {
+        arena.ag(self.global)
+    }
+
+    /// `AG(coupling)` alone.
+    pub fn ag_coupling(&self, arena: &mut FormulaArena) -> FormulaId {
+        arena.ag(self.coupling)
+    }
+
+    /// The safety component `global–safety–spec` of the global
+    /// specification: the explicit one if provided, otherwise the
+    /// conjunction of all conjuncts of `global` free of eventualities.
+    pub fn global_safety(&self, arena: &mut FormulaArena) -> FormulaId {
+        if let Some(s) = self.explicit_safety {
+            return s;
+        }
+        let safe: Vec<FormulaId> = arena
+            .conjuncts(self.global)
+            .into_iter()
+            .filter(|&c| !arena.contains_eventuality(c))
+            .collect();
+        arena.and_all(safe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::print::render;
+    use crate::props::PropTable;
+
+    #[test]
+    fn safety_extraction_drops_eventualities() {
+        let mut props = PropTable::new();
+        let mut arena = FormulaArena::new(2);
+        let global = parse(
+            &mut arena,
+            &mut props,
+            "~(C1 & C2) & (~T1 | AF C1) & (~N1 | AX1 T1)",
+            true,
+        )
+        .unwrap();
+        let init = parse(&mut arena, &mut props, "N1", true).unwrap();
+        let spec = Spec::new(&mut arena, init, global);
+        let safety = spec.global_safety(&mut arena);
+        let txt = render(&arena, &props, safety);
+        assert!(!txt.contains("AF"), "no eventualities in {txt}");
+        assert!(txt.contains("~C1 | ~C2"));
+        assert!(txt.contains("AX1 T1"));
+    }
+
+    #[test]
+    fn explicit_safety_wins() {
+        let mut props = PropTable::new();
+        let mut arena = FormulaArena::new(1);
+        let g = parse(&mut arena, &mut props, "p", true).unwrap();
+        let init = arena.tru();
+        let s = parse(&mut arena, &mut props, "q", true).unwrap();
+        let spec = Spec::new(&mut arena, init, g).with_safety(s);
+        assert_eq!(spec.global_safety(&mut arena), s);
+    }
+
+    #[test]
+    fn formula_shape() {
+        let mut props = PropTable::new();
+        let mut arena = FormulaArena::new(1);
+        let init = parse(&mut arena, &mut props, "p", true).unwrap();
+        let global = parse(&mut arena, &mut props, "q", true).unwrap();
+        let spec = Spec::new(&mut arena, init, global);
+        let f = spec.formula(&mut arena);
+        // coupling is true so AG(coupling) = AG true, kept as written.
+        let txt = render(&arena, &props, f);
+        assert_eq!(txt, "p & AG q & AG true");
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the CTL substrate: PNF negation, printing /
+//! parsing round trips, closure invariants.
+
+use ftsyn_ctl::{parse::parse, print::render, Closure, FormulaArena, FormulaId, Owner, PropTable};
+use proptest::prelude::*;
+
+const NUM_PROCS: usize = 2;
+const NUM_PROPS: usize = 4;
+
+fn fresh() -> (FormulaArena, PropTable) {
+    let mut props = PropTable::new();
+    for k in 0..NUM_PROPS {
+        props
+            .add(format!("v{k}"), Owner::Process(k % NUM_PROCS))
+            .unwrap();
+    }
+    (FormulaArena::new(NUM_PROCS), props)
+}
+
+/// A recipe for building a random formula without holding arena borrows.
+#[derive(Clone, Debug)]
+enum Recipe {
+    Tru,
+    Fls,
+    Prop(usize),
+    NegProp(usize),
+    Not(Box<Recipe>),
+    And(Box<Recipe>, Box<Recipe>),
+    Or(Box<Recipe>, Box<Recipe>),
+    Ax(usize, Box<Recipe>),
+    Ex(usize, Box<Recipe>),
+    Au(Box<Recipe>, Box<Recipe>),
+    Eu(Box<Recipe>, Box<Recipe>),
+    Aw(Box<Recipe>, Box<Recipe>),
+    Ew(Box<Recipe>, Box<Recipe>),
+    Af(Box<Recipe>),
+    Ag(Box<Recipe>),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        Just(Recipe::Tru),
+        Just(Recipe::Fls),
+        (0..NUM_PROPS).prop_map(Recipe::Prop),
+        (0..NUM_PROPS).prop_map(Recipe::NegProp),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|r| Recipe::Not(Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Or(Box::new(a), Box::new(b))),
+            (0..NUM_PROCS, inner.clone()).prop_map(|(i, r)| Recipe::Ax(i, Box::new(r))),
+            (0..NUM_PROCS, inner.clone()).prop_map(|(i, r)| Recipe::Ex(i, Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Au(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Eu(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Aw(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Ew(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|r| Recipe::Af(Box::new(r))),
+            inner.prop_map(|r| Recipe::Ag(Box::new(r))),
+        ]
+    })
+}
+
+fn build(arena: &mut FormulaArena, props: &PropTable, r: &Recipe) -> FormulaId {
+    match r {
+        Recipe::Tru => arena.tru(),
+        Recipe::Fls => arena.fls(),
+        Recipe::Prop(k) => {
+            let p = props.id(&format!("v{k}")).unwrap();
+            arena.prop(p)
+        }
+        Recipe::NegProp(k) => {
+            let p = props.id(&format!("v{k}")).unwrap();
+            arena.neg_prop(p)
+        }
+        Recipe::Not(a) => {
+            let fa = build(arena, props, a);
+            arena.not(fa)
+        }
+        Recipe::And(a, b) => {
+            let fa = build(arena, props, a);
+            let fb = build(arena, props, b);
+            arena.and(fa, fb)
+        }
+        Recipe::Or(a, b) => {
+            let fa = build(arena, props, a);
+            let fb = build(arena, props, b);
+            arena.or(fa, fb)
+        }
+        Recipe::Ax(i, a) => {
+            let fa = build(arena, props, a);
+            arena.ax(*i, fa)
+        }
+        Recipe::Ex(i, a) => {
+            let fa = build(arena, props, a);
+            arena.ex(*i, fa)
+        }
+        Recipe::Au(a, b) => {
+            let fa = build(arena, props, a);
+            let fb = build(arena, props, b);
+            arena.au(fa, fb)
+        }
+        Recipe::Eu(a, b) => {
+            let fa = build(arena, props, a);
+            let fb = build(arena, props, b);
+            arena.eu(fa, fb)
+        }
+        Recipe::Aw(a, b) => {
+            let fa = build(arena, props, a);
+            let fb = build(arena, props, b);
+            arena.aw(fa, fb)
+        }
+        Recipe::Ew(a, b) => {
+            let fa = build(arena, props, a);
+            let fb = build(arena, props, b);
+            arena.ew(fa, fb)
+        }
+        Recipe::Af(a) => {
+            let fa = build(arena, props, a);
+            arena.af(fa)
+        }
+        Recipe::Ag(a) => {
+            let fa = build(arena, props, a);
+            arena.ag(fa)
+        }
+    }
+}
+
+proptest! {
+    /// Negation is an involution on PNF formulae.
+    #[test]
+    fn double_negation_is_identity(r in recipe_strategy()) {
+        let (mut arena, props) = fresh();
+        let f = build(&mut arena, &props, &r);
+        let nf = arena.not(f);
+        let nnf = arena.not(nf);
+        prop_assert_eq!(nnf, f);
+    }
+
+    /// print → parse is the identity on interned formulae.
+    #[test]
+    fn print_parse_round_trip(r in recipe_strategy()) {
+        let (mut arena, mut props) = fresh();
+        let f = build(&mut arena, &props, &r);
+        let txt = render(&arena, &props, f);
+        let g = parse(&mut arena, &mut props, &txt, false)
+            .map_err(|e| TestCaseError::fail(format!("reparse of `{txt}` failed: {e}")))?;
+        prop_assert_eq!(g, f, "round trip changed `{}` into `{}`",
+            txt, render(&arena, &props, g));
+    }
+
+    /// The closure contains every root, is closed under expansion
+    /// components, and respects the paper's size bound (adapted for the
+    /// desugared AX/EX chains: |cl(f)| ≤ 2·|f|·(I+2) plus the seeded
+    /// literals and constants).
+    #[test]
+    fn closure_is_closed_and_bounded(r in recipe_strategy()) {
+        let (mut arena, props) = fresh();
+        let f = build(&mut arena, &props, &r);
+        let flen = arena.length(f);
+        let cl = Closure::build(&mut arena, &props, &[f]);
+        prop_assert!(cl.index_of(f).is_some());
+        let seeded = 2 * NUM_PROPS + NUM_PROCS + 2;
+        prop_assert!(
+            cl.len() <= 2 * flen * (NUM_PROCS + 2) + seeded,
+            "closure size {} exceeds bound for |f| = {}", cl.len(), flen
+        );
+        // Closedness: every entry's expansion components are entries.
+        for idx in cl.indices() {
+            match cl.expansion(idx) {
+                ftsyn_ctl::Expansion::Elementary => {}
+                ftsyn_ctl::Expansion::Alpha(a, b) | ftsyn_ctl::Expansion::Beta(a, b) => {
+                    prop_assert!((a as usize) < cl.len());
+                    prop_assert!((b as usize) < cl.len());
+                }
+            }
+        }
+    }
+
+    /// Hash-consing: structurally identical builds intern identically.
+    #[test]
+    fn hash_consing_is_stable(r in recipe_strategy()) {
+        let (mut arena, props) = fresh();
+        let f1 = build(&mut arena, &props, &r);
+        let f2 = build(&mut arena, &props, &r);
+        prop_assert_eq!(f1, f2);
+    }
+}

@@ -1,0 +1,396 @@
+//! An interleaving interpreter: regenerates the global-state transition
+//! structure of a program, optionally together with the fault
+//! transitions of a fault specification.
+//!
+//! This inverts the extraction step of the synthesis method: integration
+//! tests run the interpreter on an extracted program and compare the
+//! resulting structure with the synthesized model (the argument of
+//! Corollary 7.1 that "execution of the extracted program P does indeed
+//! generate M_F").
+
+use crate::action::{FaultAction, SharedCorruption};
+use crate::program::Program;
+use ftsyn_ctl::{Owner, PropTable};
+use ftsyn_kripke::{FtKripke, PropSet, State, StateId, TransKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime configuration: local-state indices plus shared values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Current local-state index of each process.
+    pub locals: Vec<usize>,
+    /// Current shared-variable values.
+    pub shared: Vec<u32>,
+}
+
+/// Errors during exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExploreError {
+    /// A fault produced a valuation that does not correspond to any local
+    /// state of some process (fault-closure violation).
+    UnmappableFaultOutcome {
+        /// The offending fault action name.
+        action: String,
+        /// Index of the process whose local state could not be resolved.
+        process: usize,
+    },
+    /// Two distinct configurations produced the same labeled state: the
+    /// program lacks shared variables to disambiguate them.
+    AmbiguousState,
+    /// The state-space exceeded the exploration bound.
+    StateSpaceTooLarge(usize),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::UnmappableFaultOutcome { action, process } => write!(
+                f,
+                "fault `{action}` perturbed process {process} into a valuation matching no local state"
+            ),
+            ExploreError::AmbiguousState => {
+                write!(f, "two configurations share one labeled state")
+            }
+            ExploreError::StateSpaceTooLarge(n) => {
+                write!(f, "state space exceeded the bound of {n} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Upper bound on explored states (defensive; the synthesized systems in
+/// this repository are far smaller).
+const MAX_STATES: usize = 1_000_000;
+
+/// Result of exploring a program: the generated structure plus the
+/// configuration of every state.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// The generated fault-tolerant Kripke structure.
+    pub kripke: FtKripke,
+    /// Configuration corresponding to each state id.
+    pub configs: Vec<Config>,
+}
+
+/// Explores the reachable global-state space of `program` under
+/// nondeterministic interleaving, adding fault transitions for every
+/// enabled action in `faults`.
+///
+/// `props` supplies the proposition partition: after a fault perturbs the
+/// valuation, each process's new local state is resolved by matching the
+/// perturbed valuation restricted to that process's propositions.
+///
+/// # Errors
+///
+/// See [`ExploreError`].
+pub fn explore(
+    program: &Program,
+    faults: &[FaultAction],
+    props: &PropTable,
+) -> Result<Exploration, ExploreError> {
+    let mut kripke = FtKripke::new();
+    let mut configs: Vec<Config> = Vec::new();
+    let mut by_config: HashMap<Config, StateId> = HashMap::new();
+
+    // Per-process proposition masks for fault-outcome mapping.
+    let proc_masks: Vec<PropSet> = (0..program.processes.len())
+        .map(|i| {
+            PropSet::from_iter_with_capacity(
+                props.len(),
+                props.iter().filter(|&p| props.owner(p) == Owner::Process(i)),
+            )
+        })
+        .collect();
+
+    let init = Config {
+        locals: program.init_locals.clone(),
+        shared: program.init_shared.clone(),
+    };
+    let intern = |cfg: Config,
+                      kripke: &mut FtKripke,
+                      configs: &mut Vec<Config>,
+                      by_config: &mut HashMap<Config, StateId>|
+     -> Result<StateId, ExploreError> {
+        if let Some(&id) = by_config.get(&cfg) {
+            return Ok(id);
+        }
+        let st = State {
+            props: program.valuation(&cfg.locals),
+            shared: cfg.shared.clone(),
+        };
+        if kripke.find_state(&st).is_some() {
+            return Err(ExploreError::AmbiguousState);
+        }
+        let id = kripke.intern_state(st);
+        by_config.insert(cfg.clone(), id);
+        configs.push(cfg);
+        if configs.len() > MAX_STATES {
+            return Err(ExploreError::StateSpaceTooLarge(MAX_STATES));
+        }
+        Ok(id)
+    };
+
+    let init_id = intern(init, &mut kripke, &mut configs, &mut by_config)?;
+    kripke.add_init(init_id);
+    let mut work = vec![init_id];
+
+    while let Some(sid) = work.pop() {
+        let cfg = configs[sid.index()].clone();
+        let valuation = program.valuation(&cfg.locals);
+
+        // Program transitions: any enabled arc of any process.
+        for (pi, proc) in program.processes.iter().enumerate() {
+            for arc in &proc.arcs {
+                if arc.from != cfg.locals[pi] || !arc.guard.eval(&valuation, &cfg.shared) {
+                    continue;
+                }
+                let mut next = cfg.clone();
+                next.locals[pi] = arc.to;
+                for &(v, k) in &arc.assigns {
+                    if v < next.shared.len() {
+                        next.shared[v] = k;
+                    }
+                }
+                let before = configs.len();
+                let tid = intern(next, &mut kripke, &mut configs, &mut by_config)?;
+                if configs.len() > before {
+                    work.push(tid);
+                }
+                kripke.add_edge(sid, TransKind::Proc(pi), tid);
+            }
+        }
+
+        // Fault transitions.
+        for (fi, action) in faults.iter().enumerate() {
+            if !action.enabled(&valuation) {
+                continue;
+            }
+            for outcome in action.outcomes(&valuation, props.len()) {
+                // Resolve each process's new local state.
+                let mut locals = Vec::with_capacity(program.processes.len());
+                for (pi, proc) in program.processes.iter().enumerate() {
+                    let local_val = outcome.intersect(&proc_masks[pi]);
+                    match proc.state_by_props(&local_val) {
+                        Some(li) => locals.push(li),
+                        None => {
+                            return Err(ExploreError::UnmappableFaultOutcome {
+                                action: action.name().to_owned(),
+                                process: pi,
+                            })
+                        }
+                    }
+                }
+                // Shared-variable corruption branches (Section 5.3).
+                let shared_branches = corrupt_branches(program, &cfg.shared, action);
+                for shared in shared_branches {
+                    let next = Config {
+                        locals: locals.clone(),
+                        shared,
+                    };
+                    let before = configs.len();
+                    let tid = intern(next, &mut kripke, &mut configs, &mut by_config)?;
+                    if configs.len() > before {
+                        work.push(tid);
+                    }
+                    kripke.add_edge(sid, TransKind::Fault(fi), tid);
+                }
+            }
+        }
+    }
+
+    Ok(Exploration { kripke, configs })
+}
+
+/// All shared-value vectors resulting from an action's corruption list,
+/// with out-of-domain writes reinterpreted as the default value `1`.
+fn corrupt_branches(program: &Program, shared: &[u32], action: &FaultAction) -> Vec<Vec<u32>> {
+    let mut branches = vec![shared.to_vec()];
+    for &(var, ref how) in action.corrupt_shared() {
+        if var >= shared.len() {
+            continue;
+        }
+        match how {
+            SharedCorruption::Value(k) => {
+                for b in &mut branches {
+                    b[var] = program.clamp_shared(var, *k);
+                }
+            }
+            SharedCorruption::Arbitrary => {
+                let dom = program.shared[var].domain;
+                let mut next = Vec::with_capacity(branches.len() * dom as usize);
+                for b in &branches {
+                    for k in 1..=dom {
+                        let mut nb = b.clone();
+                        nb[var] = k;
+                        next.push(nb);
+                    }
+                }
+                branches = next;
+            }
+        }
+    }
+    branches.dedup();
+    branches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::PropAssign;
+    use crate::expr::BoolExpr;
+    use crate::program::{LocalState, ProcArc, Process, SharedVar};
+    use ftsyn_ctl::PropId;
+
+    /// A 2-process token ring: each process alternates a/b; P2 may move
+    /// only when P1 is in b (guard), demonstrating guards.
+    fn ring() -> (Program, PropTable) {
+        let mut t = PropTable::new();
+        let a1 = t.add("a1", Owner::Process(0)).unwrap();
+        let b1 = t.add("b1", Owner::Process(0)).unwrap();
+        let a2 = t.add("a2", Owner::Process(1)).unwrap();
+        let b2 = t.add("b2", Owner::Process(1)).unwrap();
+        let mk = |p: PropId| PropSet::from_iter_with_capacity(4, [p]);
+        let p1 = Process {
+            index: 0,
+            states: vec![
+                LocalState { name: "a1".into(), props: mk(a1) },
+                LocalState { name: "b1".into(), props: mk(b1) },
+            ],
+            arcs: vec![
+                ProcArc { from: 0, to: 1, guard: BoolExpr::tru(), assigns: vec![] },
+                ProcArc { from: 1, to: 0, guard: BoolExpr::tru(), assigns: vec![] },
+            ],
+        };
+        let p2 = Process {
+            index: 1,
+            states: vec![
+                LocalState { name: "a2".into(), props: mk(a2) },
+                LocalState { name: "b2".into(), props: mk(b2) },
+            ],
+            arcs: vec![ProcArc {
+                from: 0,
+                to: 1,
+                guard: BoolExpr::Prop(b1),
+                assigns: vec![],
+            }],
+        };
+        let prog = Program {
+            processes: vec![p1, p2],
+            shared: vec![],
+            init_locals: vec![0, 0],
+            init_shared: vec![],
+            num_props: 4,
+        };
+        (prog, t)
+    }
+
+    #[test]
+    fn explores_reachable_states_only() {
+        let (prog, t) = ring();
+        let ex = explore(&prog, &[], &t).unwrap();
+        // Reachable: (a1,a2),(b1,a2),(b1,b2),(a1,b2) = 4.
+        assert_eq!(ex.kripke.len(), 4);
+        assert_eq!(ex.kripke.fault_edge_count(), 0);
+    }
+
+    #[test]
+    fn guards_are_respected() {
+        let (prog, t) = ring();
+        let ex = explore(&prog, &[], &t).unwrap();
+        // In the initial state (a1,a2), P2 must not be able to move.
+        let init = ex.kripke.init_states()[0];
+        let p2_moves: Vec<_> = ex
+            .kripke
+            .succ(init)
+            .iter()
+            .filter(|e| e.kind == TransKind::Proc(1))
+            .collect();
+        assert!(p2_moves.is_empty());
+    }
+
+    #[test]
+    fn fault_transitions_added_and_mapped() {
+        let (prog, t) = ring();
+        let b1 = t.id("b1").unwrap();
+        let a1 = t.id("a1").unwrap();
+        // Fault: reset P1 to local state a1.
+        let f = FaultAction::new(
+            "reset-P1",
+            BoolExpr::Prop(b1),
+            vec![(b1, PropAssign::False), (a1, PropAssign::True)],
+        )
+        .unwrap();
+        let ex = explore(&prog, &[f], &t).unwrap();
+        assert!(ex.kripke.fault_edge_count() > 0);
+        // Every fault edge's target is a valid state (mapped).
+        for s in ex.kripke.state_ids() {
+            for e in ex.kripke.succ(s) {
+                assert!(e.to.index() < ex.kripke.len());
+            }
+        }
+    }
+
+    #[test]
+    fn unmappable_fault_is_an_error() {
+        let (prog, t) = ring();
+        let a1 = t.id("a1").unwrap();
+        let b1 = t.id("b1").unwrap();
+        // Fault that sets both a1 and b1: no local state matches.
+        let f = FaultAction::new(
+            "both",
+            BoolExpr::tru(),
+            vec![(a1, PropAssign::True), (b1, PropAssign::True)],
+        )
+        .unwrap();
+        let err = explore(&prog, &[f], &t).unwrap_err();
+        assert!(matches!(err, ExploreError::UnmappableFaultOutcome { .. }));
+    }
+
+    #[test]
+    fn shared_corruption_branches_within_domain() {
+        let (mut prog, t) = ring();
+        prog.shared.push(SharedVar { name: "x".into(), domain: 3 });
+        prog.init_shared.push(1);
+        let a1 = t.id("a1").unwrap();
+        let f = FaultAction::new("corrupt-x", BoolExpr::Prop(a1), vec![])
+            .unwrap()
+            .with_shared_corruption(vec![(0, SharedCorruption::Arbitrary)]);
+        let ex = explore(&prog, &[f], &t).unwrap();
+        // From the initial state the fault yields x ∈ {1,2,3}.
+        let init = ex.kripke.init_states()[0];
+        let fault_targets: Vec<u32> = ex
+            .kripke
+            .succ(init)
+            .iter()
+            .filter(|e| e.kind.is_fault())
+            .map(|e| ex.kripke.state(e.to).shared[0])
+            .collect();
+        let mut sorted = fault_targets.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_domain_write_defaults_to_one() {
+        let (mut prog, t) = ring();
+        prog.shared.push(SharedVar { name: "x".into(), domain: 2 });
+        prog.init_shared.push(2);
+        let f = FaultAction::new("smash-x", BoolExpr::tru(), vec![])
+            .unwrap()
+            .with_shared_corruption(vec![(0, SharedCorruption::Value(77))]);
+        let ex = explore(&prog, &[f], &t).unwrap();
+        let init = ex.kripke.init_states()[0];
+        let target = ex
+            .kripke
+            .succ(init)
+            .iter()
+            .find(|e| e.kind.is_fault())
+            .unwrap()
+            .to;
+        assert_eq!(ex.kripke.state(target).shared[0], 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Guarded-command programs, fault actions, and execution machinery.
+//!
+//! This crate implements the computational model of *Attie, Arora,
+//! Emerson — Synthesis of Fault-Tolerant Concurrent Programs* (TOPLAS
+//! 2004):
+//!
+//! * guards and parallel assignments over atomic propositions and shared
+//!   synchronization variables ([`BoolExpr`]);
+//! * fault actions — nondeterministic guarded commands that perturb the
+//!   program state (Section 2.3) — with the paper's fault-class library:
+//!   stuck-at, omission, timing, fail-stop/repair and general state
+//!   faults ([`FaultAction`], [`faults`]);
+//! * synchronization skeletons and concurrent programs
+//!   `P₁ ‖ … ‖ P_I` ([`Process`], [`Program`]);
+//! * an interleaving interpreter that regenerates the global-state
+//!   structure of a program, fault transitions included
+//!   ([`interp::explore`]);
+//! * a randomized fault-injection simulator with invariant and
+//!   convergence probes ([`sim::simulate`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod action;
+mod expr;
+mod program;
+
+pub mod faults;
+pub mod interp;
+pub mod sim;
+
+pub use action::{fault_set_size, ActionError, FaultAction, PropAssign, SharedCorruption};
+pub use expr::BoolExpr;
+pub use program::{LocalState, ProcArc, Process, Program, SharedVar};

@@ -1,0 +1,414 @@
+//! A CTL model checker over fault-tolerant Kripke structures.
+//!
+//! Two satisfaction relations are provided (Section 2.4 of the paper):
+//!
+//! * [`Semantics::FaultFree`] — the paper's `⊨ₙ`, where the path
+//!   quantifiers of `AU`/`EU`/`AW`/`EW` range over *fault-free* fullpaths
+//!   only (fault transitions are ignored when following paths);
+//! * [`Semantics::IncludeFaults`] — path quantifiers range over all
+//!   fullpaths, including those that take fault transitions (the
+//!   semantics needed by the alternative method of Section 8.3).
+//!
+//! In both relations the indexed nexttime modalities `AXᵢ`/`EXᵢ` range
+//! over the program transitions of process `i` only — fault transitions
+//! are never process transitions (`A` and `A_F` are disjoint).
+//!
+//! Fullpaths may be finite (a maximal path ending in a state with no
+//! outgoing transitions). Following the paper's indexing
+//! `i ∈ [0 : |π|]`, on a dead-end state `A[gUh]` and `E[gUh]` hold iff
+//! `h` holds there, `EXᵢf` is false, and `AXᵢf` is vacuously true.
+//!
+//! (The paper's displayed path clause reads `j ∈ [1 : (i−1)]`, which
+//! would exempt the first state from the `g` obligation; this conflicts
+//! with the fixpoint characterization `E[gUh] ≡ h ∨ (g ∧ EX E[gUh])`
+//! used by the decision procedure, so we implement the standard
+//! `j ∈ [0 : (i−1)]` reading.)
+
+use crate::structure::{FtKripke, StateId};
+use ftsyn_ctl::{Formula, FormulaArena, FormulaId};
+use std::collections::HashMap;
+
+/// Which fullpaths the path quantifiers range over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// The paper's `⊨ₙ`: fault-free fullpaths only.
+    FaultFree,
+    /// All fullpaths, including fault transitions.
+    IncludeFaults,
+}
+
+/// A memoizing model checker for one structure and one semantics.
+///
+/// # Examples
+///
+/// ```
+/// use ftsyn_ctl::{FormulaArena, PropTable, Owner};
+/// use ftsyn_kripke::{FtKripke, State, PropSet, TransKind, Checker, Semantics};
+///
+/// let mut props = PropTable::new();
+/// let p = props.add("p", Owner::Process(0)).unwrap();
+/// let mut arena = FormulaArena::new(1);
+///
+/// let mut m = FtKripke::new();
+/// let s0 = m.intern_state(State::new(PropSet::with_capacity(1)));
+/// let s1 = m.intern_state(State::new(PropSet::from_iter_with_capacity(1, [p])));
+/// m.add_init(s0);
+/// m.add_edge(s0, TransKind::Proc(0), s1);
+/// m.add_edge(s1, TransKind::Proc(0), s1);
+///
+/// let fp = arena.prop(p);
+/// let af = arena.af(fp);
+/// let mut ck = Checker::new(&m, Semantics::FaultFree);
+/// assert!(ck.holds(&arena, af, s0));
+/// ```
+pub struct Checker<'m> {
+    model: &'m FtKripke,
+    semantics: Semantics,
+    memo: HashMap<FormulaId, Vec<bool>>,
+}
+
+impl<'m> Checker<'m> {
+    /// Creates a checker for `model` under the given semantics.
+    pub fn new(model: &'m FtKripke, semantics: Semantics) -> Checker<'m> {
+        Checker {
+            model,
+            semantics,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The structure being checked.
+    pub fn model(&self) -> &'m FtKripke {
+        self.model
+    }
+
+    /// The semantics in force.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Whether `f` holds at state `s`.
+    pub fn holds(&mut self, arena: &FormulaArena, f: FormulaId, s: StateId) -> bool {
+        self.eval(arena, f)[s.index()]
+    }
+
+    /// Whether `f` holds at every state in `states`.
+    pub fn holds_at_all(
+        &mut self,
+        arena: &FormulaArena,
+        f: FormulaId,
+        states: impl IntoIterator<Item = StateId>,
+    ) -> bool {
+        let v = self.eval(arena, f).clone();
+        states.into_iter().all(|s| v[s.index()])
+    }
+
+    /// The set of states (as a bool-per-state vector) satisfying `f`.
+    pub fn eval(&mut self, arena: &FormulaArena, f: FormulaId) -> &Vec<bool> {
+        if !self.memo.contains_key(&f) {
+            let v = self.compute(arena, f);
+            self.memo.insert(f, v);
+        }
+        &self.memo[&f]
+    }
+
+    fn compute(&mut self, arena: &FormulaArena, f: FormulaId) -> Vec<bool> {
+        let n = self.model.len();
+        match arena.get(f) {
+            Formula::True => vec![true; n],
+            Formula::False => vec![false; n],
+            Formula::Prop(p) => self
+                .model
+                .state_ids()
+                .map(|s| self.model.state(s).props.contains(p))
+                .collect(),
+            Formula::NegProp(p) => self
+                .model
+                .state_ids()
+                .map(|s| !self.model.state(s).props.contains(p))
+                .collect(),
+            Formula::And(a, b) => {
+                let va = self.eval(arena, a).clone();
+                let vb = self.eval(arena, b);
+                va.iter().zip(vb.iter()).map(|(x, y)| *x && *y).collect()
+            }
+            Formula::Or(a, b) => {
+                let va = self.eval(arena, a).clone();
+                let vb = self.eval(arena, b);
+                va.iter().zip(vb.iter()).map(|(x, y)| *x || *y).collect()
+            }
+            Formula::Ax(i, g) => {
+                let vg = self.eval(arena, g).clone();
+                self.model
+                    .state_ids()
+                    .map(|s| {
+                        self.model
+                            .succ(s)
+                            .iter()
+                            .filter(|e| e.kind == crate::structure::TransKind::Proc(i))
+                            .all(|e| vg[e.to.index()])
+                    })
+                    .collect()
+            }
+            Formula::Ex(i, g) => {
+                let vg = self.eval(arena, g).clone();
+                self.model
+                    .state_ids()
+                    .map(|s| {
+                        self.model
+                            .succ(s)
+                            .iter()
+                            .filter(|e| e.kind == crate::structure::TransKind::Proc(i))
+                            .any(|e| vg[e.to.index()])
+                    })
+                    .collect()
+            }
+            Formula::Au(g, h) => {
+                let vg = self.eval(arena, g).clone();
+                let vh = self.eval(arena, h).clone();
+                self.au_set(&vg, &vh)
+            }
+            Formula::Eu(g, h) => {
+                let vg = self.eval(arena, g).clone();
+                let vh = self.eval(arena, h).clone();
+                self.eu_set(&vg, &vh)
+            }
+            Formula::Aw(g, h) => {
+                // A[gWh] = ¬E[¬g U ¬h]
+                let vg = self.eval(arena, g).clone();
+                let vh = self.eval(arena, h).clone();
+                let ng: Vec<bool> = vg.iter().map(|x| !x).collect();
+                let nh: Vec<bool> = vh.iter().map(|x| !x).collect();
+                self.eu_set(&ng, &nh).iter().map(|x| !x).collect()
+            }
+            Formula::Ew(g, h) => {
+                // E[gWh] = ¬A[¬g U ¬h]
+                let vg = self.eval(arena, g).clone();
+                let vh = self.eval(arena, h).clone();
+                let ng: Vec<bool> = vg.iter().map(|x| !x).collect();
+                let nh: Vec<bool> = vh.iter().map(|x| !x).collect();
+                self.au_set(&ng, &nh).iter().map(|x| !x).collect()
+            }
+        }
+    }
+
+    fn path_succ(&self, s: StateId) -> impl Iterator<Item = StateId> + '_ {
+        let include_faults = self.semantics == Semantics::IncludeFaults;
+        self.model
+            .succ(s)
+            .iter()
+            .filter(move |e| include_faults || !e.kind.is_fault())
+            .map(|e| e.to)
+    }
+
+    /// Least fixpoint for `E[gUh]`:
+    /// `X = h ∪ (g ∩ pre∃(X))`.
+    fn eu_set(&self, g: &[bool], h: &[bool]) -> Vec<bool> {
+        let n = self.model.len();
+        let mut x: Vec<bool> = h.to_vec();
+        // Worklist over predecessors.
+        let mut work: Vec<StateId> = (0..n as u32).map(StateId).filter(|s| x[s.index()]).collect();
+        let include_faults = self.semantics == Semantics::IncludeFaults;
+        while let Some(t) = work.pop() {
+            for e in self.model.pred(t) {
+                if !include_faults && e.kind.is_fault() {
+                    continue;
+                }
+                let s = e.to; // source
+                if !x[s.index()] && g[s.index()] {
+                    x[s.index()] = true;
+                    work.push(s);
+                }
+            }
+        }
+        x
+    }
+
+    /// Least fixpoint for `A[gUh]`:
+    /// `X = h ∪ (g ∩ {s : succ(s) ≠ ∅ ∧ succ(s) ⊆ X})`.
+    ///
+    /// Dead-end states satisfy `A[gUh]` iff `h` holds there (the only
+    /// fullpath is the single-state path).
+    fn au_set(&self, g: &[bool], h: &[bool]) -> Vec<bool> {
+        let n = self.model.len();
+        let mut x: Vec<bool> = h.to_vec();
+        // remaining[s] = number of path-successors of s not yet in X.
+        let mut remaining: Vec<usize> = (0..n as u32)
+            .map(StateId)
+            .map(|s| self.path_succ(s).count())
+            .collect();
+        let has_succ: Vec<bool> = remaining.iter().map(|&c| c > 0).collect();
+        let include_faults = self.semantics == Semantics::IncludeFaults;
+        let mut work: Vec<StateId> = (0..n as u32).map(StateId).filter(|s| x[s.index()]).collect();
+        while let Some(t) = work.pop() {
+            for e in self.model.pred(t) {
+                if !include_faults && e.kind.is_fault() {
+                    continue;
+                }
+                let s = e.to; // source
+                remaining[s.index()] = remaining[s.index()].saturating_sub(1);
+                if !x[s.index()] && g[s.index()] && has_succ[s.index()] && remaining[s.index()] == 0
+                {
+                    x[s.index()] = true;
+                    work.push(s);
+                }
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{PropSet, State};
+    use crate::structure::TransKind;
+    use ftsyn_ctl::{Owner, PropId, PropTable};
+
+    struct Fixture {
+        arena: FormulaArena,
+        props: PropTable,
+        m: FtKripke,
+        ids: Vec<StateId>,
+    }
+
+    /// Builds the classic mutex-like ring:
+    /// s0{n} → s1{t} → s2{c} → s0, with a fault edge s0 -F-> s3{bad},
+    /// s3 → s3 (self loop) and s3 → s0 recovery.
+    fn fixture() -> Fixture {
+        let mut props = PropTable::new();
+        let pn = props.add("n", Owner::Process(0)).unwrap();
+        let pt = props.add("t", Owner::Process(0)).unwrap();
+        let pc = props.add("c", Owner::Process(0)).unwrap();
+        let pbad = props.add("bad", Owner::Process(0)).unwrap();
+        let arena = FormulaArena::new(2);
+        let mut m = FtKripke::new();
+        let mk = |ps: &[PropId]| State::new(PropSet::from_iter_with_capacity(4, ps.iter().copied()));
+        let s0 = m.intern_state(mk(&[pn]));
+        let s1 = m.intern_state(mk(&[pt]));
+        let s2 = m.intern_state(mk(&[pc]));
+        let s3 = m.intern_state(mk(&[pbad]));
+        m.add_init(s0);
+        m.add_edge(s0, TransKind::Proc(0), s1);
+        m.add_edge(s1, TransKind::Proc(0), s2);
+        m.add_edge(s2, TransKind::Proc(0), s0);
+        m.add_edge(s0, TransKind::Fault(0), s3);
+        m.add_edge(s3, TransKind::Proc(1), s0);
+        Fixture {
+            arena,
+            props,
+            m,
+            ids: vec![s0, s1, s2, s3],
+        }
+    }
+
+    fn prop(fx: &mut Fixture, name: &str) -> FormulaId {
+        let p = fx.props.id(name).unwrap();
+        fx.arena.prop(p)
+    }
+
+    #[test]
+    fn af_holds_on_cycle_reaching_goal() {
+        let mut fx = fixture();
+        let c = prop(&mut fx, "c");
+        let af = fx.arena.af(c);
+        let mut ck = Checker::new(&fx.m, Semantics::FaultFree);
+        // Fault-free from s0 the only path is the ring, so AF c holds.
+        assert!(ck.holds(&fx.arena, af, fx.ids[0]));
+        assert!(ck.holds(&fx.arena, af, fx.ids[1]));
+    }
+
+    #[test]
+    fn fault_free_vs_include_faults() {
+        let mut fx = fixture();
+        let bad = prop(&mut fx, "bad");
+        let nbad = fx.arena.not(bad);
+        let ag = fx.arena.ag(nbad);
+        // Under |=n the fault edge is invisible: AG ~bad holds at s0.
+        let mut ckn = Checker::new(&fx.m, Semantics::FaultFree);
+        assert!(ckn.holds(&fx.arena, ag, fx.ids[0]));
+        // Under |= with faults, the path through the fault reaches bad.
+        let mut ckf = Checker::new(&fx.m, Semantics::IncludeFaults);
+        assert!(!ckf.holds(&fx.arena, ag, fx.ids[0]));
+    }
+
+    #[test]
+    fn ex_ax_are_per_process_and_ignore_faults() {
+        let mut fx = fixture();
+        let t = prop(&mut fx, "t");
+        let ex0 = fx.arena.ex(0, t);
+        let ex1 = fx.arena.ex(1, t);
+        // s0's fault successor s3 is not an EX-successor of any process.
+        let bad = prop(&mut fx, "bad");
+        let exb0 = fx.arena.ex(0, bad);
+        let exb1 = fx.arena.ex(1, bad);
+        let mut ck = Checker::new(&fx.m, Semantics::FaultFree);
+        assert!(ck.holds(&fx.arena, ex0, fx.ids[0]));
+        assert!(!ck.holds(&fx.arena, ex1, fx.ids[0]));
+        assert!(!ck.holds(&fx.arena, exb0, fx.ids[0]));
+        assert!(!ck.holds(&fx.arena, exb1, fx.ids[0]));
+    }
+
+    #[test]
+    fn dead_end_semantics() {
+        let mut props = PropTable::new();
+        let p = props.add("p", Owner::Process(0)).unwrap();
+        let mut arena = FormulaArena::new(1);
+        let mut m = FtKripke::new();
+        let dead_p = m.intern_state(State::new(PropSet::from_iter_with_capacity(1, [p])));
+        let dead_np = m.intern_state(State::new(PropSet::with_capacity(1)));
+        m.add_init(dead_p);
+        m.add_init(dead_np);
+        let fp = arena.prop(p);
+        let af = arena.af(fp);
+        let ef = arena.ef(fp);
+        let ax = arena.ax(0, fp);
+        let ex = arena.ex(0, fp);
+        let mut ck = Checker::new(&m, Semantics::FaultFree);
+        // Dead end with p: the single-state fullpath fulfills AF/EF.
+        assert!(ck.holds(&arena, af, dead_p));
+        assert!(ck.holds(&arena, ef, dead_p));
+        // Dead end without p: unfulfillable.
+        assert!(!ck.holds(&arena, af, dead_np));
+        assert!(!ck.holds(&arena, ef, dead_np));
+        // AX vacuous, EX false on dead ends.
+        assert!(ck.holds(&arena, ax, dead_np));
+        assert!(!ck.holds(&arena, ex, dead_p));
+    }
+
+    #[test]
+    fn weak_until_duality() {
+        let mut fx = fixture();
+        let n = prop(&mut fx, "n");
+        let c = prop(&mut fx, "c");
+        // E[c W n]: exists a path where n holds until c∧n releases — on
+        // the ring, n holds at s0 and the next state has ¬n, so the
+        // release c∧n never fires but n doesn't hold forever either.
+        let ew = fx.arena.ew(c, n);
+        let mut ck = Checker::new(&fx.m, Semantics::FaultFree);
+        assert!(!ck.holds(&fx.arena, ew, fx.ids[0]));
+        // A[false W n] = AG n fails at s0 (t is reached).
+        let ag = fx.arena.ag(n);
+        assert!(!ck.holds(&fx.arena, ag, fx.ids[0]));
+        // EG true holds everywhere (infinite ring).
+        let t = fx.arena.tru();
+        let eg = fx.arena.eg(t);
+        assert!(ck.holds(&fx.arena, eg, fx.ids[0]));
+    }
+
+    #[test]
+    fn au_requires_g_along_the_way() {
+        let mut fx = fixture();
+        let n = prop(&mut fx, "n");
+        let t = prop(&mut fx, "t");
+        let c = prop(&mut fx, "c");
+        // A[(n|t) U c] holds at s0 along the ring.
+        let nt = fx.arena.or(n, t);
+        let au = fx.arena.au(nt, c);
+        let mut ck = Checker::new(&fx.m, Semantics::FaultFree);
+        assert!(ck.holds(&fx.arena, au, fx.ids[0]));
+        // A[n U c] fails: t-state breaks the g-chain.
+        let au2 = fx.arena.au(n, c);
+        assert!(!ck.holds(&fx.arena, au2, fx.ids[0]));
+    }
+}

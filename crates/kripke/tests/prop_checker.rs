@@ -1,0 +1,201 @@
+//! Property-based validation of the CTL model checker on random
+//! structures: fixpoint unfoldings, dualities, and the relationship
+//! between the plain and fault-free-relativized semantics.
+
+use ftsyn_ctl::{FormulaArena, Owner, PropId, PropTable};
+use ftsyn_kripke::{Checker, FtKripke, PropSet, Semantics, State, StateId, TransKind};
+use proptest::prelude::*;
+
+const NUM_PROPS: usize = 3;
+const NUM_PROCS: usize = 2;
+
+#[derive(Clone, Debug)]
+struct RandomModel {
+    /// For each state: bitmask of true propositions.
+    states: Vec<u8>,
+    /// Edges `(from, proc_or_fault, to)`; kind >= NUM_PROCS means fault.
+    edges: Vec<(usize, usize, usize)>,
+}
+
+fn model_strategy() -> impl Strategy<Value = RandomModel> {
+    (2usize..7).prop_flat_map(|n| {
+        let states = proptest::collection::vec(0u8..(1 << NUM_PROPS), n..=n);
+        let edges = proptest::collection::vec(
+            (0..n, 0..NUM_PROCS + 1, 0..n),
+            0..(n * 3),
+        );
+        (states, edges).prop_map(|(states, edges)| RandomModel { states, edges })
+    })
+}
+
+fn build_model(rm: &RandomModel, props: &PropTable) -> (FtKripke, Vec<StateId>) {
+    let mut m = FtKripke::new();
+    let ids: Vec<StateId> = rm
+        .states
+        .iter()
+        .enumerate()
+        .map(|(i, &mask)| {
+            let mut ps = PropSet::with_capacity(NUM_PROPS + 1);
+            for b in 0..NUM_PROPS {
+                if mask & (1 << b) != 0 {
+                    ps.insert(props.id(&format!("v{b}")).unwrap());
+                }
+            }
+            // Disambiguate states with identical valuations using a
+            // per-state dummy marker so interning keeps them distinct.
+            let mut st = State::new(ps);
+            st.shared.push(i as u32);
+            m.push_state(st)
+        })
+        .collect();
+    m.add_init(ids[0]);
+    for &(from, kind, to) in &rm.edges {
+        let k = if kind < NUM_PROCS {
+            TransKind::Proc(kind)
+        } else {
+            TransKind::Fault(0)
+        };
+        m.add_edge(ids[from], k, ids[to]);
+    }
+    (m, ids)
+}
+
+fn setup() -> (FormulaArena, PropTable) {
+    let mut props = PropTable::new();
+    for b in 0..NUM_PROPS {
+        props.add(format!("v{b}"), Owner::Process(b % NUM_PROCS)).unwrap();
+    }
+    (FormulaArena::new(NUM_PROCS), props)
+}
+
+fn pid(props: &PropTable, b: usize) -> PropId {
+    props.id(&format!("v{b}")).unwrap()
+}
+
+proptest! {
+    /// `E[gUh] ≡ h ∨ (g ∧ EX E[gUh])` state-wise (the β-expansion used
+    /// by the decision procedure), where `EX` is the disjunction over
+    /// process-indexed nexttimes — valid on fault-free path semantics
+    /// only when fault edges are also excluded from `EXᵢ`, which they
+    /// always are; so we check it under `FaultFree`.
+    #[test]
+    fn eu_unfolding(rm in model_strategy(), gb in 0..NUM_PROPS, hb in 0..NUM_PROPS) {
+        let (mut arena, props) = setup();
+        let (m, _) = build_model(&rm, &props);
+        let g = arena.prop(pid(&props, gb));
+        let h = arena.prop(pid(&props, hb));
+        let eu = arena.eu(g, h);
+        let ex_eu = arena.ex_all(eu);
+        let g_and = arena.and(g, ex_eu);
+        let rhs = arena.or(h, g_and);
+        let mut ck = Checker::new(&m, Semantics::FaultFree);
+        let l = ck.eval(&arena, eu).clone();
+        let r = ck.eval(&arena, rhs).clone();
+        prop_assert_eq!(l, r);
+    }
+
+    /// `A[gUh] ≡ h ∨ (g ∧ AX A[gUh] ∧ EX true)`: the extra `EX true`
+    /// conjunct accounts for dead ends, where `AX` is vacuous but the
+    /// single-state fullpath does not fulfill the eventuality.
+    #[test]
+    fn au_unfolding(rm in model_strategy(), gb in 0..NUM_PROPS, hb in 0..NUM_PROPS) {
+        let (mut arena, props) = setup();
+        let (m, _) = build_model(&rm, &props);
+        let g = arena.prop(pid(&props, gb));
+        let h = arena.prop(pid(&props, hb));
+        let au = arena.au(g, h);
+        let ax_au = arena.ax_all(au);
+        let t = arena.tru();
+        let ex_t = arena.ex_all(t);
+        let tail = arena.and(ax_au, ex_t);
+        let g_and = arena.and(g, tail);
+        let rhs = arena.or(h, g_and);
+        let mut ck = Checker::new(&m, Semantics::FaultFree);
+        let l = ck.eval(&arena, au).clone();
+        let r = ck.eval(&arena, rhs).clone();
+        prop_assert_eq!(l, r);
+    }
+
+    /// `A[gWh] ≡ ¬E[¬gU¬h]` and `E[gWh] ≡ ¬A[¬gU¬h]` (the defining
+    /// dualities), checked under both semantics.
+    #[test]
+    fn weak_until_dualities(rm in model_strategy(), gb in 0..NUM_PROPS, hb in 0..NUM_PROPS) {
+        let (mut arena, props) = setup();
+        let (m, _) = build_model(&rm, &props);
+        let g = arena.prop(pid(&props, gb));
+        let h = arena.prop(pid(&props, hb));
+        let ng = arena.not(g);
+        let nh = arena.not(h);
+        let aw = arena.aw(g, h);
+        let eu = arena.eu(ng, nh);
+        let ew = arena.ew(g, h);
+        let au = arena.au(ng, nh);
+        for sem in [Semantics::FaultFree, Semantics::IncludeFaults] {
+            let mut ck = Checker::new(&m, sem);
+            let vaw = ck.eval(&arena, aw).clone();
+            let veu = ck.eval(&arena, eu).clone();
+            prop_assert!(vaw.iter().zip(veu.iter()).all(|(a, e)| *a != *e));
+            let vew = ck.eval(&arena, ew).clone();
+            let vau = ck.eval(&arena, au).clone();
+            prop_assert!(vew.iter().zip(vau.iter()).all(|(a, e)| *a != *e));
+        }
+    }
+
+    /// `A[gUh] ⇒ E[gUh]` wherever some fullpath exists, and in general
+    /// AU implies EU on every state (on dead ends both reduce to `h`).
+    #[test]
+    fn au_implies_eu(rm in model_strategy(), gb in 0..NUM_PROPS, hb in 0..NUM_PROPS) {
+        let (mut arena, props) = setup();
+        let (m, _) = build_model(&rm, &props);
+        let g = arena.prop(pid(&props, gb));
+        let h = arena.prop(pid(&props, hb));
+        let au = arena.au(g, h);
+        let eu = arena.eu(g, h);
+        let mut ck = Checker::new(&m, Semantics::FaultFree);
+        let vau = ck.eval(&arena, au).clone();
+        let veu = ck.eval(&arena, eu).clone();
+        prop_assert!(vau.iter().zip(veu.iter()).all(|(a, e)| !*a || *e));
+    }
+
+    /// On structures without fault edges, the two semantics coincide.
+    #[test]
+    fn semantics_agree_without_faults(rm in model_strategy(), gb in 0..NUM_PROPS, hb in 0..NUM_PROPS) {
+        let rm = RandomModel {
+            states: rm.states.clone(),
+            edges: rm.edges.iter().copied()
+                .filter(|&(_, k, _)| k < NUM_PROCS).collect(),
+        };
+        let (mut arena, props) = setup();
+        let (m, _) = build_model(&rm, &props);
+        let g = arena.prop(pid(&props, gb));
+        let h = arena.prop(pid(&props, hb));
+        for f in [arena.au(g, h), arena.eu(g, h), arena.aw(g, h), arena.ew(g, h)] {
+            let mut ck1 = Checker::new(&m, Semantics::FaultFree);
+            let mut ck2 = Checker::new(&m, Semantics::IncludeFaults);
+            let v1 = ck1.eval(&arena, f).clone();
+            let v2 = ck2.eval(&arena, f).clone();
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    /// `AG h` distributes over reachable program successors:
+    /// if `AG h` holds at `s`, it holds at every program successor of `s`.
+    #[test]
+    fn ag_propagates(rm in model_strategy(), hb in 0..NUM_PROPS) {
+        let (mut arena, props) = setup();
+        let (m, _) = build_model(&rm, &props);
+        let h = arena.prop(pid(&props, hb));
+        let ag = arena.ag(h);
+        let mut ck = Checker::new(&m, Semantics::FaultFree);
+        let v = ck.eval(&arena, ag).clone();
+        for s in m.state_ids() {
+            if v[s.index()] {
+                for e in m.succ(s) {
+                    if !e.kind.is_fault() {
+                        prop_assert!(v[e.to.index()]);
+                    }
+                }
+            }
+        }
+    }
+}

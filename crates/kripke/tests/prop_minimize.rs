@@ -1,0 +1,204 @@
+//! Property-based validation of bisimulation minimization and evidence
+//! extraction on random structures.
+
+use ftsyn_ctl::{FormulaArena, FormulaId, Owner, PropTable};
+use ftsyn_kripke::{
+    bisimulation_quotient, Checker, FtKripke, PropSet, Semantics, State, StateId, TransKind,
+};
+use proptest::prelude::*;
+
+const NUM_PROPS: usize = 3;
+const NUM_PROCS: usize = 2;
+
+#[derive(Clone, Debug)]
+struct RandomModel {
+    states: Vec<u8>,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+fn model_strategy() -> impl Strategy<Value = RandomModel> {
+    (2usize..7).prop_flat_map(|n| {
+        let states = proptest::collection::vec(0u8..(1 << NUM_PROPS), n..=n);
+        let edges = proptest::collection::vec((0..n, 0..NUM_PROCS + 1, 0..n), 0..(n * 3));
+        (states, edges).prop_map(|(states, edges)| RandomModel { states, edges })
+    })
+}
+
+fn build_model(rm: &RandomModel, props: &PropTable) -> (FtKripke, Vec<StateId>) {
+    let mut m = FtKripke::new();
+    let ids: Vec<StateId> = rm
+        .states
+        .iter()
+        .map(|&mask| {
+            let mut ps = PropSet::with_capacity(NUM_PROPS);
+            for b in 0..NUM_PROPS {
+                if mask & (1 << b) != 0 {
+                    ps.insert(props.id(&format!("v{b}")).unwrap());
+                }
+            }
+            m.push_state(State::new(ps))
+        })
+        .collect();
+    m.add_init(ids[0]);
+    for &(from, kind, to) in &rm.edges {
+        let k = if kind < NUM_PROCS {
+            TransKind::Proc(kind)
+        } else {
+            TransKind::Fault(0)
+        };
+        m.add_edge(ids[from], k, ids[to]);
+    }
+    (m, ids)
+}
+
+fn setup() -> (FormulaArena, PropTable) {
+    let mut props = PropTable::new();
+    for b in 0..NUM_PROPS {
+        props
+            .add(format!("v{b}"), Owner::Process(b % NUM_PROCS))
+            .unwrap();
+    }
+    (FormulaArena::new(NUM_PROCS), props)
+}
+
+/// A small formula zoo for invariance checks.
+fn formula_zoo(arena: &mut FormulaArena, props: &PropTable) -> Vec<FormulaId> {
+    let v0 = arena.prop(props.id("v0").unwrap());
+    let v1 = arena.prop(props.id("v1").unwrap());
+    let v2 = arena.prop(props.id("v2").unwrap());
+    let mut out = vec![arena.af(v0), arena.ef(v1)];
+    out.push(arena.ag(v2));
+    out.push(arena.eg(v0));
+    out.push(arena.au(v0, v1));
+    out.push(arena.eu(v1, v2));
+    out.push(arena.aw(v0, v2));
+    out.push(arena.ew(v2, v0));
+    let e = arena.ex(0, v1);
+    out.push(e);
+    let a = arena.ax(1, v0);
+    out.push(a);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bisimulation quotient preserves the truth of every formula in
+    /// the zoo, at every state, under both semantics.
+    #[test]
+    fn quotient_preserves_ctl(rm in model_strategy()) {
+        let (mut arena, props) = setup();
+        let (m, ids) = build_model(&rm, &props);
+        let q = bisimulation_quotient(&m);
+        let zoo = formula_zoo(&mut arena, &props);
+        for sem in [Semantics::FaultFree, Semantics::IncludeFaults] {
+            let mut ck_m = Checker::new(&m, sem);
+            let mut ck_q = Checker::new(&q.model, sem);
+            for &f in &zoo {
+                let vm = ck_m.eval(&arena, f).clone();
+                let vq = ck_q.eval(&arena, f).clone();
+                for &s in &ids {
+                    prop_assert_eq!(
+                        vm[s.index()],
+                        vq[q.block_of[s.index()].index()],
+                        "formula {:?} differs between state {:?} and its block", f, s
+                    );
+                }
+            }
+        }
+    }
+
+    /// The quotient never grows and is idempotent.
+    #[test]
+    fn quotient_shrinks_and_is_idempotent(rm in model_strategy()) {
+        let (_, props) = setup();
+        let (m, _) = build_model(&rm, &props);
+        let q1 = bisimulation_quotient(&m);
+        prop_assert!(q1.model.len() <= m.len());
+        let q2 = bisimulation_quotient(&q1.model);
+        prop_assert_eq!(q2.model.len(), q1.model.len());
+    }
+
+    /// EF witnesses are genuine: each step is a path successor and the
+    /// last state satisfies the target.
+    #[test]
+    fn ef_witnesses_are_valid_paths(rm in model_strategy(), target in 0..NUM_PROPS) {
+        let (mut arena, props) = setup();
+        let (m, ids) = build_model(&rm, &props);
+        let p = props.id(&format!("v{target}")).unwrap();
+        let fp = arena.prop(p);
+        let ef = arena.ef(fp);
+        let mut ck = Checker::new(&m, Semantics::FaultFree);
+        let holds = ck.holds(&arena, ef, ids[0]);
+        let witness = ck.witness_ef(&arena, fp, ids[0]);
+        prop_assert_eq!(holds, witness.is_some());
+        if let Some(w) = witness {
+            prop_assert_eq!(w.states[0], ids[0]);
+            prop_assert!(m.state(*w.states.last().unwrap()).props.contains(p));
+            for pair in w.states.windows(2) {
+                prop_assert!(
+                    m.succ(pair[0]).iter().any(|e| !e.kind.is_fault() && e.to == pair[1]),
+                    "witness steps must be program transitions"
+                );
+            }
+        }
+    }
+
+    /// AG counterexamples are genuine: a real path from the start to a
+    /// violating state, and they exist exactly when AG fails.
+    #[test]
+    fn ag_counterexamples_are_valid(rm in model_strategy(), target in 0..NUM_PROPS) {
+        let (mut arena, props) = setup();
+        let (m, ids) = build_model(&rm, &props);
+        let p = props.id(&format!("v{target}")).unwrap();
+        let fp = arena.prop(p);
+        let ag = arena.ag(fp);
+        let mut ck = Checker::new(&m, Semantics::IncludeFaults);
+        let holds = ck.holds(&arena, ag, ids[0]);
+        let cex = ck.counterexample_ag(&arena, fp, ids[0]);
+        prop_assert_eq!(holds, cex.is_none());
+        if let Some(c) = cex {
+            prop_assert_eq!(c.states[0], ids[0]);
+            prop_assert!(!m.state(*c.states.last().unwrap()).props.contains(p));
+            for pair in c.states.windows(2) {
+                prop_assert!(m.succ(pair[0]).iter().any(|e| e.to == pair[1]));
+            }
+        }
+    }
+
+    /// AU counterexamples exist exactly when AU fails, and lassos truly
+    /// loop.
+    #[test]
+    fn au_counterexamples_match_the_checker(
+        rm in model_strategy(),
+        gb in 0..NUM_PROPS,
+        hb in 0..NUM_PROPS,
+    ) {
+        let (mut arena, props) = setup();
+        let (m, ids) = build_model(&rm, &props);
+        let g = arena.prop(props.id(&format!("v{gb}")).unwrap());
+        let h = arena.prop(props.id(&format!("v{hb}")).unwrap());
+        let au = arena.au(g, h);
+        let mut ck = Checker::new(&m, Semantics::FaultFree);
+        let holds = ck.holds(&arena, au, ids[0]);
+        let cex = ck.counterexample_au(&arena, g, h, ids[0]);
+        prop_assert_eq!(holds, cex.is_none());
+        if let Some(c) = cex {
+            prop_assert_eq!(c.states[0], ids[0]);
+            if let Some(lp) = c.loop_start {
+                // The lasso closes: the last state has an edge back to
+                // the loop head.
+                let last = *c.states.last().unwrap();
+                let head = c.states[lp];
+                prop_assert!(
+                    m.succ(last).iter().any(|e| !e.kind.is_fault() && e.to == head)
+                );
+                // The loop avoids h.
+                let vh = ck.eval(&arena, h).clone();
+                for &s in &c.states[lp..] {
+                    prop_assert!(!vh[s.index()]);
+                }
+            }
+        }
+    }
+}

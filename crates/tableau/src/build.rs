@@ -1,0 +1,303 @@
+//! Tableau construction (step 1 of the synthesis method, Section 5.2).
+//!
+//! Starting from the root OR-node labeled `{spec}`, nodes are expanded
+//! until no frontier remains: OR-nodes get their `Blocks` AND-successors,
+//! AND-nodes get their `Tiles` OR-successors *plus* one fault-successor
+//! OR-node per possible outcome of every enabled fault action
+//! (`FaultStates`, Definitions 5.1.1–5.1.2).
+//!
+//! The label of a fault-successor OR-node pins the *complete* perturbed
+//! valuation — a literal for every atomic proposition — and adds the
+//! tolerance formulae `Label_TOL(spec)` (or, for multitolerance, the
+//! per-action `Label_a(spec)`, Section 8.2).
+
+use crate::expand::{blocks, tiles, Tile};
+use crate::graph::{EdgeKind, NodeKind, Tableau};
+use ftsyn_ctl::{Closure, EntryKind, LabelSet, PropTable};
+use ftsyn_guarded::FaultAction;
+use ftsyn_kripke::PropSet;
+
+/// The fault side of a synthesis problem, ready for tableau construction:
+/// the actions plus, for each action, the set of closure formulae that
+/// must label the perturbed states it creates.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// The fault actions, in index order (edge labels refer to these).
+    pub actions: Vec<FaultAction>,
+    /// `Label_a(spec)` per action, as closure members. For uniform
+    /// tolerance all entries are equal; multitolerance varies them.
+    pub tolerance_labels: Vec<LabelSet>,
+}
+
+impl FaultSpec {
+    /// A fault spec with the same tolerance label for every action.
+    pub fn uniform(actions: Vec<FaultAction>, label: LabelSet) -> FaultSpec {
+        let tolerance_labels = vec![label; actions.len()];
+        FaultSpec {
+            actions,
+            tolerance_labels,
+        }
+    }
+
+    /// A fault spec with no actions (fault-intolerant synthesis — the
+    /// plain Emerson–Clarke decision procedure).
+    pub fn none() -> FaultSpec {
+        FaultSpec {
+            actions: Vec::new(),
+            tolerance_labels: Vec::new(),
+        }
+    }
+}
+
+/// The closed-world valuation of an AND-node label: the set of
+/// propositions whose positive literal is in the label
+/// (the paper's `L(c)↑AP`).
+pub fn valuation_of(closure: &Closure, props: &PropTable, label: &LabelSet) -> PropSet {
+    let mut v = PropSet::with_capacity(props.len());
+    for idx in label.iter() {
+        if let EntryKind::Lit {
+            prop,
+            positive: true,
+        } = closure.entry(idx).kind
+        {
+            v.insert(prop);
+        }
+    }
+    v
+}
+
+/// Builds the label of a fault-successor OR-node: every proposition
+/// pinned to its value in the outcome valuation `phi`, plus the
+/// tolerance label.
+fn fault_or_label(
+    closure: &Closure,
+    props: &PropTable,
+    phi: &PropSet,
+    tol: &LabelSet,
+) -> LabelSet {
+    let mut l = tol.clone();
+    for p in props.iter() {
+        let lit = closure
+            .literal(p, phi.contains(p))
+            .expect("all literals are registered in the closure");
+        l.insert(lit);
+    }
+    l
+}
+
+/// Constructs the tableau `T₀` for the given root label (the temporal
+/// specification) and fault specification.
+pub fn build(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+) -> Tableau {
+    let mut t = Tableau::with_root(root_label);
+    let mut work = vec![t.root()];
+
+    while let Some(id) = work.pop() {
+        match t.node(id).kind {
+            NodeKind::Or => {
+                if t.node(id).dummy {
+                    continue; // successors pinned at creation
+                }
+                let label = t.node(id).label.clone();
+                for b in blocks(closure, &label) {
+                    let (c, fresh) = t.intern_and(b);
+                    t.add_edge(id, EdgeKind::Unlabeled, c);
+                    if fresh {
+                        work.push(c);
+                    }
+                }
+            }
+            NodeKind::And => {
+                let label = t.node(id).label.clone();
+                // Tiles successors.
+                for tile in tiles(closure, &label) {
+                    match tile {
+                        Tile::Or { proc, or_label } => {
+                            let (d, fresh) = t.intern_or(or_label);
+                            t.add_edge(id, EdgeKind::Proc(proc), d);
+                            if fresh {
+                                work.push(d);
+                            }
+                        }
+                        Tile::Dummy => {
+                            let d = t.new_dummy_or(label.clone());
+                            t.add_edge(id, EdgeKind::Dummy, d);
+                            t.add_edge(d, EdgeKind::Unlabeled, id);
+                        }
+                    }
+                }
+                // Fault successors (Definition 5.1.2).
+                let valuation = valuation_of(closure, props, &label);
+                for (ai, action) in faults.actions.iter().enumerate() {
+                    if !action.enabled(&valuation) {
+                        continue;
+                    }
+                    for phi in action.outcomes(&valuation, props.len()) {
+                        let or_label =
+                            fault_or_label(closure, props, &phi, &faults.tolerance_labels[ai]);
+                        let (d, fresh) = t.intern_or(or_label);
+                        t.add_edge(id, EdgeKind::Fault(ai), d);
+                        if fresh {
+                            work.push(d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+    use ftsyn_ctl::{parse::parse, FormulaArena, Owner};
+    use ftsyn_guarded::{BoolExpr, PropAssign};
+
+    fn simple_setup(
+        spec: &str,
+        procs: usize,
+    ) -> (FormulaArena, PropTable, Closure, LabelSet) {
+        let mut props = PropTable::new();
+        props.add("p", Owner::Process(0)).unwrap();
+        props.add("q", Owner::Process(0)).unwrap();
+        let mut arena = FormulaArena::new(procs);
+        let f = parse(&mut arena, &mut props, spec, true).unwrap();
+        let cl = Closure::build(&mut arena, &props, &[f]);
+        let mut root = cl.empty_label();
+        root.insert(cl.index_of(f).unwrap());
+        (arena, props, cl, root)
+    }
+
+    #[test]
+    fn every_alive_node_has_a_successor() {
+        let (_, props, cl, root) = simple_setup("p & AG(EX1 true)", 1);
+        let t = build(&cl, &props, root, &FaultSpec::none());
+        for id in t.node_ids() {
+            assert!(
+                !t.node(id).succ.is_empty(),
+                "node {id:?} must have a successor (Prop 7.1.4 clause 3)"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_propositional_gets_dummy_self_loop() {
+        let (_, props, cl, root) = simple_setup("p", 1);
+        let t = build(&cl, &props, root, &FaultSpec::none());
+        // root → AND(p) → dummy OR → same AND.
+        let and_nodes: Vec<NodeId> = t
+            .node_ids()
+            .filter(|&n| t.node(n).kind == NodeKind::And)
+            .collect();
+        assert_eq!(and_nodes.len(), 1);
+        let c = and_nodes[0];
+        let (k, d) = t.node(c).succ[0];
+        assert_eq!(k, EdgeKind::Dummy);
+        assert!(t.node(d).dummy);
+        assert_eq!(t.node(d).succ, vec![(EdgeKind::Unlabeled, c)]);
+    }
+
+    #[test]
+    fn fault_successors_pin_full_valuation() {
+        let (_, props, cl, root) = simple_setup("p & ~q", 1);
+        let p = props.id("p").unwrap();
+        let q = props.id("q").unwrap();
+        // Fault: falsify p, truthify q.
+        let action = FaultAction::new(
+            "flip",
+            BoolExpr::Prop(p),
+            vec![(p, PropAssign::False), (q, PropAssign::True)],
+        )
+        .unwrap();
+        let tol = cl.empty_label();
+        let fs = FaultSpec::uniform(vec![action], tol);
+        let t = build(&cl, &props, root, &fs);
+        // Find the fault edge and check its OR label pins ¬p and q.
+        let mut found = false;
+        for id in t.node_ids() {
+            for &(k, d) in &t.node(id).succ {
+                if k.is_fault() {
+                    found = true;
+                    let l = &t.node(d).label;
+                    assert!(l.contains(cl.literal(p, false).unwrap()));
+                    assert!(l.contains(cl.literal(q, true).unwrap()));
+                    assert!(!l.contains(cl.literal(p, true).unwrap()));
+                }
+            }
+        }
+        assert!(found, "the enabled fault must generate a fault successor");
+    }
+
+    #[test]
+    fn disabled_fault_generates_nothing() {
+        let (_, props, cl, root) = simple_setup("p & ~q", 1);
+        let q = props.id("q").unwrap();
+        // Guard requires q, which is false in every AND-node.
+        let action =
+            FaultAction::new("never", BoolExpr::Prop(q), vec![(q, PropAssign::False)]).unwrap();
+        let fs = FaultSpec::uniform(vec![action], cl.empty_label());
+        let t = build(&cl, &props, root, &fs);
+        let fault_edges = t
+            .node_ids()
+            .flat_map(|id| t.node(id).succ.clone())
+            .filter(|(k, _)| k.is_fault())
+            .count();
+        assert_eq!(fault_edges, 0);
+    }
+
+    #[test]
+    fn nondet_fault_generates_one_successor_per_outcome() {
+        let (_, props, cl, root) = simple_setup("p & ~q", 1);
+        let q = props.id("q").unwrap();
+        let action =
+            FaultAction::new("maybe-q", BoolExpr::tru(), vec![(q, PropAssign::NonDet)]).unwrap();
+        let fs = FaultSpec::uniform(vec![action], cl.empty_label());
+        let t = build(&cl, &props, root, &fs);
+        let and_with_faults: Vec<usize> = t
+            .node_ids()
+            .filter(|&id| t.node(id).kind == NodeKind::And)
+            .map(|id| {
+                t.node(id)
+                    .succ
+                    .iter()
+                    .filter(|(k, _)| k.is_fault())
+                    .count()
+            })
+            .collect();
+        assert!(and_with_faults.contains(&2));
+    }
+
+    #[test]
+    fn tolerance_label_carried_into_perturbed_or() {
+        let (mut arena, mut props, _, _) = simple_setup("p", 1);
+        // Rebuild closure with a tolerance formula as an extra root.
+        let spec = parse(&mut arena, &mut props, "p & AG p", false).unwrap();
+        let tolf = parse(&mut arena, &mut props, "AF(AG p)", false).unwrap();
+        let cl = Closure::build(&mut arena, &props, &[spec, tolf]);
+        let mut root = cl.empty_label();
+        root.insert(cl.index_of(spec).unwrap());
+        let mut tol = cl.empty_label();
+        tol.insert(cl.index_of(tolf).unwrap());
+        let p = props.id("p").unwrap();
+        let action =
+            FaultAction::new("drop-p", BoolExpr::Prop(p), vec![(p, PropAssign::False)]).unwrap();
+        let fs = FaultSpec::uniform(vec![action], tol.clone());
+        let t = build(&cl, &props, root, &fs);
+        let mut checked = false;
+        for id in t.node_ids() {
+            for &(k, d) in &t.node(id).succ {
+                if k.is_fault() {
+                    checked = true;
+                    assert!(tol.is_subset(&t.node(d).label));
+                }
+            }
+        }
+        assert!(checked);
+    }
+}

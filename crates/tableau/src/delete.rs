@@ -1,0 +1,470 @@
+//! The deletion rules of the synthesis method (Figure 2) and the
+//! fulfillment certificates they rely on.
+//!
+//! The rules differ from the plain CTL decision procedure in two ways
+//! (Section 5.2): `DeleteAND` also fires when a *fault*-successor is
+//! deleted, and the eventuality rules `DeleteAU`/`DeleteEU` certify
+//! fulfillment with *fault-free* full subdags / paths — fault successors
+//! may be absent from a certificate, but all `Tiles` successors of an
+//! interior AND-node must be present.
+
+use crate::graph::{EdgeKind, NodeId, NodeKind, Tableau};
+use ftsyn_ctl::{Closure, ClosureIdx, EntryKind, LabelSet};
+
+/// Which paths certify the fulfillment of eventualities (and hence which
+/// correctness statement the synthesized program enjoys).
+///
+/// * [`CertMode::FaultFree`] — the paper's main method (Section 5):
+///   eventualities are certified along fault-free subdags/paths, and the
+///   synthesized program is correct under the relativized `⊨ₙ` (once
+///   faults stop occurring).
+/// * [`CertMode::FaultProne`] — the alternative method of Section 8.3:
+///   certificates must include the fault successors of every interior
+///   AND-node, so eventualities are fulfilled even along paths on which
+///   faults keep occurring, and the program is correct under the plain
+///   `⊨`. Stronger, but applicable to fewer problems (a repeatable
+///   fault can make any liveness property unachievable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CertMode {
+    /// Fault-free certificates (`⊨ₙ` correctness) — the default.
+    FaultFree,
+    /// Fault-inclusive certificates (`⊨` correctness), Section 8.3.
+    FaultProne,
+}
+
+impl CertMode {
+    /// Whether an edge participates in certificates under this mode.
+    pub fn admits(self, kind: EdgeKind) -> bool {
+        match self {
+            CertMode::FaultFree => !kind.is_fault(),
+            CertMode::FaultProne => true,
+        }
+    }
+}
+
+/// Counters of how many nodes each rule removed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeletionStats {
+    /// `DeleteP`: propositionally inconsistent labels.
+    pub prop_inconsistent: usize,
+    /// `DeleteOR`: OR-nodes with all successors deleted.
+    pub or_without_children: usize,
+    /// `DeleteAND`: AND-nodes with a deleted (incl. fault) successor.
+    pub and_missing_successor: usize,
+    /// `DeleteAU`: nodes with an unfulfillable `A[gUh]`.
+    pub au_unfulfilled: usize,
+    /// `DeleteEU`: nodes with an unfulfillable `E[gUh]`.
+    pub eu_unfulfilled: usize,
+    /// Nodes removed because they became unreachable from the root.
+    pub unreachable: usize,
+}
+
+impl DeletionStats {
+    /// Total nodes removed.
+    pub fn total(&self) -> usize {
+        self.prop_inconsistent
+            + self.or_without_children
+            + self.and_missing_successor
+            + self.au_unfulfilled
+            + self.eu_unfulfilled
+            + self.unreachable
+    }
+}
+
+/// A fulfillment certificate for one eventuality: for every alive node,
+/// whether the eventuality is fault-free-fulfillable from it, and a rank
+/// that strictly decreases along a fulfilling subdag (used to extract
+/// the acyclic `FDAG`s during unraveling).
+#[derive(Clone, Debug)]
+pub struct Fulfillment {
+    /// Per node: fulfillable?
+    pub fulfilled: Vec<bool>,
+    /// Per node: certificate rank (0 = immediate). Meaningful only where
+    /// `fulfilled` is true.
+    pub rank: Vec<u32>,
+}
+
+impl Fulfillment {
+    fn new(n: usize) -> Fulfillment {
+        Fulfillment {
+            fulfilled: vec![false; n],
+            rank: vec![u32::MAX; n],
+        }
+    }
+
+    /// Whether `id` is fulfilled.
+    pub fn is_fulfilled(&self, id: NodeId) -> bool {
+        self.fulfilled[id.index()]
+    }
+}
+
+/// Computes fault-free fulfillment of `A[gUh]` (`g`, `h` as closure
+/// indices) for every alive node.
+///
+/// An AND-node is fulfilled at rank 0 if `h ∈ L(c)`; at rank `r+1` if
+/// `g ∈ L(c)` and *every* non-fault OR-successor has some fulfilled
+/// AND-child of rank ≤ `r`. An OR-node is fulfilled if *some* alive
+/// AND-child is fulfilled.
+pub fn au_fulfillment(
+    t: &Tableau,
+    closure: &Closure,
+    g: ClosureIdx,
+    h: ClosureIdx,
+    mode: CertMode,
+) -> Fulfillment {
+    let mut f = Fulfillment::new(t.len());
+    // `AF h = A[true U h]`: the arena folds `true ∧ x` to `x`, so `true`
+    // never appears in labels — treat it as universally present.
+    let g_holds = |l: &LabelSet| g == closure.true_idx() || l.contains(g);
+    // Base: AND nodes with h in label.
+    for id in t.node_ids() {
+        if t.alive(id) && t.node(id).kind == NodeKind::And && t.node(id).label.contains(h) {
+            f.fulfilled[id.index()] = true;
+            f.rank[id.index()] = 0;
+        }
+    }
+    // Iterate to a fixpoint; ranks grow monotonically with rounds.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // OR nodes: min over fulfilled children.
+        for id in t.node_ids() {
+            if !t.alive(id) || t.node(id).kind != NodeKind::Or {
+                continue;
+            }
+            let best = t
+                .alive_succ(id, |_| true)
+                .filter(|&(_, c)| f.fulfilled[c.index()])
+                .map(|(_, c)| f.rank[c.index()])
+                .min();
+            if let Some(r) = best {
+                if !f.fulfilled[id.index()] || r < f.rank[id.index()] {
+                    f.fulfilled[id.index()] = true;
+                    f.rank[id.index()] = r;
+                    changed = true;
+                }
+            }
+        }
+        // AND nodes: all non-fault successors fulfilled.
+        for id in t.node_ids() {
+            if !t.alive(id)
+                || t.node(id).kind != NodeKind::And
+                || f.fulfilled[id.index()]
+                || !g_holds(&t.node(id).label)
+            {
+                continue;
+            }
+            let mut all = true;
+            let mut worst = 0u32;
+            let mut any = false;
+            for (_, d) in t.alive_succ(id, |k| mode.admits(k)) {
+                any = true;
+                if f.fulfilled[d.index()] {
+                    worst = worst.max(f.rank[d.index()]);
+                } else {
+                    all = false;
+                    break;
+                }
+            }
+            if any && all {
+                f.fulfilled[id.index()] = true;
+                f.rank[id.index()] = worst + 1;
+                changed = true;
+            }
+        }
+    }
+    f
+}
+
+/// Computes fault-free fulfillment of `E[gUh]` for every alive node: an
+/// AND-node is fulfilled at rank 0 if `h ∈ L(c)`, at rank `r+1` if
+/// `g ∈ L(c)` and *some* non-fault OR-successor has a fulfilled AND-child
+/// of rank ≤ `r`; an OR-node if some alive AND-child is fulfilled.
+pub fn eu_fulfillment(
+    t: &Tableau,
+    closure: &Closure,
+    g: ClosureIdx,
+    h: ClosureIdx,
+    mode: CertMode,
+) -> Fulfillment {
+    let mut f = Fulfillment::new(t.len());
+    let g_holds = |l: &LabelSet| g == closure.true_idx() || l.contains(g);
+    for id in t.node_ids() {
+        if t.alive(id) && t.node(id).kind == NodeKind::And && t.node(id).label.contains(h) {
+            f.fulfilled[id.index()] = true;
+            f.rank[id.index()] = 0;
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in t.node_ids() {
+            if !t.alive(id) {
+                continue;
+            }
+            match t.node(id).kind {
+                NodeKind::Or => {
+                    let best = t
+                        .alive_succ(id, |_| true)
+                        .filter(|&(_, c)| f.fulfilled[c.index()])
+                        .map(|(_, c)| f.rank[c.index()])
+                        .min();
+                    if let Some(r) = best {
+                        if !f.fulfilled[id.index()] || r < f.rank[id.index()] {
+                            f.fulfilled[id.index()] = true;
+                            f.rank[id.index()] = r;
+                            changed = true;
+                        }
+                    }
+                }
+                NodeKind::And => {
+                    if f.fulfilled[id.index()] || !g_holds(&t.node(id).label) {
+                        continue;
+                    }
+                    let best = t
+                        .alive_succ(id, |k| mode.admits(k))
+                        .filter(|&(_, d)| f.fulfilled[d.index()])
+                        .map(|(_, d)| f.rank[d.index()])
+                        .min();
+                    if let Some(r) = best {
+                        f.fulfilled[id.index()] = true;
+                        f.rank[id.index()] = r + 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    f
+}
+
+/// All distinct eventualities (`AU`/`EU`) occurring in alive labels, as
+/// `(closure idx, g, h, is_au)`.
+fn live_eventualities(t: &Tableau, closure: &Closure) -> Vec<(ClosureIdx, ClosureIdx, ClosureIdx, bool)> {
+    let mut seen: LabelSet = closure.empty_label();
+    let mut out = Vec::new();
+    for id in t.node_ids() {
+        if !t.alive(id) {
+            continue;
+        }
+        for idx in t.node(id).label.iter() {
+            if seen.contains(idx) {
+                continue;
+            }
+            seen.insert(idx);
+            match closure.entry(idx).kind {
+                EntryKind::Au { g, h, .. } => out.push((idx, g, h, true)),
+                EntryKind::Eu { g, h, .. } => out.push((idx, g, h, false)),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Applies the deletion rules of Figure 2 until no rule is applicable,
+/// then restricts to the nodes still reachable from the root. Returns
+/// per-rule statistics. (If the root is deleted, the synthesis problem
+/// is impossible — Corollary 7.2.)
+pub fn apply_deletion_rules(t: &mut Tableau, closure: &Closure) -> DeletionStats {
+    apply_deletion_rules_mode(t, closure, CertMode::FaultFree)
+}
+
+/// [`apply_deletion_rules`] with an explicit certificate mode
+/// (Section 8.3's alternative method uses [`CertMode::FaultProne`]).
+pub fn apply_deletion_rules_mode(
+    t: &mut Tableau,
+    closure: &Closure,
+    mode: CertMode,
+) -> DeletionStats {
+    let mut stats = DeletionStats::default();
+
+    // DeleteP (once: labels never change afterwards).
+    for id in t.node_ids().collect::<Vec<_>>() {
+        if t.alive(id) && !closure.is_prop_consistent(&t.node(id).label) {
+            t.delete(id);
+            stats.prop_inconsistent += 1;
+        }
+    }
+
+    loop {
+        // Structural propagation (DeleteOR / DeleteAND) to a fixpoint.
+        loop {
+            let mut changed = false;
+            for id in t.node_ids().collect::<Vec<_>>() {
+                if !t.alive(id) {
+                    continue;
+                }
+                match t.node(id).kind {
+                    NodeKind::Or => {
+                        if t.alive_succ(id, |_| true).next().is_none() {
+                            t.delete(id);
+                            stats.or_without_children += 1;
+                            changed = true;
+                        }
+                    }
+                    NodeKind::And => {
+                        let missing = t
+                            .node(id)
+                            .succ
+                            .iter()
+                            .any(|&(_, d)| !t.alive(d));
+                        if missing {
+                            t.delete(id);
+                            stats.and_missing_successor += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Eventuality rules.
+        let mut removed_any = false;
+        for (idx, g, h, is_au) in live_eventualities(t, closure) {
+            let f = if is_au {
+                au_fulfillment(t, closure, g, h, mode)
+            } else {
+                eu_fulfillment(t, closure, g, h, mode)
+            };
+            for id in t.node_ids().collect::<Vec<_>>() {
+                if t.alive(id) && t.node(id).label.contains(idx) && !f.is_fulfilled(id) {
+                    t.delete(id);
+                    if is_au {
+                        stats.au_unfulfilled += 1;
+                    } else {
+                        stats.eu_unfulfilled += 1;
+                    }
+                    removed_any = true;
+                }
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    stats.unreachable = t.restrict_to_reachable();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, FaultSpec};
+    use ftsyn_ctl::{parse::parse, FormulaArena, Owner, PropTable};
+    use ftsyn_guarded::{BoolExpr, FaultAction, PropAssign};
+
+    fn run(spec: &str, procs: usize) -> (Tableau, DeletionStats) {
+        let mut props = PropTable::new();
+        props.add("p", Owner::Process(0)).unwrap();
+        props.add("q", Owner::Process(0)).unwrap();
+        let mut arena = FormulaArena::new(procs);
+        let f = parse(&mut arena, &mut props, spec, true).unwrap();
+        let cl = Closure::build(&mut arena, &props, &[f]);
+        let mut root = cl.empty_label();
+        root.insert(cl.index_of(f).unwrap());
+        let mut t = build(&cl, &props, root, &FaultSpec::none());
+        let stats = apply_deletion_rules(&mut t, &cl);
+        (t, stats)
+    }
+
+    #[test]
+    fn satisfiable_root_survives() {
+        let (t, _) = run("p & AG(EX1 true)", 1);
+        assert!(t.alive(t.root()));
+    }
+
+    #[test]
+    fn contradiction_deletes_root() {
+        let (t, stats) = run("p & ~p", 1);
+        assert!(!t.alive(t.root()));
+        assert!(stats.or_without_children >= 1);
+    }
+
+    #[test]
+    fn unfulfillable_eventuality_deletes_root() {
+        // AG ~p ∧ AF p is unsatisfiable: the AF p eventuality can never
+        // be fulfilled while ~p is invariant.
+        let (t, stats) = run("AG ~p & AF p & AG EX1 true", 1);
+        assert!(!t.alive(t.root()), "stats: {stats:?}");
+        assert!(stats.au_unfulfilled >= 1);
+    }
+
+    #[test]
+    fn fulfillable_eventuality_survives() {
+        let (t, _) = run("~p & AF p & AG EX1 true", 1);
+        assert!(t.alive(t.root()));
+    }
+
+    #[test]
+    fn eg_vs_af_conflict_deleted() {
+        // EG ~p together with AF p is unsatisfiable (every path must
+        // reach p, but some path keeps ¬p forever).
+        let (t, _) = run("EG ~p & AF p & AG EX1 true", 1);
+        assert!(!t.alive(t.root()));
+    }
+
+    #[test]
+    fn eu_fulfillment_via_some_path() {
+        // EF p is satisfiable even when q-branches exist.
+        let (t, _) = run("EF p & AG EX1 true", 1);
+        assert!(t.alive(t.root()));
+    }
+
+    #[test]
+    fn fault_to_unsatisfiable_state_cascades() {
+        // Spec: p invariantly true and provable; fault forces ¬p with a
+        // *masking* tolerance label AG p — the perturbed OR-node label
+        // {¬p, AG p} is propositionally inconsistent (AG p's α₁ is p),
+        // so the fault-successor dies and DeleteAND kills every AND-node,
+        // making the problem impossible.
+        let mut props = PropTable::new();
+        let p = props.add("p", Owner::Process(0)).unwrap();
+        let mut arena = FormulaArena::new(1);
+        let spec = parse(&mut arena, &mut props, "p & AG p & AG EX1 true", false).unwrap();
+        let tolf = parse(&mut arena, &mut props, "AG p & AG EX1 true", false).unwrap();
+        let cl = Closure::build(&mut arena, &props, &[spec, tolf]);
+        let mut root = cl.empty_label();
+        root.insert(cl.index_of(spec).unwrap());
+        let mut tol = cl.empty_label();
+        for c in arena.conjuncts(tolf) {
+            tol.insert(cl.index_of(c).unwrap());
+        }
+        let action =
+            FaultAction::new("kill-p", BoolExpr::Prop(p), vec![(p, PropAssign::False)]).unwrap();
+        let fs = FaultSpec::uniform(vec![action], tol);
+        let mut t = build(&cl, &props, root, &fs);
+        let stats = apply_deletion_rules(&mut t, &cl);
+        assert!(!t.alive(t.root()), "stats: {stats:?}");
+        assert!(stats.and_missing_successor >= 1);
+    }
+
+    #[test]
+    fn deferred_af_fulfilled_one_step_later() {
+        // ~p ∧ AF p is satisfiable: the AF branch that would fulfill
+        // immediately is propositionally inconsistent (p ∧ ¬p), but the
+        // deferring branch carries AX(AF p) — and, via the EXᵢtrue
+        // split, a real successor where p finally holds.
+        let (t, stats) = run("~p & AF p", 1);
+        assert!(t.alive(t.root()), "stats: {stats:?}");
+        assert_eq!(stats.au_unfulfilled, 0);
+    }
+
+    #[test]
+    fn stats_total_adds_up() {
+        let (_, stats) = run("p & ~p", 1);
+        assert_eq!(
+            stats.total(),
+            stats.prop_inconsistent
+                + stats.or_without_children
+                + stats.and_missing_successor
+                + stats.au_unfulfilled
+                + stats.eu_unfulfilled
+                + stats.unreachable
+        );
+    }
+}

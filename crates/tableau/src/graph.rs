@@ -1,0 +1,362 @@
+//! AND/OR graph storage for the tableau (Definition 4.2 of the paper).
+//!
+//! Nodes live in an index-based arena; labels are [`LabelSet`] bitsets
+//! over the closure. AND-nodes and OR-nodes are deduplicated by label
+//! ("if some successor has the same label as an already present node of
+//! the same type, identify them").
+
+use ftsyn_ctl::LabelSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a tableau node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index usable for direct vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// AND-node or OR-node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// AND-node: corresponds to a state in the final model.
+    And,
+    /// OR-node: a disjunctive choice point.
+    Or,
+}
+
+/// Label of a tableau edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// AND→OR edge associated with a process (`A_CD ⊆ V_C × [1:I] × V_D`).
+    Proc(usize),
+    /// AND→OR fault edge for the fault action with this index.
+    Fault(usize),
+    /// AND→OR edge to the node's *dummy* successor (the `Tiles` special
+    /// case for nodes with no nexttime formulae).
+    Dummy,
+    /// OR→AND edge (unlabeled in the paper).
+    Unlabeled,
+}
+
+impl EdgeKind {
+    /// Whether this is a fault edge.
+    pub fn is_fault(self) -> bool {
+        matches!(self, EdgeKind::Fault(_))
+    }
+}
+
+/// A tableau node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// AND or OR.
+    pub kind: NodeKind,
+    /// The set of closure formulae labeling the node.
+    pub label: LabelSet,
+    /// Outgoing edges.
+    pub succ: Vec<(EdgeKind, NodeId)>,
+    /// Incoming edges (kind of the original edge, source node).
+    pub pred: Vec<(EdgeKind, NodeId)>,
+    /// Whether a deletion rule removed this node.
+    pub deleted: bool,
+    /// Whether this OR-node is a dummy successor (its `Blocks` is pinned
+    /// to its unique parent rather than computed from the label).
+    pub dummy: bool,
+}
+
+/// The tableau: an AND/OR graph with a root OR-node.
+#[derive(Clone, Debug)]
+pub struct Tableau {
+    nodes: Vec<Node>,
+    root: NodeId,
+    and_index: HashMap<LabelSet, NodeId>,
+    or_index: HashMap<LabelSet, NodeId>,
+}
+
+impl Tableau {
+    /// Creates a tableau containing only the root OR-node with `label`.
+    pub fn with_root(label: LabelSet) -> Tableau {
+        let root = NodeId(0);
+        let mut or_index = HashMap::new();
+        or_index.insert(label.clone(), root);
+        Tableau {
+            nodes: vec![Node {
+                kind: NodeKind::Or,
+                label,
+                succ: Vec::new(),
+                pred: Vec::new(),
+                deleted: false,
+                dummy: false,
+            }],
+            root,
+            and_index: HashMap::new(),
+            or_index,
+        }
+    }
+
+    /// The root OR-node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes ever created (including deleted ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tableau has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Finds (or creates) an AND-node with the given label. Returns the
+    /// id and whether it was newly created.
+    pub fn intern_and(&mut self, label: LabelSet) -> (NodeId, bool) {
+        if let Some(&id) = self.and_index.get(&label) {
+            return (id, false);
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.and_index.insert(label.clone(), id);
+        self.nodes.push(Node {
+            kind: NodeKind::And,
+            label,
+            succ: Vec::new(),
+            pred: Vec::new(),
+            deleted: false,
+            dummy: false,
+        });
+        (id, true)
+    }
+
+    /// Finds (or creates) a non-dummy OR-node with the given label.
+    pub fn intern_or(&mut self, label: LabelSet) -> (NodeId, bool) {
+        if let Some(&id) = self.or_index.get(&label) {
+            return (id, false);
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.or_index.insert(label.clone(), id);
+        self.nodes.push(Node {
+            kind: NodeKind::Or,
+            label,
+            succ: Vec::new(),
+            pred: Vec::new(),
+            deleted: false,
+            dummy: false,
+        });
+        (id, true)
+    }
+
+    /// Creates a fresh dummy OR-node (never deduplicated against regular
+    /// OR-nodes: its successor set is pinned, not derived from its label).
+    pub fn new_dummy_or(&mut self, label: LabelSet) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Or,
+            label,
+            succ: Vec::new(),
+            pred: Vec::new(),
+            deleted: false,
+            dummy: true,
+        });
+        id
+    }
+
+    /// Adds an edge (duplicates ignored).
+    pub fn add_edge(&mut self, from: NodeId, kind: EdgeKind, to: NodeId) {
+        if !self.nodes[from.index()].succ.contains(&(kind, to)) {
+            self.nodes[from.index()].succ.push((kind, to));
+            self.nodes[to.index()].pred.push((kind, from));
+        }
+    }
+
+    /// Iterates over all node ids (including deleted nodes).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Whether the node is alive (not deleted).
+    pub fn alive(&self, id: NodeId) -> bool {
+        !self.nodes[id.index()].deleted
+    }
+
+    /// Marks a node deleted. Returns whether it was alive.
+    pub fn delete(&mut self, id: NodeId) -> bool {
+        let was = !self.nodes[id.index()].deleted;
+        self.nodes[id.index()].deleted = true;
+        was
+    }
+
+    /// Count of alive nodes of each kind `(and, or)`.
+    pub fn alive_counts(&self) -> (usize, usize) {
+        let mut and = 0;
+        let mut or = 0;
+        for n in &self.nodes {
+            if !n.deleted {
+                match n.kind {
+                    NodeKind::And => and += 1,
+                    NodeKind::Or => or += 1,
+                }
+            }
+        }
+        (and, or)
+    }
+
+    /// Alive successors of `id`, filtered by a predicate on edge kind.
+    pub fn alive_succ<'a>(
+        &'a self,
+        id: NodeId,
+        mut filter: impl FnMut(EdgeKind) -> bool + 'a,
+    ) -> impl Iterator<Item = (EdgeKind, NodeId)> + 'a {
+        self.node(id)
+            .succ
+            .iter()
+            .copied()
+            .filter(move |&(k, to)| filter(k) && self.alive(to))
+    }
+
+    /// Marks every node not reachable from the (alive) root as deleted;
+    /// returns the number of nodes removed this way. Reachability follows
+    /// all edge kinds.
+    pub fn restrict_to_reachable(&mut self) -> usize {
+        if !self.alive(self.root) {
+            let mut removed = 0;
+            for id in self.node_ids().collect::<Vec<_>>() {
+                if self.delete(id) {
+                    removed += 1;
+                }
+            }
+            return removed;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        seen[self.root.index()] = true;
+        while let Some(id) = stack.pop() {
+            for &(_, to) in &self.nodes[id.index()].succ {
+                if !seen[to.index()] && !self.nodes[to.index()].deleted {
+                    seen[to.index()] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        let mut removed = 0;
+        for id in self.node_ids().collect::<Vec<_>>() {
+            if !seen[id.index()] && self.delete(id) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsyn_ctl::{Closure, FormulaArena, PropTable};
+
+    fn label_with(bits: &[u32]) -> (Closure, LabelSet) {
+        let mut arena = FormulaArena::new(2);
+        let props = PropTable::new();
+        let cl = Closure::build(&mut arena, &props, &[]);
+        let mut l = cl.empty_label();
+        for &b in bits {
+            l.insert(b);
+        }
+        (cl, l)
+    }
+
+    #[test]
+    fn interning_dedups_per_kind() {
+        let (_, l) = label_with(&[0]);
+        let mut t = Tableau::with_root(l.clone());
+        let (a1, fresh1) = t.intern_and(l.clone());
+        let (a2, fresh2) = t.intern_and(l.clone());
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(a1, a2);
+        // Same label as the root OR-node dedups to the root.
+        let (o, fresh) = t.intern_or(l);
+        assert!(!fresh);
+        assert_eq!(o, t.root());
+    }
+
+    #[test]
+    fn dummy_or_not_deduplicated() {
+        let (_, l) = label_with(&[1]);
+        let mut t = Tableau::with_root(l.clone());
+        let d1 = t.new_dummy_or(l.clone());
+        let d2 = t.new_dummy_or(l.clone());
+        assert_ne!(d1, d2);
+        assert!(t.node(d1).dummy);
+    }
+
+    #[test]
+    fn reachability_restriction() {
+        let (_, l) = label_with(&[0]);
+        let (_, l2) = label_with(&[1]);
+        let (_, l3) = label_with(&[2]);
+        let mut t = Tableau::with_root(l);
+        let (a, _) = t.intern_and(l2);
+        let (orphan, _) = t.intern_and(l3);
+        t.add_edge(t.root(), EdgeKind::Unlabeled, a);
+        let removed = t.restrict_to_reachable();
+        assert_eq!(removed, 1);
+        assert!(!t.alive(orphan));
+        assert!(t.alive(a));
+    }
+
+    #[test]
+    fn deleting_root_kills_everything() {
+        let (_, l) = label_with(&[0]);
+        let (_, l2) = label_with(&[1]);
+        let mut t = Tableau::with_root(l);
+        let (a, _) = t.intern_and(l2);
+        t.add_edge(t.root(), EdgeKind::Unlabeled, a);
+        let root = t.root();
+        t.delete(root);
+        let removed = t.restrict_to_reachable();
+        assert_eq!(removed, 1);
+        assert_eq!(t.alive_counts(), (0, 0));
+    }
+
+    #[test]
+    fn alive_succ_filters() {
+        let (_, l) = label_with(&[0]);
+        let (_, l2) = label_with(&[1]);
+        let (_, l3) = label_with(&[2]);
+        let mut t = Tableau::with_root(l);
+        let (a, _) = t.intern_and(l2);
+        let (b, _) = t.intern_or(l3);
+        t.add_edge(a, EdgeKind::Proc(0), b);
+        t.add_edge(a, EdgeKind::Fault(1), t.root());
+        let non_fault: Vec<_> = t.alive_succ(a, |k| !k.is_fault()).collect();
+        assert_eq!(non_fault, vec![(EdgeKind::Proc(0), b)]);
+        let faults: Vec<_> = t.alive_succ(a, EdgeKind::is_fault).collect();
+        assert_eq!(faults.len(), 1);
+    }
+}

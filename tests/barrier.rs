@@ -1,0 +1,192 @@
+//! Integration test for experiments E5–E6: barrier synchronization under
+//! general state failures with nonmasking (self-stabilizing) tolerance
+//! (Section 6.2, Figures 10–11).
+
+use ftsyn::guarded::sim::{simulate, SimConfig};
+use ftsyn::kripke::{Checker, PropSet, Semantics, StateRole};
+use ftsyn::{problems::barrier, synthesize, Tolerance};
+
+fn solve() -> (ftsyn::SynthesisProblem, Box<ftsyn::Synthesized>) {
+    let mut problem = barrier::with_general_state_faults(2);
+    assert_eq!(
+        problem.tolerance,
+        ftsyn::ToleranceAssignment::Uniform(Tolerance::Nonmasking)
+    );
+    let solved = synthesize(&mut problem).unwrap_solved();
+    (problem, solved)
+}
+
+/// The cyclic phase position of a process in a valuation, if one-hot.
+fn phase(problem: &ftsyn::SynthesisProblem, v: &PropSet, i: usize) -> Option<usize> {
+    let names = ["SA", "EA", "SB", "EB"];
+    let mut found = None;
+    for (k, n) in names.iter().enumerate() {
+        let p = problem.props.id(&format!("{n}{}", i + 1)).unwrap();
+        if v.contains(p) {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(k);
+        }
+    }
+    found
+}
+
+#[test]
+fn synthesis_succeeds_and_verifies() {
+    let (_, s) = solve();
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+    assert!(s.verification.perturbed_count > 0);
+}
+
+#[test]
+fn normal_region_is_the_eight_synchronized_valuations() {
+    // Figure 10's fault-free sub-structure has 8 states: the two
+    // processes are at equal phases or one phase apart (never two).
+    let (problem, s) = solve();
+    let roles = s.model.classify();
+    let mut vals: Vec<PropSet> = Vec::new();
+    for st in s.model.state_ids() {
+        if roles[st.index()] == StateRole::Normal {
+            let v = s.model.state(st).props.clone();
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+    }
+    assert_eq!(vals.len(), 8, "Figure 10's fault-free portion");
+    for v in &vals {
+        let p1 = phase(&problem, v, 0).expect("one-hot");
+        let p2 = phase(&problem, v, 1).expect("one-hot");
+        let d = (4 + p1 as i32 - p2 as i32) % 4;
+        assert!(
+            d == 0 || d == 1 || d == 3,
+            "normal states are at most one phase apart: {}",
+            v.display(&problem.props)
+        );
+    }
+}
+
+#[test]
+fn perturbed_states_are_two_phases_apart() {
+    // The four perturbed valuations of Figure 10 are exactly the pairs
+    // two phases apart (they violate barrier clauses 7/8).
+    let (problem, s) = solve();
+    let roles = s.model.classify();
+    let mut vals: Vec<PropSet> = Vec::new();
+    for st in s.model.state_ids() {
+        if roles[st.index()] == StateRole::Perturbed {
+            let v = s.model.state(st).props.clone();
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+    }
+    // Every perturbed valuation is one-hot (general state faults move a
+    // process to a definite local state); those violating the barrier
+    // condition are the distance-2 pairs.
+    let two_apart: Vec<&PropSet> = vals
+        .iter()
+        .filter(|v| {
+            let p1 = phase(&problem, v, 0).expect("one-hot");
+            let p2 = phase(&problem, v, 1).expect("one-hot");
+            (4 + p1 as i32 - p2 as i32) % 4 == 2
+        })
+        .collect();
+    assert_eq!(two_apart.len(), 4, "Figure 10's four perturbed states");
+}
+
+#[test]
+fn nonmasking_recovery_reaches_the_normal_region() {
+    // AF AG(global) holds at every perturbed state under ⊨ₙ — checked by
+    // the verifier; here we check the concrete consequence: from every
+    // perturbed state, every fault-free path reaches a state whose
+    // valuation is at most one phase apart (and stays barrier-correct).
+    let (mut problem, s) = solve();
+    let ag_global = {
+        let g = problem.spec.global;
+        problem.arena.ag(g)
+    };
+    let af_ag = problem.arena.af(ag_global);
+    let mut ck = Checker::new(&s.model, Semantics::FaultFree);
+    let roles = s.model.classify();
+    for st in s.model.state_ids() {
+        if roles[st.index()] == StateRole::Perturbed {
+            assert!(
+                ck.holds(&problem.arena, af_ag, st),
+                "no convergence from {}",
+                s.model.state(st).display(&problem.props)
+            );
+        }
+    }
+}
+
+#[test]
+fn masking_tolerance_is_impossible_for_general_state_faults() {
+    // A general state fault immediately violates the barrier conditions,
+    // so masking tolerance (safety NOW) cannot be achieved — the paper
+    // accordingly asks for nonmasking. Mechanical impossibility check:
+    let mut problem = barrier::with_general_state_faults(2);
+    problem.tolerance = ftsyn::ToleranceAssignment::Uniform(Tolerance::Masking);
+    let outcome = synthesize(&mut problem);
+    assert!(!outcome.is_solved());
+}
+
+#[test]
+fn recovery_transitions_do_not_change_normal_behavior() {
+    // "These recovery-transitions do not permit the fault-tolerant
+    // program to generate any new states or transitions under normal
+    // (fault-free) operation" (Section 6.2): the fault-free reachable
+    // region of the synthesized model consists of normal states only.
+    let (_, s) = solve();
+    let roles = s.model.classify();
+    // classify() already defines Normal = fault-free reachable; check
+    // that every program transition from a normal state stays normal.
+    for st in s.model.state_ids() {
+        if roles[st.index()] == StateRole::Normal {
+            for e in s.model.succ(st) {
+                if !e.kind.is_fault() {
+                    assert_eq!(roles[e.to.index()], StateRole::Normal);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn self_stabilization_under_random_corruption() {
+    // Inject random general-state faults; after the last fault the
+    // program must converge to barrier-correct behavior forever.
+    let (problem, s) = solve();
+    let sa1 = problem.props.id("SA1").unwrap();
+    let sb1 = problem.props.id("SB1").unwrap();
+    let ea1 = problem.props.id("EA1").unwrap();
+    let eb1 = problem.props.id("EB1").unwrap();
+    let sa2 = problem.props.id("SA2").unwrap();
+    let sb2 = problem.props.id("SB2").unwrap();
+    let ea2 = problem.props.id("EA2").unwrap();
+    let eb2 = problem.props.id("EB2").unwrap();
+    let ok = |v: &PropSet| {
+        let bad = (v.contains(sa1) && v.contains(sb2))
+            || (v.contains(sa2) && v.contains(sb1))
+            || (v.contains(ea1) && v.contains(eb2))
+            || (v.contains(ea2) && v.contains(eb1));
+        !bad
+    };
+    let mut converged_runs = 0;
+    for seed in 0..20 {
+        let cfg = SimConfig {
+            steps: 300,
+            fault_prob: 0.15,
+            max_faults: 5,
+            seed,
+        };
+        let trace = simulate(&s.program, &problem.faults, &problem.props, &cfg);
+        // Allow a settling window of up to the state-space diameter.
+        if let Some(conv) = trace.eventually_always_after_faults(10, ok) {
+            assert!(conv, "seed {seed}: no convergence after faults stopped");
+            converged_runs += 1;
+        }
+    }
+    assert!(converged_runs >= 10, "most runs must be observable");
+}

@@ -1,0 +1,143 @@
+//! Integration tests for fail-safe tolerance (Definition 2.1, third
+//! case): after a fault, only the *safety* part of the global
+//! specification is guaranteed.
+
+use ftsyn::ctl::{FormulaArena, Owner, PropTable, Spec};
+use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
+use ftsyn::kripke::{Checker, Semantics, StateRole};
+use ftsyn::{synthesize, SynthesisProblem, Tolerance};
+
+/// A two-process producer/consumer-ish toy: each process alternates
+/// `idleᵢ`/`busyᵢ` with the liveness requirement `AG(busyᵢ ⇒ AF idleᵢ)`
+/// and the safety requirement that the two are never busy together.
+/// The fault wedges P1 (an auxiliary `stuck1` that is permanent and
+/// forces P1 to stay busy), killing P1's liveness but not safety.
+fn wedge_problem(tol: Tolerance) -> SynthesisProblem {
+    let mut props = PropTable::new();
+    let i1 = props.add("idle1", Owner::Process(0)).unwrap();
+    let b1 = props.add("busy1", Owner::Process(0)).unwrap();
+    let i2 = props.add("idle2", Owner::Process(1)).unwrap();
+    let b2 = props.add("busy2", Owner::Process(1)).unwrap();
+    let stuck = props.add_aux("stuck1", Owner::Process(0)).unwrap();
+    let mut arena = FormulaArena::new(2);
+    let (fi1, fb1, fi2, fb2, fs) = (
+        arena.prop(i1),
+        arena.prop(b1),
+        arena.prop(i2),
+        arena.prop(b2),
+        arena.prop(stuck),
+    );
+    let mut globals = Vec::new();
+    // Exactly one per process.
+    for (a, b) in [(fi1, fb1), (fi2, fb2)] {
+        let nb = arena.not(b);
+        let iff = arena.iff(a, nb);
+        globals.push(iff);
+    }
+    // Interleaving.
+    for (owner, other, f) in [(0, 1, fi1), (0, 1, fb1), (1, 0, fi2), (1, 0, fb2)] {
+        let _ = owner;
+        let ax = arena.ax(other, f);
+        let cl = arena.implies(f, ax);
+        globals.push(cl);
+    }
+    // Safety: never both busy.
+    let bb = arena.and(fb1, fb2);
+    let nbb = arena.not(bb);
+    globals.push(nbb);
+    // Liveness both ways: idle leads to busy and busy leads back to
+    // idle (this is what forces the fault's enabling condition to occur
+    // in the absence of faults, and what the wedge breaks).
+    for (b, idle) in [(fb1, fi1), (fb2, fi2)] {
+        let afb = arena.af(b);
+        let cl = arena.implies(idle, afb);
+        globals.push(cl);
+        let afi = arena.af(idle);
+        let cl = arena.implies(b, afi);
+        globals.push(cl);
+    }
+    // Progress.
+    let t = arena.tru();
+    let ext = arena.ex_all(t);
+    globals.push(ext);
+    let global = arena.and_all(globals);
+    let init = {
+        let ii = arena.and(fi1, fi2);
+        let ns = arena.neg_prop(stuck);
+        arena.and(ii, ns)
+    };
+    // Coupling: stuck is permanent and forces P1 busy.
+    let ag_stuck = arena.ag(fs);
+    let c1 = arena.implies(fs, ag_stuck);
+    let c2 = arena.implies(fs, fb1);
+    // Other process cannot change stuck.
+    let ax_stuck = arena.ax(1, fs);
+    let c3 = arena.implies(fs, ax_stuck);
+    let c12 = arena.and(c1, c2);
+    let coupling = arena.and(c12, c3);
+    let spec = Spec::with_coupling(init, global, coupling);
+    let fault = FaultAction::new(
+        "wedge-P1",
+        BoolExpr::And(vec![BoolExpr::Prop(b1), BoolExpr::not_prop(stuck)]),
+        vec![(stuck, PropAssign::True)],
+    )
+    .unwrap();
+    SynthesisProblem::new(arena, props, spec, vec![fault], tol)
+}
+
+#[test]
+fn masking_and_nonmasking_are_impossible_for_the_wedge() {
+    for tol in [Tolerance::Masking, Tolerance::Nonmasking] {
+        let mut problem = wedge_problem(tol);
+        assert!(
+            !synthesize(&mut problem).is_solved(),
+            "{tol:?} cannot restore P1's liveness"
+        );
+    }
+}
+
+#[test]
+fn failsafe_solves_the_wedge_and_keeps_safety() {
+    let mut problem = wedge_problem(Tolerance::FailSafe);
+    let s = synthesize(&mut problem).unwrap_solved();
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+    assert!(s.verification.perturbed_count > 0);
+
+    // Safety (never both busy) holds at every reachable state, even
+    // across fault transitions.
+    let b1 = problem.arena.prop(problem.props.id("busy1").unwrap());
+    let b2 = problem.arena.prop(problem.props.id("busy2").unwrap());
+    let bb = problem.arena.and(b1, b2);
+    let nbb = problem.arena.not(bb);
+    let ag = problem.arena.ag(nbb);
+    let mut ck = Checker::new(&s.model, Semantics::IncludeFaults);
+    assert!(ck.holds(&problem.arena, ag, s.model.init_states()[0]));
+
+    // And the liveness part is indeed *not* restored at the wedged
+    // states (this is what distinguishes fail-safe from masking): P1
+    // stays busy forever there.
+    let i1 = problem.arena.prop(problem.props.id("idle1").unwrap());
+    let af_idle = problem.arena.af(i1);
+    let roles = s.model.classify();
+    let mut ckn = Checker::new(&s.model, Semantics::FaultFree);
+    let mut saw_wedged = false;
+    for st in s.model.state_ids() {
+        if roles[st.index()] == StateRole::Perturbed {
+            saw_wedged = true;
+            assert!(
+                !ckn.holds(&problem.arena, af_idle, st),
+                "the wedge is permanent: P1 cannot become idle again"
+            );
+        }
+    }
+    assert!(saw_wedged);
+}
+
+#[test]
+fn failsafe_of_mutex_under_fail_stop_also_works() {
+    // Fail-safe is weaker than masking, so the paper's masking-solvable
+    // problem is also fail-safe-solvable.
+    let mut problem = ftsyn::problems::mutex::with_fail_stop(2, Tolerance::FailSafe);
+    let s = synthesize(&mut problem).unwrap_solved();
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+}

@@ -1,0 +1,177 @@
+//! Integration test for experiment E7: mechanical impossibility results
+//! (Section 6.3) — completeness as a negative oracle.
+
+use ftsyn::ctl::{FormulaArena, Owner, PropTable, Spec};
+use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
+use ftsyn::{problems::barrier, problems::mutex, synthesize, SynthesisProblem, Tolerance};
+
+#[test]
+fn barrier_with_fail_stop_and_nonmasking_is_impossible() {
+    // Section 6.3: if P1 may stay down forever, the barrier problem has
+    // no nonmasking-tolerant solution — the progress of P2 requires the
+    // concomitant progress of P1.
+    let mut problem = barrier::with_fail_stop_impossible(2);
+    let outcome = synthesize(&mut problem);
+    match outcome {
+        ftsyn::SynthesisOutcome::Impossible(imp) => {
+            // The whole tableau must cascade away from the root.
+            assert!(imp.stats.deletion.total() > 0);
+            assert!(imp.stats.tableau_nodes > 0);
+        }
+        ftsyn::SynthesisOutcome::Solved(_) => {
+            panic!("Section 6.3 requires an impossibility result")
+        }
+    }
+}
+
+#[test]
+fn the_solvable_counterpart_is_indeed_solvable() {
+    // Sanity for the test above: the same barrier problem under general
+    // state faults (which are always recoverable) is solvable.
+    let mut problem = barrier::with_general_state_faults(2);
+    assert!(synthesize(&mut problem).is_solved());
+}
+
+#[test]
+fn unguarded_repair_into_critical_section_is_impossible() {
+    // Footnote 11 justified mechanically: if the repair fault may revive
+    // P1 directly into C1 regardless of P2, the fault can fire in a
+    // state where C2 holds, producing the perturbed valuation [C1 C2] —
+    // propositionally inconsistent with the masking label AG ¬(C1∧C2) —
+    // and the deletion rules cascade to the root.
+    let mut problem = mutex::with_fail_stop(2, Tolerance::Masking);
+    // Replace the guarded repair-to-C actions with unguarded ones.
+    let mut faults = problem.faults.clone();
+    for f in &mut faults {
+        if f.name().starts_with("repair") && f.name().ends_with("to-C") {
+            let assigns = f.assigns().to_vec();
+            let d_guard = match f.guard() {
+                BoolExpr::And(parts) => parts[0].clone(),
+                g => g.clone(),
+            };
+            *f = FaultAction::new(f.name().to_owned(), d_guard, assigns).unwrap();
+        }
+    }
+    assert!(
+        faults.iter().any(|f| f.name().ends_with("to-C")),
+        "repair actions present"
+    );
+    problem.faults = faults;
+    let outcome = synthesize(&mut problem);
+    assert!(!outcome.is_solved(), "unguarded repair must be impossible");
+}
+
+#[test]
+fn plainly_unsatisfiable_specs_are_impossible_without_faults() {
+    // The degenerate case: an unsatisfiable problem specification is
+    // reported impossible by the same mechanism (no fault needed).
+    let mut props = PropTable::new();
+    props.add("p", Owner::Process(0)).unwrap();
+    let mut arena = FormulaArena::new(1);
+    let p = arena.prop(props.id("p").unwrap());
+    let np = arena.not(p);
+    let init = p;
+    let afnp = arena.af(np);
+    let agp = arena.ag(p);
+    let ext = {
+        let t = arena.tru();
+        arena.ex_all(t)
+    };
+    let agext = arena.ag(ext);
+    let tail = arena.and(afnp, agext);
+    // AG p ∧ AF ¬p is unsatisfiable.
+    let global = arena.and(agp, tail);
+    let spec = Spec::new(&mut arena, init, global);
+    let mut problem = SynthesisProblem::new(arena, props, spec, vec![], Tolerance::Masking);
+    assert!(!synthesize(&mut problem).is_solved());
+}
+
+#[test]
+fn tolerance_strength_ordering_on_one_problem() {
+    // One fault, three tolerances: a fault that truthifies `broken`
+    // (coupling pins ¬done while broken, forever). Masking needs the
+    // pending AF done — impossible; nonmasking needs it eventually —
+    // still impossible (broken is permanent); fail-safe drops the
+    // liveness part — solvable.
+    for (tol, solvable) in [
+        (Tolerance::Masking, false),
+        (Tolerance::Nonmasking, false),
+        (Tolerance::FailSafe, true),
+    ] {
+        let mut problem = broken_task_problem(tol);
+        let outcome = synthesize(&mut problem);
+        assert_eq!(
+            outcome.is_solved(),
+            solvable,
+            "{tol:?} should be {}",
+            if solvable { "solvable" } else { "impossible" }
+        );
+        if let ftsyn::SynthesisOutcome::Solved(s) = outcome {
+            assert!(s.verification.ok(), "{:?}", s.verification.failures);
+        }
+    }
+}
+
+/// A single-process task: `idle → try → done → idle` with
+/// `AG(try ⇒ AF done)`. The fault breaks the machine in the `try` state;
+/// the coupling makes `broken` permanent and incompatible with `done`.
+fn broken_task_problem(tol: Tolerance) -> SynthesisProblem {
+    let mut props = PropTable::new();
+    let idle = props.add("idle", Owner::Process(0)).unwrap();
+    let try_ = props.add("try", Owner::Process(0)).unwrap();
+    let done = props.add("done", Owner::Process(0)).unwrap();
+    let broken = props.add_aux("broken", Owner::Process(0)).unwrap();
+    let mut arena = FormulaArena::new(1);
+    let (fi, ft, fd, fb) = (
+        arena.prop(idle),
+        arena.prop(try_),
+        arena.prop(done),
+        arena.prop(broken),
+    );
+    let mut globals = Vec::new();
+    // Exactly one of idle/try/done: at least one …
+    let td = arena.or(ft, fd);
+    let some_state = arena.or(fi, td);
+    globals.push(some_state);
+    // … and at most one.
+    for (a, b1, b2) in [(fi, ft, fd), (ft, fi, fd), (fd, fi, ft)] {
+        let or = arena.or(b1, b2);
+        let nor = arena.not(or);
+        let cl = arena.implies(a, nor);
+        globals.push(cl);
+    }
+    // Movement: idle goes to try; done goes to idle.
+    let axt = arena.ax(0, ft);
+    let cl = arena.implies(fi, axt);
+    globals.push(cl);
+    let axi = arena.ax(0, fi);
+    let cl = arena.implies(fd, axi);
+    globals.push(cl);
+    // Liveness: try leads to done.
+    let afd = arena.af(fd);
+    let cl = arena.implies(ft, afd);
+    globals.push(cl);
+    // Progress.
+    let t = arena.tru();
+    let ext = arena.ex_all(t);
+    globals.push(ext);
+    let global = arena.and_all(globals);
+    let init = {
+        let nb = arena.neg_prop(broken);
+        arena.and(fi, nb)
+    };
+    // Coupling: broken is permanent and forbids done.
+    let agb = arena.ag(fb);
+    let c1 = arena.implies(fb, agb);
+    let nd = arena.not(fd);
+    let c2 = arena.implies(fb, nd);
+    let coupling = arena.and(c1, c2);
+    let spec = Spec::with_coupling(init, global, coupling);
+    let fault = FaultAction::new(
+        "break-in-try",
+        BoolExpr::And(vec![BoolExpr::Prop(try_), BoolExpr::not_prop(broken)]),
+        vec![(broken, PropAssign::True)],
+    )
+    .unwrap();
+    SynthesisProblem::new(arena, props, spec, vec![fault], tol)
+}

@@ -1,0 +1,181 @@
+//! Property-based tests of the synthesis pipeline over a randomized
+//! family of one-process "mode machine" problems: every solved instance
+//! must pass mechanical verification (soundness, Theorem 7.1.9; fault
+//! closure, Theorem 7.3.2), and the tolerance lattice must be respected
+//! (a masking-solvable problem is nonmasking- and fail-safe-solvable).
+
+use ftsyn::ctl::{FormulaArena, FormulaId, Owner, PropTable, Spec};
+use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
+use ftsyn::{synthesize, SynthesisOutcome, SynthesisProblem, Tolerance};
+use proptest::prelude::*;
+
+/// Blueprint of a random one-process synthesis problem over `k` one-hot
+/// modes.
+#[derive(Clone, Debug)]
+struct Blueprint {
+    k: usize,
+    /// Per mode: required AX successor mode (None = unconstrained).
+    ax_next: Vec<Option<usize>>,
+    /// Liveness clauses `mode a ⇒ AF mode b`.
+    af_clauses: Vec<(usize, usize)>,
+    /// Fault: when in mode `guard`, jump to mode `target`.
+    fault: Option<(usize, usize)>,
+}
+
+fn blueprint() -> impl Strategy<Value = Blueprint> {
+    (2usize..4)
+        .prop_flat_map(|k| {
+            let ax = proptest::collection::vec(proptest::option::of(0..k), k..=k);
+            let afs = proptest::collection::vec((0..k, 0..k), 0..3);
+            let fault = proptest::option::of((0..k, 0..k));
+            (Just(k), ax, afs, fault)
+        })
+        .prop_map(|(k, ax_next, af_clauses, fault)| Blueprint {
+            k,
+            ax_next,
+            af_clauses,
+            fault,
+        })
+}
+
+fn build_problem(bp: &Blueprint, tol: Tolerance) -> SynthesisProblem {
+    let mut props = PropTable::new();
+    let modes: Vec<_> = (0..bp.k)
+        .map(|m| props.add(format!("m{m}"), Owner::Process(0)).unwrap())
+        .collect();
+    let mut arena = FormulaArena::new(1);
+    let fm: Vec<FormulaId> = modes.iter().map(|&p| arena.prop(p)).collect();
+
+    let mut globals = Vec::new();
+    // Exactly one mode.
+    let any = arena.or_all(fm.clone());
+    globals.push(any);
+    for a in 0..bp.k {
+        let others: Vec<FormulaId> = (0..bp.k).filter(|&b| b != a).map(|b| fm[b]).collect();
+        let disj = arena.or_all(others);
+        let ndisj = arena.not(disj);
+        let cl = arena.implies(fm[a], ndisj);
+        globals.push(cl);
+    }
+    // AX movement constraints.
+    for (a, nxt) in bp.ax_next.iter().enumerate() {
+        if let Some(b) = nxt {
+            let ax = arena.ax(0, fm[*b]);
+            let cl = arena.implies(fm[a], ax);
+            globals.push(cl);
+        }
+    }
+    // AF liveness clauses.
+    for &(a, b) in &bp.af_clauses {
+        let af = arena.af(fm[b]);
+        let cl = arena.implies(fm[a], af);
+        globals.push(cl);
+    }
+    // Progress.
+    let t = arena.tru();
+    let ext = arena.ex_all(t);
+    globals.push(ext);
+    let global = arena.and_all(globals);
+    let init = fm[0];
+    let spec = Spec::new(&mut arena, init, global);
+
+    let faults = match bp.fault {
+        None => vec![],
+        Some((g, target)) => {
+            let mut assigns = vec![(modes[target], PropAssign::True)];
+            for (m, &p) in modes.iter().enumerate() {
+                if m != target {
+                    assigns.push((p, PropAssign::False));
+                }
+            }
+            vec![FaultAction::new("jump", BoolExpr::Prop(modes[g]), assigns).unwrap()]
+        }
+    };
+    SynthesisProblem::new(arena, props, spec, faults, tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every solved instance passes mechanical verification.
+    #[test]
+    fn solved_instances_verify(bp in blueprint(), tol_pick in 0..3usize) {
+        let tol = [Tolerance::Masking, Tolerance::Nonmasking, Tolerance::FailSafe][tol_pick];
+        let mut problem = build_problem(&bp, tol);
+        if let SynthesisOutcome::Solved(s) = synthesize(&mut problem) {
+            prop_assert!(
+                s.verification.ok(),
+                "verification failed for {:?} with {:?}: {:?}",
+                bp, tol, s.verification.failures
+            );
+        }
+    }
+
+    /// Masking-solvable implies nonmasking- and fail-safe-solvable
+    /// (the masking solution itself witnesses the weaker tolerances;
+    /// completeness must therefore find one).
+    #[test]
+    fn tolerance_lattice_respected(bp in blueprint()) {
+        let mut masking = build_problem(&bp, Tolerance::Masking);
+        if synthesize(&mut masking).is_solved() {
+            for tol in [Tolerance::Nonmasking, Tolerance::FailSafe] {
+                let mut weaker = build_problem(&bp, tol);
+                prop_assert!(
+                    synthesize(&mut weaker).is_solved(),
+                    "masking-solvable {:?} must be {:?}-solvable",
+                    bp, tol
+                );
+            }
+        }
+    }
+
+    /// Fault-free synthesis yields purely normal models, and the outcome
+    /// is deterministic across repeated runs.
+    #[test]
+    fn fault_free_models_are_normal_and_deterministic(bp in blueprint()) {
+        let bp = Blueprint { fault: None, ..bp.clone() };
+        let mut p1 = build_problem(&bp, Tolerance::Masking);
+        let mut p2 = build_problem(&bp, Tolerance::Masking);
+        let o1 = synthesize(&mut p1);
+        let o2 = synthesize(&mut p2);
+        prop_assert_eq!(o1.is_solved(), o2.is_solved());
+        if let (SynthesisOutcome::Solved(s1), SynthesisOutcome::Solved(s2)) = (o1, o2) {
+            prop_assert_eq!(s1.stats.model_states, s2.stats.model_states);
+            prop_assert_eq!(s1.stats.alive_and, s2.stats.alive_and);
+            prop_assert_eq!(s1.stats.fault_transitions, 0);
+            let roles = s1.model.classify();
+            prop_assert!(roles.iter().all(|r| *r == ftsyn::kripke::StateRole::Normal));
+        }
+    }
+
+    /// The extracted program regenerates the fault-free portion exactly
+    /// (round-trip property on random instances).
+    #[test]
+    fn extraction_round_trips(bp in blueprint()) {
+        let mut problem = build_problem(&bp, Tolerance::Nonmasking);
+        if let SynthesisOutcome::Solved(s) = synthesize(&mut problem) {
+            let regen = ftsyn::guarded::interp::explore(&s.program, &[], &problem.props)
+                .expect("fault-free exploration cannot fail");
+            // Same fault-free state count and initial valuation.
+            let roles = s.model.classify();
+            let normal: std::collections::BTreeSet<(Vec<u32>, Vec<u32>)> = s
+                .model
+                .state_ids()
+                .filter(|st| roles[st.index()] == ftsyn::kripke::StateRole::Normal)
+                .map(|st| (
+                    s.model.state(st).props.iter().map(|p| p.0).collect(),
+                    s.model.state(st).shared.clone(),
+                ))
+                .collect();
+            let regen_states: std::collections::BTreeSet<(Vec<u32>, Vec<u32>)> = regen
+                .kripke
+                .state_ids()
+                .map(|st| (
+                    regen.kripke.state(st).props.iter().map(|p| p.0).collect(),
+                    regen.kripke.state(st).shared.clone(),
+                ))
+                .collect();
+            prop_assert_eq!(normal, regen_states);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration test for the readers–writers problem: a specification
+//! beyond the paper's worked examples, with an asymmetric exclusion
+//! relation (the writer excludes everyone; readers share).
+
+use ftsyn::guarded::sim::{simulate, SimConfig};
+use ftsyn::kripke::{Checker, Semantics, StateRole};
+use ftsyn::{problems::readers_writers, synthesize, Tolerance};
+
+#[test]
+fn fault_free_readers_share_but_writer_excludes() {
+    let mut problem = readers_writers::fault_free(2);
+    let s = synthesize(&mut problem).unwrap_solved();
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+
+    let cw = problem.props.id("Cw").unwrap();
+    let cr1 = problem.props.id("Cr1").unwrap();
+    let cr2 = problem.props.id("Cr2").unwrap();
+    let mut both_readers = false;
+    for st in s.model.state_ids() {
+        let v = &s.model.state(st).props;
+        assert!(!(v.contains(cw) && v.contains(cr1)));
+        assert!(!(v.contains(cw) && v.contains(cr2)));
+        if v.contains(cr1) && v.contains(cr2) {
+            both_readers = true;
+        }
+    }
+    assert!(
+        both_readers,
+        "readers must be able to read concurrently — otherwise this is just mutex"
+    );
+}
+
+#[test]
+fn writer_fail_stop_is_masked() {
+    let mut problem = readers_writers::with_writer_fail_stop(2, Tolerance::Masking);
+    let s = synthesize(&mut problem).unwrap_solved();
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+    assert!(s.verification.perturbed_count > 0);
+
+    // Readers never starve, even while the writer is down: check
+    // AG(Tr1 ⇒ AF Cr1) at every perturbed state under ⊨ₙ.
+    let tr1 = problem.arena.prop(problem.props.id("Tr1").unwrap());
+    let cr1 = problem.arena.prop(problem.props.id("Cr1").unwrap());
+    let af = problem.arena.af(cr1);
+    let imp = problem.arena.implies(tr1, af);
+    let ag = problem.arena.ag(imp);
+    let mut ck = Checker::new(&s.model, Semantics::FaultFree);
+    let roles = s.model.classify();
+    for st in s.model.state_ids() {
+        if roles[st.index()] == StateRole::Perturbed {
+            assert!(
+                ck.holds(&problem.arena, ag, st),
+                "reader 1 starves at {}",
+                s.model.state(st).display(&problem.props)
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_respects_the_asymmetric_exclusion() {
+    let mut problem = readers_writers::with_writer_fail_stop(1, Tolerance::Masking);
+    let s = synthesize(&mut problem).unwrap_solved();
+    let cw = problem.props.id("Cw").unwrap();
+    let cr1 = problem.props.id("Cr1").unwrap();
+    for seed in 0..10 {
+        let cfg = SimConfig {
+            steps: 300,
+            fault_prob: 0.15,
+            max_faults: 4,
+            seed,
+        };
+        let trace = simulate(&s.program, &problem.faults, &problem.props, &cfg);
+        assert!(
+            trace.always(|v| !(v.contains(cw) && v.contains(cr1))),
+            "seed {seed}: writer/reader exclusion violated"
+        );
+    }
+}
+
+#[test]
+fn repair_into_cw_is_guarded_on_readers() {
+    // Unguarding the repair-into-Cw action makes masking impossible —
+    // the same footnote-11 phenomenon as in the mutex example.
+    let mut problem = readers_writers::with_writer_fail_stop(1, Tolerance::Masking);
+    let mut faults = problem.faults.clone();
+    for f in &mut faults {
+        if f.name().ends_with("to-C") {
+            let assigns = f.assigns().to_vec();
+            let d_guard = match f.guard() {
+                ftsyn::guarded::BoolExpr::And(parts) => parts[0].clone(),
+                g => g.clone(),
+            };
+            *f = ftsyn::guarded::FaultAction::new(f.name().to_owned(), d_guard, assigns)
+                .expect("valid");
+        }
+    }
+    problem.faults = faults;
+    assert!(!synthesize(&mut problem).is_solved());
+}
