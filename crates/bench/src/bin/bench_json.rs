@@ -1,0 +1,430 @@
+//! Machine-readable benchmark trajectory: runs the five built-in
+//! problem families (mutex, barrier, handshake, readers-writers, wire)
+//! at scaled process counts and emits `BENCH_synthesis.json` at the
+//! repository root.
+//!
+//! The JSON is hand-rolled (no serde — the offline build has no
+//! external dependencies) and contains, per problem, the size and
+//! per-phase timing statistics of one synthesis run plus the worklist
+//! counters, and, for the largest fault-prone instances, a head-to-head
+//! timing of the worklist deletion engine against the sweep-based
+//! reference (`slow-reference` feature).
+//!
+//! ```text
+//! cargo run --release -p ftsyn-bench --bin bench_json
+//! ```
+
+use ftsyn::ctl::Closure;
+use ftsyn::guarded::interp::explore;
+use ftsyn::guarded::sim::{simulate, SimConfig};
+use ftsyn::problems::{barrier, handshake, mutex, readers_writers, wire};
+use ftsyn::tableau::{
+    apply_deletion_rules_mode, apply_deletion_rules_naive_mode, build, CertMode, FaultSpec,
+    Tableau,
+};
+use ftsyn::{synthesize, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Escapes a string for a JSON literal (ASCII control, quote, backslash).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A hand-rolled JSON object/array builder: fields are appended in call
+/// order, nesting is by string composition.
+#[derive(Default)]
+struct Obj {
+    body: String,
+}
+
+impl Obj {
+    fn raw(mut self, key: &str, value: &str) -> Obj {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "\"{}\":{}", esc(key), value);
+        self
+    }
+
+    fn str(self, key: &str, value: &str) -> Obj {
+        let v = format!("\"{}\"", esc(value));
+        self.raw(key, &v)
+    }
+
+    fn num(self, key: &str, value: usize) -> Obj {
+        let v = value.to_string();
+        self.raw(key, &v)
+    }
+
+    fn float(self, key: &str, value: f64) -> Obj {
+        let v = if value.is_finite() {
+            format!("{value:.3}")
+        } else {
+            "null".to_owned()
+        };
+        self.raw(key, &v)
+    }
+
+    fn bool(self, key: &str, value: bool) -> Obj {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    fn ns(self, key: &str, d: Duration) -> Obj {
+        let v = d.as_nanos().to_string();
+        self.raw(key, &v)
+    }
+
+    fn build(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+fn arr(items: Vec<String>) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Serializes the statistics of one synthesis run.
+fn stats_json(stats: &SynthesisStats, solved: bool) -> String {
+    let bp = &stats.build_profile;
+    let dp = &stats.deletion_profile;
+    Obj::default()
+        .bool("solved", solved)
+        .num("spec_length", stats.spec_length)
+        .num("fault_size", stats.fault_size)
+        .num("closure_size", stats.closure_size)
+        .num("tableau_nodes", stats.tableau_nodes)
+        .num("alive_and", stats.alive_and)
+        .num("alive_or", stats.alive_or)
+        .raw(
+            "deletions",
+            &Obj::default()
+                .num("prop_inconsistent", stats.deletion.prop_inconsistent)
+                .num("or_without_children", stats.deletion.or_without_children)
+                .num("and_missing_successor", stats.deletion.and_missing_successor)
+                .num("au_unfulfilled", stats.deletion.au_unfulfilled)
+                .num("eu_unfulfilled", stats.deletion.eu_unfulfilled)
+                .num("unreachable", stats.deletion.unreachable)
+                .build(),
+        )
+        .num("model_states", stats.model_states)
+        .num("program_transitions", stats.program_transitions)
+        .num("fault_transitions", stats.fault_transitions)
+        .raw(
+            "phase_ns",
+            &Obj::default()
+                .ns("build", stats.build_time)
+                .ns("deletion", stats.deletion_time)
+                .ns("unravel", stats.unravel_time)
+                .ns("minimize", stats.minimize_time)
+                .ns("extract", stats.extract_time)
+                .ns("verify", stats.verify_time)
+                .ns("residual", stats.residual_time)
+                .ns("elapsed", stats.elapsed)
+                .build(),
+        )
+        .raw(
+            "build_profile",
+            &Obj::default()
+                .num("levels", bp.levels)
+                .num("parallel_levels", bp.parallel_levels)
+                .num("max_frontier", bp.max_frontier)
+                .num("threads", bp.threads)
+                .ns("expand_ns", bp.expand_time)
+                .ns("apply_ns", bp.apply_time)
+                .build(),
+        )
+        .raw(
+            "deletion_profile",
+            &Obj::default()
+                .num("rounds", dp.rounds)
+                .num("worklist_pops", dp.worklist_pops)
+                .num("cert_builds", dp.cert_builds)
+                .num("cert_reuses", dp.cert_reuses)
+                .num("eventualities", dp.eventualities)
+                .ns("delete_p_ns", dp.delete_p_time)
+                .ns("structural_ns", dp.structural_time)
+                .ns("eventuality_ns", dp.eventuality_time)
+                .ns("reachability_ns", dp.reachability_time)
+                .build(),
+        )
+        .build()
+}
+
+/// Runs synthesis on one named problem and serializes the result.
+fn run_problem(name: &str, procs: usize, mut problem: SynthesisProblem) -> String {
+    eprintln!("synthesizing {name} ...");
+    let (stats, solved) = match synthesize(&mut problem) {
+        SynthesisOutcome::Solved(s) => (s.stats.clone(), true),
+        SynthesisOutcome::Impossible(imp) => (imp.stats, false),
+    };
+    Obj::default()
+        .str("name", name)
+        .num("procs", procs)
+        .raw("stats", &stats_json(&stats, solved))
+        .build()
+}
+
+/// Builds the closure and tableau `T₀` of a problem (the input of the
+/// deletion phase), exactly as the pipeline does.
+fn tableau_of(problem: &mut SynthesisProblem) -> (Closure, Tableau) {
+    let roots = problem.closure_roots();
+    let spec = roots[0];
+    let closure = Closure::build(&mut problem.arena, &problem.props, &roots);
+    let tolerance_labels = problem.tolerance_label_sets(&closure);
+    let fault_spec = FaultSpec {
+        actions: problem.faults.clone(),
+        tolerance_labels,
+    };
+    let mut root = closure.empty_label();
+    root.insert(closure.index_of(spec).expect("spec is a closure root"));
+    let t = build(&closure, &problem.props, root, &fault_spec);
+    (closure, t)
+}
+
+/// Times `f` over `runs` runs on clones of `t0` and returns the best
+/// wall-clock duration (best-of-n suppresses scheduler noise).
+fn time_engine(t0: &Tableau, runs: usize, mut f: impl FnMut(&mut Tableau)) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let mut t = t0.clone();
+        let tick = Instant::now();
+        f(&mut t);
+        best = best.min(tick.elapsed());
+    }
+    best
+}
+
+/// Head-to-head deletion-engine timing on one problem: worklist vs the
+/// sweep-based reference, identical inputs, best of `runs`.
+fn compare_engines(name: &str, procs: usize, mut problem: SynthesisProblem, runs: usize) -> String {
+    eprintln!("comparing deletion engines on {name} ...");
+    let (closure, t0) = tableau_of(&mut problem);
+    let worklist = time_engine(&t0, runs, |t| {
+        apply_deletion_rules_mode(t, &closure, CertMode::FaultFree);
+    });
+    let naive = time_engine(&t0, runs, |t| {
+        apply_deletion_rules_naive_mode(t, &closure, CertMode::FaultFree);
+    });
+    let speedup = naive.as_secs_f64() / worklist.as_secs_f64();
+    eprintln!(
+        "  {name}: worklist {worklist:.2?}, naive {naive:.2?}, speedup {speedup:.2}x \
+         ({} nodes)",
+        t0.len()
+    );
+    Obj::default()
+        .str("name", name)
+        .num("procs", procs)
+        .num("tableau_nodes", t0.len())
+        .num("runs", runs)
+        .ns("worklist_ns", worklist)
+        .ns("naive_ns", naive)
+        .float("speedup", speedup)
+        .build()
+}
+
+/// Explores and simulates the (non-synthesis) wire system of
+/// Section 2.3 — state-space size plus a deterministic fault-injection
+/// trace summary.
+fn run_wire(name: &str, bounded: Option<usize>) -> String {
+    eprintln!("exploring {name} ...");
+    let w = wire::build(bounded);
+    let tick = Instant::now();
+    let ex = explore(&w.program, &w.faults, &w.props).expect("wire explores");
+    let explore_time = tick.elapsed();
+    let trace = simulate(&w.program, &w.faults, &w.props, &SimConfig::default());
+    Obj::default()
+        .str("name", name)
+        .num("procs", 2)
+        .num("states", ex.kripke.len())
+        .num("edges", ex.kripke.edge_count())
+        .num("fault_edges", ex.kripke.fault_edge_count())
+        .ns("explore_ns", explore_time)
+        .num("sim_steps", trace.steps.len())
+        .num("sim_faults", trace.fault_count())
+        .build()
+}
+
+fn main() {
+    let mut problems = Vec::new();
+
+    // Mutual exclusion (Section 2.1 / E1–E2), fault-free and fail-stop.
+    for n in 2..=4 {
+        problems.push(run_problem(
+            &format!("mutex{n}-fault-free"),
+            n,
+            mutex::fault_free(n),
+        ));
+    }
+    for n in 2..=3 {
+        problems.push(run_problem(
+            &format!("mutex{n}-failstop-masking"),
+            n,
+            mutex::with_fail_stop(n, Tolerance::Masking),
+        ));
+    }
+
+    // Barrier synchronization with general state faults.
+    for n in 2..=3 {
+        problems.push(run_problem(
+            &format!("barrier{n}-fault-free"),
+            n,
+            barrier::fault_free(n),
+        ));
+        problems.push(run_problem(
+            &format!("barrier{n}-state-faults-nonmasking"),
+            n,
+            barrier::with_general_state_faults(n),
+        ));
+    }
+
+    // Readers-writers with writer fail-stop.
+    for readers in 1..=2 {
+        problems.push(run_problem(
+            &format!("readers-writers-{readers}R-writer-failstop"),
+            readers + 1,
+            readers_writers::with_writer_fail_stop(readers, Tolerance::Masking),
+        ));
+    }
+
+    // Message-passing handshake under buffer faults.
+    for (tag, fault) in [
+        ("none", handshake::BufferFault::None),
+        ("omission", handshake::BufferFault::Omission),
+        ("timing", handshake::BufferFault::Timing),
+    ] {
+        problems.push(run_problem(
+            &format!("handshake-{tag}-failsafe"),
+            2,
+            handshake::build(fault, Tolerance::FailSafe),
+        ));
+    }
+
+    // The wire of Section 2.3 (interpreter + simulator, not synthesis).
+    let wires = vec![
+        run_wire("wire-unbounded", None),
+        run_wire("wire-bounded-2", Some(2)),
+    ];
+
+    // Deletion-engine head-to-head: worklist vs the sweep-based
+    // reference on fault-prone instances, scaled up in process count
+    // (the worklist engine's advantage grows with tableau size).
+    let comparisons = vec![
+        compare_engines(
+            "mutex2-failstop-masking",
+            2,
+            mutex::with_fail_stop(2, Tolerance::Masking),
+            5,
+        ),
+        compare_engines(
+            "mutex3-failstop-masking",
+            3,
+            mutex::with_fail_stop(3, Tolerance::Masking),
+            3,
+        ),
+        compare_engines(
+            "mutex4-failstop-masking",
+            4,
+            mutex::with_fail_stop(4, Tolerance::Masking),
+            3,
+        ),
+        compare_engines(
+            "mutex3-failstop-nonmasking",
+            3,
+            mutex::with_fail_stop(3, Tolerance::Nonmasking),
+            3,
+        ),
+        compare_engines(
+            "barrier3-state-faults",
+            3,
+            barrier::with_general_state_faults(3),
+            3,
+        ),
+        compare_engines(
+            "barrier3-failstop-impossible",
+            3,
+            barrier::with_fail_stop_impossible(3),
+            3,
+        ),
+    ];
+
+    let doc = Obj::default()
+        .str(
+            "generated_by",
+            "cargo run --release -p ftsyn-bench --bin bench_json",
+        )
+        .str("schema_version", "1")
+        .raw("problems", &arr(problems))
+        .raw("wire", &arr(wires))
+        .raw("deletion_engine_comparison", &arr(comparisons))
+        .build();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");
+    std::fs::write(path, pretty(&doc)).expect("write BENCH_synthesis.json");
+    eprintln!("wrote {path}");
+}
+
+/// Minimal pretty-printer for the emitted JSON (two-space indent) so
+/// the committed file diffs readably. Operates on known-valid output of
+/// [`Obj`]; strings are re-scanned for quotes/escapes only.
+fn pretty(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut indent = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in json.chars() {
+        if in_str {
+            out.push(c);
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                indent += 1;
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('\n');
+    out
+}

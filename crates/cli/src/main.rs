@@ -78,6 +78,27 @@ fn main() -> ExitCode {
                     s.stats.fault_transitions,
                     s.stats.elapsed
                 );
+                let st = &s.stats;
+                println!(
+                    "phases: build {:.1?} ({} levels, peak frontier {}, {} threads), \
+                     delete {:.1?} ({} rounds, {} worklist pops, {} certs built, {} reused), \
+                     unravel {:.1?}, minimize {:.1?}, extract {:.1?}, verify {:.1?}, \
+                     other {:.1?}",
+                    st.build_time,
+                    st.build_profile.levels,
+                    st.build_profile.max_frontier,
+                    st.build_profile.threads,
+                    st.deletion_time,
+                    st.deletion_profile.rounds,
+                    st.deletion_profile.worklist_pops,
+                    st.deletion_profile.cert_builds,
+                    st.deletion_profile.cert_reuses,
+                    st.unravel_time,
+                    st.minimize_time,
+                    st.extract_time,
+                    st.verify_time,
+                    st.residual_time
+                );
                 println!(
                     "verification: {}",
                     if s.verification.ok() {
@@ -112,6 +133,13 @@ fn main() -> ExitCode {
                 imp.stats.tableau_nodes,
                 imp.stats.deletion.total(),
                 imp.stats.elapsed
+            );
+            println!(
+                "phases: build {:.1?}, delete {:.1?} ({} rounds, {} worklist pops)",
+                imp.stats.build_time,
+                imp.stats.deletion_time,
+                imp.stats.deletion_profile.rounds,
+                imp.stats.deletion_profile.worklist_pops
             );
             ExitCode::from(1)
         }

@@ -9,7 +9,8 @@ use ftsyn_ctl::Closure;
 use ftsyn_guarded::{fault_set_size, Program};
 use ftsyn_kripke::{bisimulation_quotient, FtKripke};
 use ftsyn_tableau::{
-    apply_deletion_rules_mode, build as build_tableau, DeletionStats, FaultSpec, NodeId, Tableau,
+    apply_deletion_rules_profiled, build_with_threads, BuildProfile, DeletionProfile,
+    DeletionStats, FaultSpec, NodeId, Tableau,
 };
 use std::time::{Duration, Instant};
 
@@ -37,18 +38,43 @@ pub struct SynthesisStats {
     pub program_transitions: usize,
     /// Fault transitions in the final model.
     pub fault_transitions: usize,
-    /// Wall-clock duration of the pipeline.
+    /// Wall-clock duration of the pipeline
+    /// (= [`phase_total`](SynthesisStats::phase_total) +
+    /// [`residual_time`](SynthesisStats::residual_time)).
     pub elapsed: Duration,
     /// Time spent constructing the tableau.
     pub build_time: Duration,
     /// Time spent applying the deletion rules.
     pub deletion_time: Duration,
-    /// Time spent on fragments + unraveling.
+    /// Time spent on fragments + unraveling + bisimulation quotient.
     pub unravel_time: Duration,
+    /// Time spent on semantic minimization.
+    pub minimize_time: Duration,
     /// Time spent on extraction.
     pub extract_time: Duration,
-    /// Time spent on verification.
+    /// Time spent on verification (label soundness + the final semantic
+    /// re-check).
     pub verify_time: Duration,
+    /// Wall-clock time not attributed to any phase (closure
+    /// construction, bookkeeping between phases).
+    pub residual_time: Duration,
+    /// Frontier/parallelism statistics of the tableau construction.
+    pub build_profile: BuildProfile,
+    /// Per-rule timings and worklist counters of the deletion engine.
+    pub deletion_profile: DeletionProfile,
+}
+
+impl SynthesisStats {
+    /// Sum of the per-phase timings. [`elapsed`](SynthesisStats::elapsed)
+    /// equals this plus [`residual_time`](SynthesisStats::residual_time).
+    pub fn phase_total(&self) -> Duration {
+        self.build_time
+            + self.deletion_time
+            + self.unravel_time
+            + self.minimize_time
+            + self.extract_time
+            + self.verify_time
+    }
 }
 
 /// A successful synthesis: the model, the extracted program, and the
@@ -145,13 +171,19 @@ pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
             .expect("spec is a closure root"),
     );
     let t_build = Instant::now();
-    let mut tableau = build_tableau(&closure, &problem.props, root_label, &fault_spec);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (mut tableau, build_profile) =
+        build_with_threads(&closure, &problem.props, root_label, &fault_spec, threads);
     stats.build_time = t_build.elapsed();
+    stats.build_profile = build_profile;
     stats.tableau_nodes = tableau.len();
 
     // Step 2: deletion rules.
     let t_del = Instant::now();
-    stats.deletion = apply_deletion_rules_mode(&mut tableau, &closure, problem.mode);
+    let (deletion, deletion_profile) =
+        apply_deletion_rules_profiled(&mut tableau, &closure, problem.mode);
+    stats.deletion = deletion;
+    stats.deletion_profile = deletion_profile;
     stats.deletion_time = t_del.elapsed();
     let (alive_and, alive_or) = tableau.alive_counts();
     stats.alive_and = alive_and;
@@ -159,6 +191,7 @@ pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
 
     if !tableau.alive(tableau.root()) {
         stats.elapsed = start.elapsed();
+        stats.residual_time = stats.elapsed.saturating_sub(stats.phase_total());
         return SynthesisOutcome::Impossible(Impossibility { stats });
     }
 
@@ -190,9 +223,13 @@ pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
         model,
         state_tableau: state_tableau.clone(),
     };
+    stats.unravel_time = t_unr.elapsed();
+    let t_ver = Instant::now();
     let full_verification = verify(problem, &closure, &tableau, &pre_unr);
+    stats.verify_time = t_ver.elapsed();
     // Semantic minimization: merge same-valuation copies as long as the
     // model keeps satisfying the synthesis problem's requirements.
+    let t_min = Instant::now();
     let (model, merge_map) = semantic_minimize(problem, pre_unr.model);
     // Re-tag the minimized states: each final state keeps the tableau
     // node of the first pre-minimization state merged into it. (Labels
@@ -209,7 +246,7 @@ pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
             .map(|t| t.expect("every final state has a source"))
             .collect::<Vec<NodeId>>()
     };
-    stats.unravel_time = t_unr.elapsed();
+    stats.minimize_time = t_min.elapsed();
     stats.model_states = model.len();
     stats.fault_transitions = model.fault_edge_count();
     stats.program_transitions = model.edge_count() - stats.fault_transitions;
@@ -237,8 +274,9 @@ pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
     verification
         .failures
         .extend(full_verification.failures.into_iter().filter(|f| f.contains("label")));
-    stats.verify_time = t_ver.elapsed();
+    stats.verify_time += t_ver.elapsed();
     stats.elapsed = start.elapsed();
+    stats.residual_time = stats.elapsed.saturating_sub(stats.phase_total());
 
     SynthesisOutcome::Solved(Box::new(Synthesized {
         model,

@@ -9,12 +9,14 @@
 //! them from the propositions of the problem specification.
 
 use crate::ids::PropId;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Who owns (i.e. may modify, under normal operation) a proposition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Owner {
     /// The proposition belongs to `AP_i` for the given 0-based process index.
     Process(usize),
@@ -43,7 +45,8 @@ impl fmt::Display for PropError {
 impl std::error::Error for PropError {}
 
 /// Registry of atomic propositions: names, owners and auxiliary flags.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PropTable {
     names: Vec<String>,
     owners: Vec<Owner>,

@@ -10,8 +10,7 @@ use crate::interp::Config;
 use crate::program::Program;
 use ftsyn_ctl::{Owner, PropTable};
 use ftsyn_kripke::PropSet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ftsyn_prng::XorShift64;
 
 /// What happened at a trace step.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -109,7 +108,7 @@ pub fn simulate(
     props: &PropTable,
     cfg: &SimConfig,
 ) -> Trace {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = XorShift64::new(cfg.seed);
     let proc_masks: Vec<PropSet> = (0..program.processes.len())
         .map(|i| {
             PropSet::from_iter_with_capacity(
@@ -156,13 +155,13 @@ pub fn simulate(
         };
 
         let take_fault =
-            !enabled_faults.is_empty() && (moves.is_empty() || rng.gen_bool(cfg.fault_prob));
+            !enabled_faults.is_empty() && (moves.is_empty() || rng.chance(cfg.fault_prob));
 
         if take_fault {
-            let fi = enabled_faults[rng.gen_range(0..enabled_faults.len())];
+            let fi = enabled_faults[rng.below(enabled_faults.len())];
             let action = &faults[fi];
             let outcomes = action.outcomes(&valuation, props.len());
-            let outcome = &outcomes[rng.gen_range(0..outcomes.len())];
+            let outcome = &outcomes[rng.below(outcomes.len())];
             // Resolve local states; skip the fault if unmappable.
             let mut locals = Vec::with_capacity(program.processes.len());
             let mut ok = true;
@@ -183,7 +182,7 @@ pub fn simulate(
                             SharedCorruption::Value(k) => program.clamp_shared(var, *k),
                             SharedCorruption::Arbitrary => {
                                 let dom = program.shared[var].domain.max(1);
-                                rng.gen_range(1..=dom)
+                                rng.range(1, dom as usize + 1) as u32
                             }
                         };
                     }
@@ -201,7 +200,7 @@ pub fn simulate(
             trace.steps.push(SimStep::Deadlock);
             break;
         }
-        let (pi, ai) = moves[rng.gen_range(0..moves.len())];
+        let (pi, ai) = moves[rng.below(moves.len())];
         let arc = &program.processes[pi].arcs[ai];
         state.locals[pi] = arc.to;
         for &(v, k) in &arc.assigns {

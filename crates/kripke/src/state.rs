@@ -1,11 +1,13 @@
 //! Global states: proposition valuations plus shared-variable values.
 
 use ftsyn_ctl::{PropId, PropTable};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A set of atomic propositions, as a bitset over [`PropId`]s.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PropSet {
     bits: Vec<u64>,
 }
@@ -103,7 +105,8 @@ impl fmt::Debug for PropSet {
 /// A global state: a valuation of the atomic propositions plus the values
 /// of any shared synchronization variables (empty until the extraction
 /// step of the synthesis method introduces them).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct State {
     /// Propositions true in this state (closed world: absent = false).
     pub props: PropSet,

@@ -7,12 +7,14 @@
 
 use crate::state::{PropSet, State};
 use ftsyn_ctl::PropTable;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a state within an [`FtKripke`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct StateId(pub u32);
 
 impl StateId {
@@ -30,7 +32,8 @@ impl fmt::Debug for StateId {
 }
 
 /// The label of a transition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum TransKind {
     /// A program transition of the given 0-based process.
     Proc(usize),
@@ -47,7 +50,8 @@ impl TransKind {
 }
 
 /// An outgoing edge.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Edge {
     /// Transition label.
     pub kind: TransKind,
@@ -56,7 +60,8 @@ pub struct Edge {
 }
 
 /// Role of a state with respect to faults (Section 2.4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum StateRole {
     /// Lies on some fault-free initialized fullpath.
     Normal,
@@ -70,7 +75,8 @@ pub enum StateRole {
 }
 
 /// A fault-tolerant Kripke structure.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct FtKripke {
     states: Vec<State>,
     init: Vec<StateId>,

@@ -10,12 +10,25 @@
 //! valuation — a literal for every atomic proposition — and adds the
 //! tolerance formulae `Label_TOL(spec)` (or, for multitolerance, the
 //! per-action `Label_a(spec)`, Section 8.2).
+//!
+//! # Level-synchronized parallel expansion
+//!
+//! Construction is breadth-first over *levels*: the current frontier is
+//! expanded into [`Step`] lists (a pure, read-only computation —
+//! `Blocks`/`Tiles` decomposition and fault-outcome enumeration), then
+//! the steps are applied sequentially in frontier order (interning,
+//! edge insertion, next-frontier collection). Because only the pure
+//! half runs on worker threads (`std::thread::scope`, no external
+//! dependencies) and steps are applied in a fixed order, the resulting
+//! tableau is bit-identical to a sequential build regardless of thread
+//! count. Small frontiers fall back to inline expansion.
 
 use crate::expand::{blocks, tiles, Tile};
-use crate::graph::{EdgeKind, NodeKind, Tableau};
+use crate::graph::{EdgeKind, NodeId, NodeKind, Tableau};
 use ftsyn_ctl::{Closure, EntryKind, LabelSet, PropTable};
 use ftsyn_guarded::FaultAction;
 use ftsyn_kripke::PropSet;
+use std::time::{Duration, Instant};
 
 /// The fault side of a synthesis problem, ready for tableau construction:
 /// the actions plus, for each action, the set of closure formulae that
@@ -85,6 +98,93 @@ fn fault_or_label(
     l
 }
 
+/// Frontier/parallelism statistics of one tableau construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildProfile {
+    /// Breadth-first levels until the frontier emptied.
+    pub levels: usize,
+    /// Levels whose expansion ran on worker threads.
+    pub parallel_levels: usize,
+    /// Total nodes expanded (= final node count).
+    pub nodes_expanded: usize,
+    /// Widest frontier encountered.
+    pub max_frontier: usize,
+    /// Worker threads the build was allowed to use.
+    pub threads: usize,
+    /// Time in the pure expansion half (parallelizable).
+    pub expand_time: Duration,
+    /// Time applying steps: interning, edges, frontier bookkeeping
+    /// (inherently sequential).
+    pub apply_time: Duration,
+}
+
+/// One successor to materialize for a frontier node — the output of the
+/// pure expansion half, applied sequentially afterwards.
+enum Step {
+    /// OR-node child: intern the AND-node for this block.
+    And(LabelSet),
+    /// AND-node `Tiles` successor for process `proc`.
+    Or { proc: usize, label: LabelSet },
+    /// AND-node dummy self-loop (pure-propositional tile).
+    Dummy,
+    /// Fault successor of action `action` with the perturbed label.
+    Fault { action: usize, label: LabelSet },
+}
+
+/// The pure half of expanding one node: everything that only *reads*
+/// the tableau. Safe to run concurrently for all frontier nodes.
+fn expand_node(
+    t: &Tableau,
+    closure: &Closure,
+    props: &PropTable,
+    faults: &FaultSpec,
+    id: NodeId,
+) -> Vec<Step> {
+    match t.node(id).kind {
+        NodeKind::Or => {
+            if t.node(id).dummy {
+                return Vec::new(); // successors pinned at creation
+            }
+            blocks(closure, &t.node(id).label)
+                .into_iter()
+                .map(Step::And)
+                .collect()
+        }
+        NodeKind::And => {
+            let label = &t.node(id).label;
+            let mut steps = Vec::new();
+            // Tiles successors.
+            for tile in tiles(closure, label) {
+                match tile {
+                    Tile::Or { proc, or_label } => steps.push(Step::Or {
+                        proc,
+                        label: or_label,
+                    }),
+                    Tile::Dummy => steps.push(Step::Dummy),
+                }
+            }
+            // Fault successors (Definition 5.1.2).
+            let valuation = valuation_of(closure, props, label);
+            for (ai, action) in faults.actions.iter().enumerate() {
+                if !action.enabled(&valuation) {
+                    continue;
+                }
+                for phi in action.outcomes(&valuation, props.len()) {
+                    steps.push(Step::Fault {
+                        action: ai,
+                        label: fault_or_label(closure, props, &phi, &faults.tolerance_labels[ai]),
+                    });
+                }
+            }
+            steps
+        }
+    }
+}
+
+/// Frontiers below this size are expanded inline: thread spawn overhead
+/// would dominate the pure expansion work.
+const MIN_PARALLEL_FRONTIER: usize = 4;
+
 /// Constructs the tableau `T₀` for the given root label (the temporal
 /// specification) and fault specification.
 pub fn build(
@@ -93,63 +193,106 @@ pub fn build(
     root_label: LabelSet,
     faults: &FaultSpec,
 ) -> Tableau {
-    let mut t = Tableau::with_root(root_label);
-    let mut work = vec![t.root()];
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    build_with_threads(closure, props, root_label, faults, threads).0
+}
 
-    while let Some(id) = work.pop() {
-        match t.node(id).kind {
-            NodeKind::Or => {
-                if t.node(id).dummy {
-                    continue; // successors pinned at creation
-                }
-                let label = t.node(id).label.clone();
-                for b in blocks(closure, &label) {
-                    let (c, fresh) = t.intern_and(b);
-                    t.add_edge(id, EdgeKind::Unlabeled, c);
-                    if fresh {
-                        work.push(c);
-                    }
-                }
-            }
-            NodeKind::And => {
-                let label = t.node(id).label.clone();
-                // Tiles successors.
-                for tile in tiles(closure, &label) {
-                    match tile {
-                        Tile::Or { proc, or_label } => {
-                            let (d, fresh) = t.intern_or(or_label);
-                            t.add_edge(id, EdgeKind::Proc(proc), d);
-                            if fresh {
-                                work.push(d);
-                            }
-                        }
-                        Tile::Dummy => {
-                            let d = t.new_dummy_or(label.clone());
-                            t.add_edge(id, EdgeKind::Dummy, d);
-                            t.add_edge(d, EdgeKind::Unlabeled, id);
-                        }
-                    }
-                }
-                // Fault successors (Definition 5.1.2).
-                let valuation = valuation_of(closure, props, &label);
-                for (ai, action) in faults.actions.iter().enumerate() {
-                    if !action.enabled(&valuation) {
-                        continue;
-                    }
-                    for phi in action.outcomes(&valuation, props.len()) {
-                        let or_label =
-                            fault_or_label(closure, props, &phi, &faults.tolerance_labels[ai]);
-                        let (d, fresh) = t.intern_or(or_label);
-                        t.add_edge(id, EdgeKind::Fault(ai), d);
+/// [`build`] with an explicit worker-thread budget (1 = fully
+/// sequential). The result is identical for every thread count; the
+/// profile records how the work was scheduled.
+pub fn build_with_threads(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+    threads: usize,
+) -> (Tableau, BuildProfile) {
+    let threads = threads.max(1);
+    let mut profile = BuildProfile {
+        threads,
+        ..BuildProfile::default()
+    };
+    let mut t = Tableau::with_root(root_label);
+    let mut frontier = vec![t.root()];
+
+    while !frontier.is_empty() {
+        profile.levels += 1;
+        profile.max_frontier = profile.max_frontier.max(frontier.len());
+        profile.nodes_expanded += frontier.len();
+
+        // Pure expansion of the whole level, possibly on worker threads.
+        let t0 = Instant::now();
+        let expansions: Vec<Vec<Step>> =
+            if threads > 1 && frontier.len() >= MIN_PARALLEL_FRONTIER {
+                profile.parallel_levels += 1;
+                let chunk = frontier.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk)
+                        .map(|ids| {
+                            let t = &t;
+                            scope.spawn(move || {
+                                ids.iter()
+                                    .map(|&id| expand_node(t, closure, props, faults, id))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    // Joining in spawn order keeps results in frontier
+                    // order, so the apply phase is deterministic.
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("expansion workers do not panic"))
+                        .collect()
+                })
+            } else {
+                frontier
+                    .iter()
+                    .map(|&id| expand_node(&t, closure, props, faults, id))
+                    .collect()
+            };
+        profile.expand_time += t0.elapsed();
+
+        // Sequential application in frontier order: interning and edge
+        // insertion mutate the tableau and define node numbering.
+        let t0 = Instant::now();
+        let mut next = Vec::new();
+        for (&id, steps) in frontier.iter().zip(expansions) {
+            for step in steps {
+                match step {
+                    Step::And(label) => {
+                        let (c, fresh) = t.intern_and(label);
+                        t.add_edge(id, EdgeKind::Unlabeled, c);
                         if fresh {
-                            work.push(d);
+                            next.push(c);
+                        }
+                    }
+                    Step::Or { proc, label } => {
+                        let (d, fresh) = t.intern_or(label);
+                        t.add_edge(id, EdgeKind::Proc(proc), d);
+                        if fresh {
+                            next.push(d);
+                        }
+                    }
+                    Step::Dummy => {
+                        let d = t.new_dummy_or(t.node(id).label.clone());
+                        t.add_edge(id, EdgeKind::Dummy, d);
+                        t.add_edge(d, EdgeKind::Unlabeled, id);
+                    }
+                    Step::Fault { action, label } => {
+                        let (d, fresh) = t.intern_or(label);
+                        t.add_edge(id, EdgeKind::Fault(action), d);
+                        if fresh {
+                            next.push(d);
                         }
                     }
                 }
             }
         }
+        profile.apply_time += t0.elapsed();
+        frontier = next;
     }
-    t
+    (t, profile)
 }
 
 #[cfg(test)]
@@ -299,5 +442,42 @@ mod tests {
             }
         }
         assert!(checked);
+    }
+
+    /// The tableau is bit-identical for every worker-thread count
+    /// (labels, kinds, and edges in the same order at the same ids).
+    #[test]
+    fn build_is_deterministic_across_thread_counts() {
+        for spec in ["p & AG(EX1 true & EX2 true)", "AG(EX1 true) & AF p & EF q"] {
+            let (_, props, cl, root) = simple_setup(spec, 2);
+            let (seq, seq_prof) =
+                build_with_threads(&cl, &props, root.clone(), &FaultSpec::none(), 1);
+            assert_eq!(seq_prof.parallel_levels, 0);
+            for threads in [2, 4] {
+                let (par, prof) =
+                    build_with_threads(&cl, &props, root.clone(), &FaultSpec::none(), threads);
+                assert_eq!(seq.len(), par.len(), "{spec}: node counts differ");
+                for id in seq.node_ids() {
+                    assert_eq!(seq.node(id).label, par.node(id).label, "{spec}: {id:?}");
+                    assert_eq!(seq.node(id).kind, par.node(id).kind);
+                    assert_eq!(seq.node(id).succ, par.node(id).succ);
+                }
+                assert_eq!(prof.threads, threads);
+                assert_eq!(prof.levels, seq_prof.levels);
+                assert_eq!(prof.nodes_expanded, seq.len());
+            }
+        }
+    }
+
+    /// Wide frontiers actually take the worker-thread path.
+    #[test]
+    fn wide_frontiers_expand_in_parallel() {
+        let (_, props, cl, root) = simple_setup("AG(EX1 true) & AF p & EF q", 2);
+        let (_, prof) = build_with_threads(&cl, &props, root, &FaultSpec::none(), 2);
+        assert!(
+            prof.max_frontier >= MIN_PARALLEL_FRONTIER,
+            "spec too narrow to exercise the parallel path: {prof:?}"
+        );
+        assert!(prof.parallel_levels >= 1, "{prof:?}");
     }
 }

@@ -7,9 +7,30 @@
 //! fulfillment with *fault-free* full subdags / paths — fault successors
 //! may be absent from a certificate, but all `Tiles` successors of an
 //! interior AND-node must be present.
+//!
+//! # Worklist engine
+//!
+//! [`apply_deletion_rules_mode`] is a worklist implementation:
+//!
+//! * `DeleteOR`/`DeleteAND` cascade through the graph's [deletion
+//!   log](Tableau::deletion_log) using the per-node alive-successor
+//!   counters, so structural propagation costs O(E) total over the
+//!   whole run instead of O(rounds · N) full-graph sweeps.
+//! * `DeleteAU`/`DeleteEU` certificates are built by a monotone rank
+//!   worklist (a bucket queue seeded from the `h`-labeled nodes) in
+//!   O(E) per build, replacing the O(N · E) `while changed` sweeps; a
+//!   per-eventuality cursor into the deletion log skips certificates
+//!   whose graph has not changed since they were last checked.
+//!
+//! The sweep-based reference implementation is kept, compiled under
+//! `cfg(any(test, feature = "slow-reference"))`, as the oracle for
+//! equivalence tests and the baseline for benchmarks. Both engines
+//! visit the same rule phases in the same order, so they produce
+//! identical alive sets *and* identical per-rule [`DeletionStats`].
 
 use crate::graph::{EdgeKind, NodeId, NodeKind, Tableau};
 use ftsyn_ctl::{Closure, ClosureIdx, EntryKind, LabelSet};
+use std::time::{Duration, Instant};
 
 /// Which paths certify the fulfillment of eventualities (and hence which
 /// correctness statement the synthesized program enjoys).
@@ -71,6 +92,39 @@ impl DeletionStats {
     }
 }
 
+/// Per-rule timings and worklist counters collected by one
+/// [`apply_deletion_rules_profiled`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeletionProfile {
+    /// Time spent in the one-shot `DeleteP` sweep.
+    pub delete_p_time: Duration,
+    /// Time spent cascading `DeleteOR`/`DeleteAND` through the worklist.
+    pub structural_time: Duration,
+    /// Time spent building certificates and applying `DeleteAU`/`DeleteEU`.
+    pub eventuality_time: Duration,
+    /// Time spent in the final reachability restriction.
+    pub reachability_time: Duration,
+    /// Outer rounds until no eventuality rule fired.
+    pub rounds: usize,
+    /// Deletion-log entries consumed by the structural cascade (each one
+    /// is a pop of the structural worklist).
+    pub worklist_pops: usize,
+    /// Fulfillment certificates built from scratch.
+    pub cert_builds: usize,
+    /// Certificate checks skipped because no deletion intervened since
+    /// the eventuality was last checked.
+    pub cert_reuses: usize,
+    /// Distinct live eventualities in the first round.
+    pub eventualities: usize,
+}
+
+impl DeletionProfile {
+    /// Total time across all deletion phases.
+    pub fn total_time(&self) -> Duration {
+        self.delete_p_time + self.structural_time + self.eventuality_time + self.reachability_time
+    }
+}
+
 /// A fulfillment certificate for one eventuality: for every alive node,
 /// whether the eventuality is fault-free-fulfillable from it, and a rank
 /// that strictly decreases along a fulfilling subdag (used to extract
@@ -98,6 +152,30 @@ impl Fulfillment {
     }
 }
 
+/// Rank-ordered worklist for certificate construction: nodes finalized
+/// at rank `r` live in bucket `r`; processing a bucket may finalize OR
+/// predecessors into the same bucket and AND predecessors into bucket
+/// `r + 1`, so every node and edge is handled exactly once.
+struct BucketQueue {
+    buckets: Vec<Vec<NodeId>>,
+}
+
+impl BucketQueue {
+    fn new() -> BucketQueue {
+        BucketQueue {
+            buckets: vec![Vec::new()],
+        }
+    }
+
+    fn push(&mut self, rank: u32, id: NodeId) {
+        let r = rank as usize;
+        if self.buckets.len() <= r {
+            self.buckets.resize_with(r + 1, Vec::new);
+        }
+        self.buckets[r].push(id);
+    }
+}
+
 /// Computes fault-free fulfillment of `A[gUh]` (`g`, `h` as closure
 /// indices) for every alive node.
 ///
@@ -105,6 +183,11 @@ impl Fulfillment {
 /// `g ∈ L(c)` and *every* non-fault OR-successor has some fulfilled
 /// AND-child of rank ≤ `r`. An OR-node is fulfilled if *some* alive
 /// AND-child is fulfilled.
+///
+/// Implemented as a single monotone pass over a rank bucket queue
+/// seeded from the `h`-labeled AND-nodes: each AND-node keeps a pending
+/// count of its admissible alive successor edges and is finalized when
+/// the count reaches zero, so the whole certificate costs O(N + E).
 pub fn au_fulfillment(
     t: &Tableau,
     closure: &Closure,
@@ -112,18 +195,370 @@ pub fn au_fulfillment(
     h: ClosureIdx,
     mode: CertMode,
 ) -> Fulfillment {
-    let mut f = Fulfillment::new(t.len());
+    let n = t.len();
+    let mut f = Fulfillment::new(n);
     // `AF h = A[true U h]`: the arena folds `true ∧ x` to `x`, so `true`
     // never appears in labels — treat it as universally present.
     let g_holds = |l: &LabelSet| g == closure.true_idx() || l.contains(g);
-    // Base: AND nodes with h in label.
+    // Pending admissible alive successor edges per AND-node, seeded from
+    // the graph's incrementally-maintained counters (no edge scan). A
+    // node with no admissible alive successor is never finalized through
+    // this counter, which encodes the reference engine's "at least one
+    // successor" requirement.
+    let mut pending: Vec<u32> = vec![0; n];
+    let mut queue = BucketQueue::new();
+    for id in t.node_ids() {
+        if !t.alive(id) {
+            continue;
+        }
+        let node = t.node(id);
+        if node.kind != NodeKind::And {
+            continue;
+        }
+        if node.label.contains(h) {
+            f.fulfilled[id.index()] = true;
+            f.rank[id.index()] = 0;
+            queue.push(0, id);
+        } else {
+            pending[id.index()] = match mode {
+                CertMode::FaultFree => node.alive_succ_prog,
+                CertMode::FaultProne => node.alive_succ_total(),
+            };
+        }
+    }
+    let mut r = 0usize;
+    while r < queue.buckets.len() {
+        let mut i = 0;
+        while i < queue.buckets[r].len() {
+            let id = queue.buckets[r][i];
+            i += 1;
+            // `id` is finalized at rank `r`; propagate to predecessors.
+            let np = t.node(id).pred.len();
+            for pi in 0..np {
+                let (kind, p) = t.node(id).pred[pi];
+                if !t.alive(p) || f.fulfilled[p.index()] {
+                    continue;
+                }
+                match t.node(p).kind {
+                    NodeKind::Or => {
+                        // First fulfilled child is the minimum rank.
+                        f.fulfilled[p.index()] = true;
+                        f.rank[p.index()] = r as u32;
+                        queue.buckets[r].push(p);
+                    }
+                    NodeKind::And => {
+                        if !mode.admits(kind) || !g_holds(&t.node(p).label) {
+                            continue;
+                        }
+                        pending[p.index()] -= 1;
+                        if pending[p.index()] == 0 {
+                            f.fulfilled[p.index()] = true;
+                            f.rank[p.index()] = r as u32 + 1;
+                            queue.push(r as u32 + 1, p);
+                        }
+                    }
+                }
+            }
+        }
+        r += 1;
+    }
+    f
+}
+
+/// Computes fault-free fulfillment of `E[gUh]` for every alive node: an
+/// AND-node is fulfilled at rank 0 if `h ∈ L(c)`, at rank `r+1` if
+/// `g ∈ L(c)` and *some* non-fault OR-successor has a fulfilled AND-child
+/// of rank ≤ `r`; an OR-node if some alive AND-child is fulfilled.
+///
+/// Single monotone bucket-queue pass, like [`au_fulfillment`] but with
+/// an existential (first-successor) trigger instead of a pending count.
+pub fn eu_fulfillment(
+    t: &Tableau,
+    closure: &Closure,
+    g: ClosureIdx,
+    h: ClosureIdx,
+    mode: CertMode,
+) -> Fulfillment {
+    let n = t.len();
+    let mut f = Fulfillment::new(n);
+    let g_holds = |l: &LabelSet| g == closure.true_idx() || l.contains(g);
+    let mut queue = BucketQueue::new();
+    for id in t.node_ids() {
+        if t.alive(id) && t.node(id).kind == NodeKind::And && t.node(id).label.contains(h) {
+            f.fulfilled[id.index()] = true;
+            f.rank[id.index()] = 0;
+            queue.push(0, id);
+        }
+    }
+    let mut r = 0usize;
+    while r < queue.buckets.len() {
+        let mut i = 0;
+        while i < queue.buckets[r].len() {
+            let id = queue.buckets[r][i];
+            i += 1;
+            let np = t.node(id).pred.len();
+            for pi in 0..np {
+                let (kind, p) = t.node(id).pred[pi];
+                if !t.alive(p) || f.fulfilled[p.index()] {
+                    continue;
+                }
+                match t.node(p).kind {
+                    NodeKind::Or => {
+                        f.fulfilled[p.index()] = true;
+                        f.rank[p.index()] = r as u32;
+                        queue.buckets[r].push(p);
+                    }
+                    NodeKind::And => {
+                        if mode.admits(kind) && g_holds(&t.node(p).label) {
+                            f.fulfilled[p.index()] = true;
+                            f.rank[p.index()] = r as u32 + 1;
+                            queue.push(r as u32 + 1, p);
+                        }
+                    }
+                }
+            }
+        }
+        r += 1;
+    }
+    f
+}
+
+/// All distinct eventualities (`AU`/`EU`) occurring in alive labels, as
+/// `(closure idx, g, h, is_au)`, in order of first occurrence (node-id
+/// order, then closure-index order within a label).
+///
+/// Works closure-side: the `AU`/`EU` members of the closure are few, so
+/// one O(N) membership scan per candidate beats iterating every label
+/// bit of every node (the order produced is identical — a label is
+/// iterated in ascending closure index, so first-occurrence order is
+/// lexicographic in `(first containing node, closure index)`).
+fn live_eventualities(
+    t: &Tableau,
+    closure: &Closure,
+) -> Vec<(ClosureIdx, ClosureIdx, ClosureIdx, bool)> {
+    let mut live: Vec<(u32, (ClosureIdx, ClosureIdx, ClosureIdx, bool))> = Vec::new();
+    for idx in closure.indices() {
+        let cand = match closure.entry(idx).kind {
+            EntryKind::Au { g, h, .. } => (idx, g, h, true),
+            EntryKind::Eu { g, h, .. } => (idx, g, h, false),
+            _ => continue,
+        };
+        if let Some(first) = t
+            .node_ids()
+            .find(|&id| t.alive(id) && t.node(id).label.contains(idx))
+        {
+            live.push((first.0, cand));
+        }
+    }
+    live.sort_by_key(|&(first, (idx, ..))| (first, idx));
+    live.into_iter().map(|(_, cand)| cand).collect()
+}
+
+/// The pre-worklist `live_eventualities`: one pass over every label bit
+/// of every alive node. Kept as the oracle for the closure-side scan
+/// and as part of the reference engine's cost profile.
+#[cfg(any(test, feature = "slow-reference"))]
+fn live_eventualities_sweep(
+    t: &Tableau,
+    closure: &Closure,
+) -> Vec<(ClosureIdx, ClosureIdx, ClosureIdx, bool)> {
+    let mut seen: LabelSet = closure.empty_label();
+    let mut out = Vec::new();
+    for id in t.node_ids() {
+        if !t.alive(id) {
+            continue;
+        }
+        for idx in t.node(id).label.iter() {
+            if seen.contains(idx) {
+                continue;
+            }
+            seen.insert(idx);
+            match closure.entry(idx).kind {
+                EntryKind::Au { g, h, .. } => out.push((idx, g, h, true)),
+                EntryKind::Eu { g, h, .. } => out.push((idx, g, h, false)),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Applies the deletion rules of Figure 2 until no rule is applicable,
+/// then restricts to the nodes still reachable from the root. Returns
+/// per-rule statistics. (If the root is deleted, the synthesis problem
+/// is impossible — Corollary 7.2.)
+pub fn apply_deletion_rules(t: &mut Tableau, closure: &Closure) -> DeletionStats {
+    apply_deletion_rules_mode(t, closure, CertMode::FaultFree)
+}
+
+/// [`apply_deletion_rules`] with an explicit certificate mode
+/// (Section 8.3's alternative method uses [`CertMode::FaultProne`]).
+pub fn apply_deletion_rules_mode(
+    t: &mut Tableau,
+    closure: &Closure,
+    mode: CertMode,
+) -> DeletionStats {
+    apply_deletion_rules_profiled(t, closure, mode).0
+}
+
+/// Drains the deletion log from `cursor`, cascading `DeleteAND` (any
+/// deleted successor, faults included — Section 5.2) and `DeleteOR`
+/// (alive-successor counter at zero) to predecessors until quiescent.
+fn structural_cascade(t: &mut Tableau, cursor: &mut usize, stats: &mut DeletionStats) -> usize {
+    let mut pops = 0;
+    while *cursor < t.deletion_log().len() {
+        let d = t.deletion_log()[*cursor];
+        *cursor += 1;
+        pops += 1;
+        let np = t.node(d).pred.len();
+        for pi in 0..np {
+            let (_, p) = t.node(d).pred[pi];
+            if !t.alive(p) {
+                continue;
+            }
+            match t.node(p).kind {
+                NodeKind::And => {
+                    // DeleteAND: `d` is a deleted successor of `p`.
+                    t.delete(p);
+                    stats.and_missing_successor += 1;
+                }
+                NodeKind::Or => {
+                    if t.node(p).alive_succ_total() == 0 {
+                        t.delete(p);
+                        stats.or_without_children += 1;
+                    }
+                }
+            }
+        }
+    }
+    pops
+}
+
+/// [`apply_deletion_rules_mode`] returning per-rule timings and
+/// worklist counters alongside the deletion statistics.
+pub fn apply_deletion_rules_profiled(
+    t: &mut Tableau,
+    closure: &Closure,
+    mode: CertMode,
+) -> (DeletionStats, DeletionProfile) {
+    let mut stats = DeletionStats::default();
+    let mut profile = DeletionProfile::default();
+
+    // Cursor into the deletion log for structural propagation, and one
+    // per eventuality for certificate staleness checks.
+    let mut cursor = t.deletion_log().len();
+
+    // DeleteP (once: labels never change afterwards).
+    let t0 = Instant::now();
+    for id in t.node_ids().collect::<Vec<_>>() {
+        if t.alive(id) && !closure.is_prop_consistent(&t.node(id).label) {
+            t.delete(id);
+            stats.prop_inconsistent += 1;
+        }
+    }
+    profile.delete_p_time = t0.elapsed();
+
+    // Seed DeleteOR: an OR-node can be *built* childless (every block of
+    // its label is propositionally inconsistent), and the cascade only
+    // visits predecessors of deleted nodes — catch those with one O(N)
+    // sweep; everything later is reached through the log.
+    let t0 = Instant::now();
+    for id in t.node_ids().collect::<Vec<_>>() {
+        if t.alive(id)
+            && t.node(id).kind == NodeKind::Or
+            && t.node(id).alive_succ_total() == 0
+        {
+            t.delete(id);
+            stats.or_without_children += 1;
+        }
+    }
+    profile.structural_time += t0.elapsed();
+    let mut cert_cursor: std::collections::HashMap<ClosureIdx, usize> =
+        std::collections::HashMap::new();
+
+    loop {
+        profile.rounds += 1;
+
+        // Structural propagation (DeleteOR / DeleteAND) to quiescence.
+        let t0 = Instant::now();
+        profile.worklist_pops += structural_cascade(t, &mut cursor, &mut stats);
+        profile.structural_time += t0.elapsed();
+
+        // Eventuality rules. Deletions here are *not* cascaded until the
+        // next round, mirroring the reference engine's phase order so
+        // per-rule attribution is identical.
+        let t0 = Instant::now();
+        let mut removed_any = false;
+        let evs = live_eventualities(t, closure);
+        if profile.rounds == 1 {
+            profile.eventualities = evs.len();
+        }
+        for (idx, g, h, is_au) in evs {
+            // Unchanged graph since this eventuality was last certified:
+            // deletions only shrink certificates, and the prior pass
+            // already removed every unfulfilled labeled node, so the
+            // check is a guaranteed no-op.
+            if cert_cursor.get(&idx) == Some(&t.deletion_log().len()) {
+                profile.cert_reuses += 1;
+                continue;
+            }
+            let f = if is_au {
+                au_fulfillment(t, closure, g, h, mode)
+            } else {
+                eu_fulfillment(t, closure, g, h, mode)
+            };
+            profile.cert_builds += 1;
+            for id in t.node_ids().collect::<Vec<_>>() {
+                if t.alive(id) && t.node(id).label.contains(idx) && !f.is_fulfilled(id) {
+                    t.delete(id);
+                    if is_au {
+                        stats.au_unfulfilled += 1;
+                    } else {
+                        stats.eu_unfulfilled += 1;
+                    }
+                    removed_any = true;
+                }
+            }
+            // Removing unfulfilled nodes never unfulfills a surviving
+            // node for the *same* eventuality, so the certificate is
+            // clean as of the log position after our own deletions.
+            cert_cursor.insert(idx, t.deletion_log().len());
+        }
+        profile.eventuality_time += t0.elapsed();
+        if !removed_any {
+            break;
+        }
+    }
+
+    let t0 = Instant::now();
+    stats.unreachable = t.restrict_to_reachable();
+    profile.reachability_time = t0.elapsed();
+    (stats, profile)
+}
+
+// ---------------------------------------------------------------------
+// Sweep-based reference implementation (the pre-worklist engine), kept
+// as the oracle for equivalence tests and the benchmark baseline.
+// ---------------------------------------------------------------------
+
+/// Reference `A[gUh]` fulfillment by whole-graph fixpoint sweeps
+/// (O(N · E)); semantics identical to [`au_fulfillment`].
+#[cfg(any(test, feature = "slow-reference"))]
+pub fn au_fulfillment_naive(
+    t: &Tableau,
+    closure: &Closure,
+    g: ClosureIdx,
+    h: ClosureIdx,
+    mode: CertMode,
+) -> Fulfillment {
+    let mut f = Fulfillment::new(t.len());
+    let g_holds = |l: &LabelSet| g == closure.true_idx() || l.contains(g);
     for id in t.node_ids() {
         if t.alive(id) && t.node(id).kind == NodeKind::And && t.node(id).label.contains(h) {
             f.fulfilled[id.index()] = true;
             f.rank[id.index()] = 0;
         }
     }
-    // Iterate to a fixpoint; ranks grow monotonically with rounds.
     let mut changed = true;
     while changed {
         changed = false;
@@ -176,11 +611,10 @@ pub fn au_fulfillment(
     f
 }
 
-/// Computes fault-free fulfillment of `E[gUh]` for every alive node: an
-/// AND-node is fulfilled at rank 0 if `h ∈ L(c)`, at rank `r+1` if
-/// `g ∈ L(c)` and *some* non-fault OR-successor has a fulfilled AND-child
-/// of rank ≤ `r`; an OR-node if some alive AND-child is fulfilled.
-pub fn eu_fulfillment(
+/// Reference `E[gUh]` fulfillment by whole-graph fixpoint sweeps;
+/// semantics identical to [`eu_fulfillment`].
+#[cfg(any(test, feature = "slow-reference"))]
+pub fn eu_fulfillment_naive(
     t: &Tableau,
     closure: &Closure,
     g: ClosureIdx,
@@ -238,41 +672,11 @@ pub fn eu_fulfillment(
     f
 }
 
-/// All distinct eventualities (`AU`/`EU`) occurring in alive labels, as
-/// `(closure idx, g, h, is_au)`.
-fn live_eventualities(t: &Tableau, closure: &Closure) -> Vec<(ClosureIdx, ClosureIdx, ClosureIdx, bool)> {
-    let mut seen: LabelSet = closure.empty_label();
-    let mut out = Vec::new();
-    for id in t.node_ids() {
-        if !t.alive(id) {
-            continue;
-        }
-        for idx in t.node(id).label.iter() {
-            if seen.contains(idx) {
-                continue;
-            }
-            seen.insert(idx);
-            match closure.entry(idx).kind {
-                EntryKind::Au { g, h, .. } => out.push((idx, g, h, true)),
-                EntryKind::Eu { g, h, .. } => out.push((idx, g, h, false)),
-                _ => {}
-            }
-        }
-    }
-    out
-}
-
-/// Applies the deletion rules of Figure 2 until no rule is applicable,
-/// then restricts to the nodes still reachable from the root. Returns
-/// per-rule statistics. (If the root is deleted, the synthesis problem
-/// is impossible — Corollary 7.2.)
-pub fn apply_deletion_rules(t: &mut Tableau, closure: &Closure) -> DeletionStats {
-    apply_deletion_rules_mode(t, closure, CertMode::FaultFree)
-}
-
-/// [`apply_deletion_rules`] with an explicit certificate mode
-/// (Section 8.3's alternative method uses [`CertMode::FaultProne`]).
-pub fn apply_deletion_rules_mode(
+/// Reference deletion engine: full-graph sweeps to a fixpoint (the
+/// pre-worklist implementation). Produces the same alive set and the
+/// same [`DeletionStats`] as [`apply_deletion_rules_mode`].
+#[cfg(any(test, feature = "slow-reference"))]
+pub fn apply_deletion_rules_naive_mode(
     t: &mut Tableau,
     closure: &Closure,
     mode: CertMode,
@@ -304,11 +708,7 @@ pub fn apply_deletion_rules_mode(
                         }
                     }
                     NodeKind::And => {
-                        let missing = t
-                            .node(id)
-                            .succ
-                            .iter()
-                            .any(|&(_, d)| !t.alive(d));
+                        let missing = t.node(id).succ.iter().any(|&(_, d)| !t.alive(d));
                         if missing {
                             t.delete(id);
                             stats.and_missing_successor += 1;
@@ -324,11 +724,11 @@ pub fn apply_deletion_rules_mode(
 
         // Eventuality rules.
         let mut removed_any = false;
-        for (idx, g, h, is_au) in live_eventualities(t, closure) {
+        for (idx, g, h, is_au) in live_eventualities_sweep(t, closure) {
             let f = if is_au {
-                au_fulfillment(t, closure, g, h, mode)
+                au_fulfillment_naive(t, closure, g, h, mode)
             } else {
-                eu_fulfillment(t, closure, g, h, mode)
+                eu_fulfillment_naive(t, closure, g, h, mode)
             };
             for id in t.node_ids().collect::<Vec<_>>() {
                 if t.alive(id) && t.node(id).label.contains(idx) && !f.is_fulfilled(id) {
@@ -359,6 +759,14 @@ mod tests {
     use ftsyn_guarded::{BoolExpr, FaultAction, PropAssign};
 
     fn run(spec: &str, procs: usize) -> (Tableau, DeletionStats) {
+        let (t, stats, _) = run_both(spec, procs);
+        (t, stats)
+    }
+
+    /// Runs the worklist engine, cross-checks against the reference
+    /// engine on a clone (alive sets and stats must agree), and returns
+    /// the worklist result.
+    fn run_both(spec: &str, procs: usize) -> (Tableau, DeletionStats, DeletionStats) {
         let mut props = PropTable::new();
         props.add("p", Owner::Process(0)).unwrap();
         props.add("q", Owner::Process(0)).unwrap();
@@ -367,9 +775,20 @@ mod tests {
         let cl = Closure::build(&mut arena, &props, &[f]);
         let mut root = cl.empty_label();
         root.insert(cl.index_of(f).unwrap());
-        let mut t = build(&cl, &props, root, &FaultSpec::none());
+        let t0 = build(&cl, &props, root, &FaultSpec::none());
+        let mut t = t0.clone();
+        let mut t_ref = t0;
         let stats = apply_deletion_rules(&mut t, &cl);
-        (t, stats)
+        let stats_ref = apply_deletion_rules_naive_mode(&mut t_ref, &cl, CertMode::FaultFree);
+        assert_eq!(stats, stats_ref, "engines disagree on stats for `{spec}`");
+        for id in t.node_ids() {
+            assert_eq!(
+                t.alive(id),
+                t_ref.alive(id),
+                "engines disagree on {id:?} for `{spec}`"
+            );
+        }
+        (t, stats, stats_ref)
     }
 
     #[test]
@@ -466,5 +885,84 @@ mod tests {
                 + stats.eu_unfulfilled
                 + stats.unreachable
         );
+    }
+
+    /// The bucket-queue certificates agree with the sweep-based
+    /// reference on fulfilled sets (ranks may legitimately differ: the
+    /// reference's AU ranks are not always minimal).
+    #[test]
+    fn fulfillment_matches_reference() {
+        for spec in [
+            "~p & AF p",
+            "EF p & AG EX1 true",
+            "AF (p & q) & AG EX1 true",
+            "E[p U q] & A[true U p] & AG EX1 true",
+            "EG ~p & AF p & AG EX1 true",
+        ] {
+            let mut props = PropTable::new();
+            props.add("p", Owner::Process(0)).unwrap();
+            props.add("q", Owner::Process(0)).unwrap();
+            let mut arena = FormulaArena::new(1);
+            let f = parse(&mut arena, &mut props, spec, true).unwrap();
+            let cl = Closure::build(&mut arena, &props, &[f]);
+            let mut root = cl.empty_label();
+            root.insert(cl.index_of(f).unwrap());
+            let t = build(&cl, &props, root, &FaultSpec::none());
+            assert_eq!(
+                live_eventualities(&t, &cl),
+                live_eventualities_sweep(&t, &cl),
+                "closure-side eventuality scan diverges from the label sweep for `{spec}`"
+            );
+            for mode in [CertMode::FaultFree, CertMode::FaultProne] {
+                for (_, g, h, is_au) in live_eventualities(&t, &cl) {
+                    let (fast, slow) = if is_au {
+                        (
+                            au_fulfillment(&t, &cl, g, h, mode),
+                            au_fulfillment_naive(&t, &cl, g, h, mode),
+                        )
+                    } else {
+                        (
+                            eu_fulfillment(&t, &cl, g, h, mode),
+                            eu_fulfillment_naive(&t, &cl, g, h, mode),
+                        )
+                    };
+                    assert_eq!(
+                        fast.fulfilled, slow.fulfilled,
+                        "fulfilled sets differ for `{spec}` ({mode:?}, au={is_au})"
+                    );
+                    // Bucket-queue ranks are minimal, hence never above
+                    // the reference's.
+                    for id in t.node_ids() {
+                        if fast.fulfilled[id.index()] {
+                            assert!(fast.rank[id.index()] <= slow.rank[id.index()]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The profiled entry point reports worklist activity consistent
+    /// with the deletions performed.
+    #[test]
+    fn profile_counters_are_consistent() {
+        let mut props = PropTable::new();
+        props.add("p", Owner::Process(0)).unwrap();
+        props.add("q", Owner::Process(0)).unwrap();
+        let mut arena = FormulaArena::new(1);
+        let f = parse(&mut arena, &mut props, "AG ~p & AF p & AG EX1 true", true).unwrap();
+        let cl = Closure::build(&mut arena, &props, &[f]);
+        let mut root = cl.empty_label();
+        root.insert(cl.index_of(f).unwrap());
+        let mut t = build(&cl, &props, root, &FaultSpec::none());
+        let (stats, profile) = apply_deletion_rules_profiled(&mut t, &cl, CertMode::FaultFree);
+        assert!(profile.rounds >= 2, "one round deletes, one confirms");
+        assert!(profile.cert_builds >= 1);
+        // Every pre-reachability deletion is eventually popped from the
+        // structural worklist except those from the final (quiescent)
+        // eventuality pass.
+        assert!(profile.worklist_pops <= stats.total());
+        assert!(profile.eventualities >= 1);
+        assert!(profile.total_time() >= profile.structural_time);
     }
 }

@@ -6,12 +6,14 @@
 //! the same type, identify them").
 
 use ftsyn_ctl::LabelSet;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a tableau node.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -29,7 +31,8 @@ impl fmt::Debug for NodeId {
 }
 
 /// AND-node or OR-node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum NodeKind {
     /// AND-node: corresponds to a state in the final model.
     And,
@@ -38,7 +41,8 @@ pub enum NodeKind {
 }
 
 /// Label of a tableau edge.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum EdgeKind {
     /// AND→OR edge associated with a process (`A_CD ⊆ V_C × [1:I] × V_D`).
     Proc(usize),
@@ -74,6 +78,21 @@ pub struct Node {
     /// Whether this OR-node is a dummy successor (its `Blocks` is pinned
     /// to its unique parent rather than computed from the label).
     pub dummy: bool,
+    /// Number of alive successors reached by non-fault edges. Maintained
+    /// incrementally by [`Tableau::add_edge`] / [`Tableau::delete`] so the
+    /// DeleteOR trigger ("no alive successor left") is O(1) per deletion
+    /// instead of a sweep.
+    pub alive_succ_prog: u32,
+    /// Number of alive successors reached by fault edges.
+    pub alive_succ_fault: u32,
+}
+
+impl Node {
+    /// Total number of alive successors (program and fault edges).
+    #[inline]
+    pub fn alive_succ_total(&self) -> u32 {
+        self.alive_succ_prog + self.alive_succ_fault
+    }
 }
 
 /// The tableau: an AND/OR graph with a root OR-node.
@@ -83,6 +102,10 @@ pub struct Tableau {
     root: NodeId,
     and_index: HashMap<LabelSet, NodeId>,
     or_index: HashMap<LabelSet, NodeId>,
+    /// Every deletion in order. The worklist deletion engine consumes
+    /// this with per-client cursors: a client that processed the first
+    /// `k` entries catches up by looking only at `deletion_log[k..]`.
+    deletion_log: Vec<NodeId>,
 }
 
 impl Tableau {
@@ -99,10 +122,13 @@ impl Tableau {
                 pred: Vec::new(),
                 deleted: false,
                 dummy: false,
+                alive_succ_prog: 0,
+                alive_succ_fault: 0,
             }],
             root,
             and_index: HashMap::new(),
             or_index,
+            deletion_log: Vec::new(),
         }
     }
 
@@ -150,6 +176,8 @@ impl Tableau {
             pred: Vec::new(),
             deleted: false,
             dummy: false,
+            alive_succ_prog: 0,
+            alive_succ_fault: 0,
         });
         (id, true)
     }
@@ -168,6 +196,8 @@ impl Tableau {
             pred: Vec::new(),
             deleted: false,
             dummy: false,
+            alive_succ_prog: 0,
+            alive_succ_fault: 0,
         });
         (id, true)
     }
@@ -183,6 +213,8 @@ impl Tableau {
             pred: Vec::new(),
             deleted: false,
             dummy: true,
+            alive_succ_prog: 0,
+            alive_succ_fault: 0,
         });
         id
     }
@@ -191,6 +223,13 @@ impl Tableau {
     pub fn add_edge(&mut self, from: NodeId, kind: EdgeKind, to: NodeId) {
         if !self.nodes[from.index()].succ.contains(&(kind, to)) {
             self.nodes[from.index()].succ.push((kind, to));
+            if !self.nodes[to.index()].deleted {
+                if kind.is_fault() {
+                    self.nodes[from.index()].alive_succ_fault += 1;
+                } else {
+                    self.nodes[from.index()].alive_succ_prog += 1;
+                }
+            }
             self.nodes[to.index()].pred.push((kind, from));
         }
     }
@@ -206,10 +245,33 @@ impl Tableau {
     }
 
     /// Marks a node deleted. Returns whether it was alive.
+    ///
+    /// A first deletion is appended to the [deletion log](Self::deletion_log)
+    /// and decrements the alive-successor counters of every predecessor,
+    /// keeping the DeleteOR trigger O(degree) per deletion.
     pub fn delete(&mut self, id: NodeId) -> bool {
-        let was = !self.nodes[id.index()].deleted;
+        if self.nodes[id.index()].deleted {
+            return false;
+        }
         self.nodes[id.index()].deleted = true;
-        was
+        self.deletion_log.push(id);
+        let preds = std::mem::take(&mut self.nodes[id.index()].pred);
+        for &(kind, p) in &preds {
+            let n = &mut self.nodes[p.index()];
+            if kind.is_fault() {
+                n.alive_succ_fault -= 1;
+            } else {
+                n.alive_succ_prog -= 1;
+            }
+        }
+        self.nodes[id.index()].pred = preds;
+        true
+    }
+
+    /// The deletions performed so far, in order. Indices into this log
+    /// serve as catch-up cursors for incremental passes over the graph.
+    pub fn deletion_log(&self) -> &[NodeId] {
+        &self.deletion_log
     }
 
     /// Count of alive nodes of each kind `(and, or)`.
@@ -358,5 +420,43 @@ mod tests {
         assert_eq!(non_fault, vec![(EdgeKind::Proc(0), b)]);
         let faults: Vec<_> = t.alive_succ(a, EdgeKind::is_fault).collect();
         assert_eq!(faults.len(), 1);
+    }
+
+    /// The alive-successor counters and the deletion log track
+    /// add_edge/delete exactly (the worklist deletion engine relies on
+    /// both).
+    #[test]
+    fn alive_succ_counters_and_deletion_log() {
+        let (_, l) = label_with(&[0]);
+        let (_, l2) = label_with(&[1]);
+        let (_, l3) = label_with(&[2]);
+        let mut t = Tableau::with_root(l);
+        let (a, _) = t.intern_and(l2);
+        let (b, _) = t.intern_or(l3);
+        t.add_edge(t.root(), EdgeKind::Unlabeled, a);
+        t.add_edge(a, EdgeKind::Proc(0), b);
+        t.add_edge(a, EdgeKind::Fault(0), b);
+        // Duplicate edges are ignored, so counters do not double-count.
+        t.add_edge(a, EdgeKind::Proc(0), b);
+        assert_eq!(t.node(a).alive_succ_prog, 1);
+        assert_eq!(t.node(a).alive_succ_fault, 1);
+        assert_eq!(t.node(a).alive_succ_total(), 2);
+        assert_eq!(t.node(t.root()).alive_succ_total(), 1);
+        assert!(t.deletion_log().is_empty());
+
+        // Deleting `b` decrements both of `a`'s counters and logs it.
+        assert!(t.delete(b));
+        assert!(!t.delete(b), "double delete is a no-op");
+        assert_eq!(t.node(a).alive_succ_total(), 0);
+        assert_eq!(t.deletion_log(), &[b]);
+
+        // Edges to already-deleted targets do not count.
+        let (c, _) = t.intern_and(label_with(&[3]).1);
+        t.add_edge(c, EdgeKind::Proc(1), b);
+        assert_eq!(t.node(c).alive_succ_total(), 0);
+
+        assert!(t.delete(a));
+        assert_eq!(t.node(t.root()).alive_succ_total(), 0);
+        assert_eq!(t.deletion_log(), &[b, a]);
     }
 }

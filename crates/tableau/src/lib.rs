@@ -24,10 +24,12 @@ mod delete;
 mod expand;
 mod graph;
 
-pub use build::{build, valuation_of, FaultSpec};
+pub use build::{build, build_with_threads, valuation_of, BuildProfile, FaultSpec};
+#[cfg(any(test, feature = "slow-reference"))]
+pub use delete::{apply_deletion_rules_naive_mode, au_fulfillment_naive, eu_fulfillment_naive};
 pub use delete::{
-    apply_deletion_rules, apply_deletion_rules_mode, au_fulfillment, eu_fulfillment, CertMode,
-    DeletionStats, Fulfillment,
+    apply_deletion_rules, apply_deletion_rules_mode, apply_deletion_rules_profiled, au_fulfillment,
+    eu_fulfillment, CertMode, DeletionProfile, DeletionStats, Fulfillment,
 };
 pub use expand::{blocks, tiles, Tile};
 pub use graph::{EdgeKind, Node, NodeId, NodeKind, Tableau};

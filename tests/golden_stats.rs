@@ -1,0 +1,49 @@
+//! Golden-statistics regression for experiment E1–E2 of EXPERIMENTS.md:
+//! two-process mutual exclusion with fail-stop faults and masking
+//! tolerance. The tableau size, per-rule deletion counts, and alive
+//! node counts are pinned to the published numbers, and the timing
+//! invariant `elapsed = Σ phase timings + residual` is checked.
+
+use ftsyn::problems::mutex;
+use ftsyn::tableau::DeletionStats;
+use ftsyn::{synthesize, Tolerance};
+
+#[test]
+fn mutex_fail_stop_masking_pins_published_numbers() {
+    let mut problem = mutex::with_fail_stop(2, Tolerance::Masking);
+    assert_eq!(problem.faults.len(), 8, "E1: fault actions");
+    let s = synthesize(&mut problem).unwrap_solved();
+    assert_eq!(s.stats.tableau_nodes, 196, "E2: tableau nodes");
+    assert_eq!(
+        s.stats.deletion,
+        DeletionStats {
+            prop_inconsistent: 0,
+            or_without_children: 2,
+            and_missing_successor: 6,
+            au_unfulfilled: 0,
+            eu_unfulfilled: 0,
+            unreachable: 0,
+        },
+        "E2: per-rule deletions"
+    );
+    assert_eq!(
+        (s.stats.alive_and, s.stats.alive_or),
+        (116, 72),
+        "E2: alive AND/OR nodes"
+    );
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+}
+
+#[test]
+fn elapsed_is_phase_total_plus_residual() {
+    let mut problem = mutex::with_fail_stop(2, Tolerance::Masking);
+    let s = synthesize(&mut problem).unwrap_solved();
+    assert_eq!(
+        s.stats.elapsed,
+        s.stats.phase_total() + s.stats.residual_time,
+        "phase timings must partition the wall clock: {:?}",
+        s.stats
+    );
+    // Every phase is a sub-interval of the run.
+    assert!(s.stats.phase_total() <= s.stats.elapsed);
+}

@@ -1,0 +1,177 @@
+//! Minimal criterion-compatible benchmark harness — offline stand-in
+//! (see `third_party/README.md`).
+//!
+//! Implements the slice of the criterion 0.5 API the `ftsyn-bench`
+//! benches use: [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark
+//! closure is actually run and timed (one warmup iteration, then
+//! `sample_size` samples) and the median / min / max are printed, so
+//! `cargo bench` gives useful, if unrigorous, numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: one untimed warmup call, then `sample_size`
+    /// timed calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let _warmup = routine();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            let out = routine();
+            self.durations.push(t.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn report(name: &str, durations: &mut Vec<Duration>) {
+    if durations.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    durations.sort();
+    let median = durations[durations.len() / 2];
+    let min = durations[0];
+    let max = durations[durations.len() - 1];
+    println!(
+        "{name}: median {median:.2?} (min {min:.2?}, max {max:.2?}, n={})",
+        durations.len()
+    );
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &mut b.durations);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size,
+        }
+    }
+}
+
+/// A parameterized benchmark identifier.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter<P: Display>(param: P) -> BenchmarkId {
+        BenchmarkId {
+            param: param.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, param: P) -> BenchmarkId {
+        BenchmarkId {
+            param: format!("{}/{}", function.into(), param),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        f(&mut b, input);
+        let label = format!("{}/{}", self.name, id.param);
+        report(&label, &mut b.durations);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::black_box`; benches here use
+/// `std::hint::black_box`, but the symbol is exported for
+/// compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function (both criterion syntaxes).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,7 @@
+//! No-op `serde` facade — offline stand-in (see `third_party/README.md`).
+//!
+//! Re-exports the no-op derive macros under the names the
+//! `#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]`
+//! attributes in the workspace expect.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros — offline stand-in
+//! for `serde_derive` (see `third_party/README.md`).
+//!
+//! The workspace only *derives* the serde traits behind a non-default
+//! feature; no code calls the serde runtime API, so expanding the
+//! derives to nothing is sufficient for compilation.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: accepts any item, generates no impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: accepts any item, generates no impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
