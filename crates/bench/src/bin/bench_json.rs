@@ -6,9 +6,11 @@
 //! The JSON is hand-rolled (no serde — the offline build has no
 //! external dependencies) and contains, per problem, the size and
 //! per-phase timing statistics of one synthesis run plus the worklist
-//! counters, and, for the largest fault-prone instances, a head-to-head
-//! timing of the worklist deletion engine against the sweep-based
-//! reference (`slow-reference` feature).
+//! counters, and, for the largest fault-prone instances, head-to-head
+//! timings of the worklist deletion engine against the sweep-based
+//! reference and of the optimized build kernel (cold and warm through
+//! the `Blocks`/`Tiles` memo cache) against the pre-optimization
+//! reference kernel (both under the `slow-reference` feature).
 //!
 //! ```text
 //! cargo run --release -p ftsyn-bench --bin bench_json
@@ -19,8 +21,8 @@ use ftsyn::guarded::interp::explore;
 use ftsyn::guarded::sim::{simulate, SimConfig};
 use ftsyn::problems::{barrier, handshake, mutex, readers_writers, wire};
 use ftsyn::tableau::{
-    apply_deletion_rules_mode, apply_deletion_rules_naive_mode, build, CertMode, FaultSpec,
-    Tableau,
+    apply_deletion_rules_mode, apply_deletion_rules_naive_mode, build, build_reference,
+    build_with_cache, build_with_threads, CertMode, ExpansionCache, FaultSpec, Tableau,
 };
 use ftsyn::{synthesize, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance};
 use std::fmt::Write as _;
@@ -144,6 +146,10 @@ fn stats_json(stats: &SynthesisStats, solved: bool) -> String {
                 .num("threads", bp.threads)
                 .ns("expand_ns", bp.expand_time)
                 .ns("apply_ns", bp.apply_time)
+                .ns("intern_ns", bp.intern_time)
+                .num("intern_probes", bp.intern_probes)
+                .num("cache_hits", bp.cache_hits)
+                .num("cache_misses", bp.cache_misses)
                 .build(),
         )
         .raw(
@@ -232,6 +238,112 @@ fn compare_engines(name: &str, procs: usize, mut problem: SynthesisProblem, runs
         .ns("worklist_ns", worklist)
         .ns("naive_ns", naive)
         .float("speedup", speedup)
+        .build()
+}
+
+/// Times `build_once` over `runs` runs and returns the last tableau
+/// plus the best wall-clock duration.
+fn time_build(runs: usize, mut build_once: impl FnMut() -> Tableau) -> (Tableau, Duration) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..runs {
+        let tick = Instant::now();
+        let t = build_once();
+        best = best.min(tick.elapsed());
+        out = Some(t);
+    }
+    (out.expect("runs >= 1"), best)
+}
+
+/// Panics unless the two tableaux are bit-identical: same node count
+/// and, per node, same label, kind and successor list (edge order
+/// included — downstream unraveling and program extraction are
+/// deterministic functions of exactly this data, so equality here means
+/// the synthesized programs agree too).
+fn assert_identical(name: &str, what: &str, a: &Tableau, b: &Tableau) {
+    assert_eq!(a.len(), b.len(), "{name}: {what} node count diverged");
+    for id in a.node_ids() {
+        assert_eq!(
+            a.node(id).label,
+            b.node(id).label,
+            "{name}: {what} label diverged at {id:?}"
+        );
+        assert_eq!(a.node(id).kind, b.node(id).kind, "{name}: {what} {id:?}");
+        assert_eq!(a.node(id).succ, b.node(id).succ, "{name}: {what} {id:?}");
+        assert_eq!(
+            a.alive(id),
+            b.alive(id),
+            "{name}: {what} alive flag diverged at {id:?}"
+        );
+    }
+}
+
+/// Head-to-head build-kernel timing on one problem: the optimized
+/// expansion kernel — cold, and warm through a `Blocks`/`Tiles` memo
+/// cache primed by a previous build — against the pre-optimization
+/// reference kernel, identical inputs, single-threaded (so the ratio
+/// measures the kernels, not parallelism), best of `runs`. The tableaux
+/// must agree bit-for-bit, before and after the deletion phase.
+fn compare_build(name: &str, procs: usize, mut problem: SynthesisProblem, runs: usize) -> String {
+    eprintln!("comparing build kernels on {name} ...");
+    let roots = problem.closure_roots();
+    let spec = roots[0];
+    let closure = Closure::build(&mut problem.arena, &problem.props, &roots);
+    let fault_spec = FaultSpec {
+        actions: problem.faults.clone(),
+        tolerance_labels: problem.tolerance_label_sets(&closure),
+    };
+    let mut root = closure.empty_label();
+    root.insert(closure.index_of(spec).expect("spec is a closure root"));
+
+    let (t_ref, reference) = time_build(runs, || {
+        build_reference(&closure, &problem.props, root.clone(), &fault_spec, 1).0
+    });
+    let (t_fast, fast) = time_build(runs, || {
+        build_with_threads(&closure, &problem.props, root.clone(), &fault_spec, 1).0
+    });
+    let mut cache = ExpansionCache::new();
+    build_with_cache(&closure, &problem.props, root.clone(), &fault_spec, 1, &mut cache);
+    let (t_warm, warm) = time_build(runs, || {
+        build_with_cache(&closure, &problem.props, root.clone(), &fault_spec, 1, &mut cache).0
+    });
+    let (_, warm_prof) =
+        build_with_cache(&closure, &problem.props, root.clone(), &fault_spec, 1, &mut cache);
+
+    assert_identical(name, "fast-vs-reference", &t_fast, &t_ref);
+    assert_identical(name, "warm-vs-reference", &t_warm, &t_ref);
+
+    // Run the deletion phase on both and require identical alive sets:
+    // unraveling and extraction are deterministic in the alive tableau,
+    // so this pins the synthesized program as well.
+    let (mut da, mut db) = (t_fast.clone(), t_ref.clone());
+    apply_deletion_rules_mode(&mut da, &closure, CertMode::FaultFree);
+    apply_deletion_rules_mode(&mut db, &closure, CertMode::FaultFree);
+    assert_identical(name, "post-deletion", &da, &db);
+    let (alive_and, alive_or) = da.alive_counts();
+
+    let speedup = reference.as_secs_f64() / fast.as_secs_f64();
+    let warm_speedup = reference.as_secs_f64() / warm.as_secs_f64();
+    eprintln!(
+        "  {name}: reference {reference:.2?}, fast {fast:.2?} ({speedup:.2}x), \
+         warm-cache {warm:.2?} ({warm_speedup:.2}x, {} hits) ({} nodes)",
+        warm_prof.cache_hits,
+        t_ref.len()
+    );
+    Obj::default()
+        .str("name", name)
+        .num("procs", procs)
+        .num("tableau_nodes", t_ref.len())
+        .num("alive_and", alive_and)
+        .num("alive_or", alive_or)
+        .num("runs", runs)
+        .ns("reference_ns", reference)
+        .ns("fast_ns", fast)
+        .ns("warm_cache_ns", warm)
+        .num("warm_cache_hits", warm_prof.cache_hits)
+        .float("speedup", speedup)
+        .float("warm_speedup", warm_speedup)
+        .bool("identical_tableaux", true)
         .build()
 }
 
@@ -360,15 +472,40 @@ fn main() {
         ),
     ];
 
+    // Build-kernel head-to-head: optimized (cold and warm-cache)
+    // expansion against the pre-optimization reference, bit-identical
+    // outputs asserted.
+    let build_comparisons = vec![
+        compare_build(
+            "mutex2-failstop-masking",
+            2,
+            mutex::with_fail_stop(2, Tolerance::Masking),
+            5,
+        ),
+        compare_build(
+            "mutex3-failstop-masking",
+            3,
+            mutex::with_fail_stop(3, Tolerance::Masking),
+            3,
+        ),
+        compare_build(
+            "barrier3-state-faults",
+            3,
+            barrier::with_general_state_faults(3),
+            3,
+        ),
+    ];
+
     let doc = Obj::default()
         .str(
             "generated_by",
             "cargo run --release -p ftsyn-bench --bin bench_json",
         )
-        .str("schema_version", "1")
+        .str("schema_version", "2")
         .raw("problems", &arr(problems))
         .raw("wire", &arr(wires))
         .raw("deletion_engine_comparison", &arr(comparisons))
+        .raw("build_kernel_comparison", &arr(build_comparisons))
         .build();
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");

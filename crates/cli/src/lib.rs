@@ -43,6 +43,95 @@ use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
 use ftsyn::{SynthesisProblem, Tolerance, ToleranceAssignment};
 use std::fmt;
 
+/// The `ftsyn` usage banner, including the documented exit codes.
+pub const USAGE: &str = "\
+USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
+
+  --dot <out.dot>   write the synthesized model as Graphviz DOT
+  --quiet           suppress statistics and verification output
+  --no-program      do not print the extracted program
+
+Exit codes:
+  0  synthesis succeeded and the program verified
+  1  impossible: no program satisfies the specification with the
+     required tolerance
+  2  usage, file or problem-description error
+  3  a program was synthesized but mechanical verification failed";
+
+/// Parsed command line of the `ftsyn` binary.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliArgs {
+    /// The problem-description file.
+    pub file: String,
+    /// `--dot <path>`: where to write the model as Graphviz DOT.
+    pub dot_out: Option<String>,
+    /// `--quiet`: suppress statistics and verification output.
+    pub quiet: bool,
+    /// Absent `--no-program`: print the extracted program.
+    pub show_program: bool,
+}
+
+/// What the command line asks for: a synthesis run, or just the usage
+/// banner (`--help`/`-h`).
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliCommand {
+    /// Run synthesis with the parsed options.
+    Run(CliArgs),
+    /// Print [`USAGE`] and exit 0.
+    Help,
+}
+
+/// Parses the binary's arguments (without the leading program name).
+///
+/// # Errors
+///
+/// Returns a usage message (exit code 2 territory) for a missing file,
+/// an unknown flag, or a `--dot` that is not followed by a path — in
+/// particular `--dot --quiet` is rejected rather than silently writing
+/// a file named `--quiet`.
+pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
+    let mut file = None;
+    let mut dot_out = None;
+    let mut quiet = false;
+    let mut show_program = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dot" => {
+                i += 1;
+                match args.get(i) {
+                    None => return Err("--dot requires a path".into()),
+                    Some(p) if p.starts_with("--") => {
+                        return Err(format!(
+                            "--dot requires a path, found flag `{p}` \
+                             (use `--dot ./{p}` for a file really named `{p}`)"
+                        ));
+                    }
+                    Some(p) => dot_out = Some(p.clone()),
+                }
+            }
+            "--quiet" => quiet = true,
+            "--no-program" => show_program = false,
+            "--help" | "-h" => return Ok(CliCommand::Help),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other if file.is_none() => file = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        return Err(USAGE.to_owned());
+    };
+    Ok(CliCommand::Run(CliArgs {
+        file,
+        dot_out,
+        quiet,
+        show_program,
+    }))
+}
+
 /// Error while reading a problem description.
 #[derive(Debug)]
 pub struct FileError {
@@ -362,6 +451,63 @@ tolerance nonmasking
             .unwrap_err()
             .message
             .contains("init"));
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn args_parse_the_documented_form() {
+        let cmd = parse_args(&argv(&["p.ftsyn", "--dot", "out.dot", "--quiet"])).unwrap();
+        assert_eq!(
+            cmd,
+            CliCommand::Run(CliArgs {
+                file: "p.ftsyn".into(),
+                dot_out: Some("out.dot".into()),
+                quiet: true,
+                show_program: true,
+            })
+        );
+        assert_eq!(parse_args(&argv(&["--help"])).unwrap(), CliCommand::Help);
+        assert_eq!(parse_args(&argv(&["-h"])).unwrap(), CliCommand::Help);
+    }
+
+    #[test]
+    fn dot_rejects_a_following_flag() {
+        // Regression: `--dot --quiet` used to write a file literally
+        // named `--quiet` and drop the quiet flag.
+        let e = parse_args(&argv(&["p.ftsyn", "--dot", "--quiet"])).unwrap_err();
+        assert!(e.contains("--dot requires a path"), "{e}");
+        assert!(e.contains("--quiet"), "{e}");
+        let e2 = parse_args(&argv(&["p.ftsyn", "--dot"])).unwrap_err();
+        assert!(e2.contains("requires a path"), "{e2}");
+        // The documented escape hatch still reaches a dashed filename.
+        let cmd = parse_args(&argv(&["p.ftsyn", "--dot", "./--quiet"])).unwrap();
+        let CliCommand::Run(a) = cmd else { panic!() };
+        assert_eq!(a.dot_out.as_deref(), Some("./--quiet"));
+        assert!(!a.quiet);
+    }
+
+    #[test]
+    fn unknown_flags_and_extra_files_are_usage_errors() {
+        assert!(parse_args(&argv(&["p.ftsyn", "--bogus"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_args(&argv(&["a.ftsyn", "b.ftsyn"]))
+            .unwrap_err()
+            .contains("unexpected argument"));
+        assert_eq!(parse_args(&[]).unwrap_err(), USAGE);
+    }
+
+    #[test]
+    fn usage_documents_every_exit_code() {
+        for code in ["0 ", "1 ", "2 ", "3 "] {
+            assert!(
+                USAGE.lines().any(|l| l.trim_start().starts_with(code)),
+                "exit code {code} undocumented in USAGE"
+            );
+        }
     }
 
     #[test]

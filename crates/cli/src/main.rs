@@ -7,44 +7,26 @@
 
 use ftsyn::kripke::StateRole;
 use ftsyn::SynthesisOutcome;
+use ftsyn_cli::{parse_args, CliArgs, CliCommand, USAGE};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut file = None;
-    let mut dot_out: Option<String> = None;
-    let mut quiet = false;
-    let mut show_program = true;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--dot" => {
-                i += 1;
-                dot_out = args.get(i).cloned();
-                if dot_out.is_none() {
-                    eprintln!("--dot requires a path");
-                    return ExitCode::from(2);
-                }
-            }
-            "--quiet" => quiet = true,
-            "--no-program" => show_program = false,
-            "--help" | "-h" => {
-                println!(
-                    "USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]"
-                );
-                return ExitCode::SUCCESS;
-            }
-            other if file.is_none() => file = Some(other.to_owned()),
-            other => {
-                eprintln!("unexpected argument `{other}`");
-                return ExitCode::from(2);
-            }
+    let CliArgs {
+        file,
+        dot_out,
+        quiet,
+        show_program,
+    } = match parse_args(&args) {
+        Ok(CliCommand::Run(a)) => a,
+        Ok(CliCommand::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
         }
-        i += 1;
-    }
-    let Some(file) = file else {
-        eprintln!("USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]");
-        return ExitCode::from(2);
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
     };
 
     let src = match std::fs::read_to_string(&file) {
@@ -80,7 +62,8 @@ fn main() -> ExitCode {
                 );
                 let st = &s.stats;
                 println!(
-                    "phases: build {:.1?} ({} levels, peak frontier {}, {} threads), \
+                    "phases: build {:.1?} ({} levels, peak frontier {}, {} threads, \
+                     {} intern probes in {:.1?}, cache {}/{} hits), \
                      delete {:.1?} ({} rounds, {} worklist pops, {} certs built, {} reused), \
                      unravel {:.1?}, minimize {:.1?}, extract {:.1?}, verify {:.1?}, \
                      other {:.1?}",
@@ -88,6 +71,10 @@ fn main() -> ExitCode {
                     st.build_profile.levels,
                     st.build_profile.max_frontier,
                     st.build_profile.threads,
+                    st.build_profile.intern_probes,
+                    st.build_profile.intern_time,
+                    st.build_profile.cache_hits,
+                    st.build_profile.cache_hits + st.build_profile.cache_misses,
                     st.deletion_time,
                     st.deletion_profile.rounds,
                     st.deletion_profile.worklist_pops,
@@ -104,7 +91,15 @@ fn main() -> ExitCode {
                     if s.verification.ok() {
                         "PASS".to_owned()
                     } else {
-                        format!("FAIL — {:?}", s.verification.failures)
+                        format!(
+                            "FAIL — {}",
+                            s.verification
+                                .failures
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join("; ")
+                        )
                     }
                 );
             }

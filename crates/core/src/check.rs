@@ -148,7 +148,7 @@ mod tests {
             .verification
             .failures
             .iter()
-            .any(|f| f.contains("~C1 | ~C2") || f.contains("violates")));
+            .any(|f| f.message.contains("~C1 | ~C2") || f.message.contains("violates")));
     }
 
     /// A fault-intolerant program (correct without faults) fails the

@@ -72,7 +72,7 @@ pub use synthesize::{
 };
 pub use ftsyn_tableau::CertMode;
 pub use unravel::{unravel, unravel_mode, Unraveled};
-pub use verify::{verify, verify_semantic, Verification};
+pub use verify::{verify, verify_semantic, Failure, FailureKind, FailureStage, Verification};
 
 // Re-export the substrate crates so downstream users need only `ftsyn`.
 pub use ftsyn_ctl as ctl;

@@ -266,14 +266,13 @@ pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
 
     // Final verification of the minimized model: the three semantic
     // requirements of Section 3 re-checked on the exact structure the
-    // program was extracted from, combined with the label-soundness
-    // result (Theorem 7.1.9) established on the pre-minimization model.
+    // program was extracted from, folded together with the full
+    // pre-minimization verification (which alone can check label
+    // soundness, Theorem 7.1.9). Every pre-minimization failure is
+    // surfaced with its stage tagged, not just the label-related ones.
     let t_ver = Instant::now();
     let mut verification = verify_semantic(problem, &model);
-    verification.labels_sound = full_verification.labels_sound;
-    verification
-        .failures
-        .extend(full_verification.failures.into_iter().filter(|f| f.contains("label")));
+    verification.merge_pre_minimization(full_verification);
     stats.verify_time += t_ver.elapsed();
     stats.elapsed = start.elapsed();
     stats.residual_time = stats.elapsed.saturating_sub(stats.phase_total());

@@ -7,6 +7,72 @@ use crate::unravel::Unraveled;
 use ftsyn_ctl::Closure;
 use ftsyn_kripke::{Checker, Semantics, StateRole, TransKind};
 use ftsyn_tableau::{valuation_of, CertMode, Tableau};
+use std::fmt;
+
+/// Category of a verification failure — which theorem or requirement
+/// was violated. Consumers filter on this instead of grepping the
+/// human-readable message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The initial state violates the temporal specification
+    /// (Corollary 7.1(1)).
+    Spec,
+    /// A perturbed state violates its tolerance label
+    /// (Corollary 7.1(2)).
+    Tolerance,
+    /// A state misses a fault transition for an enabled fault outcome
+    /// (fault closure, Theorem 7.3.2).
+    FaultClosure,
+    /// A state violates a formula of its tableau label
+    /// (Theorem 7.1.9).
+    LabelSoundness,
+}
+
+/// Which model a failure was detected on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureStage {
+    /// The final (minimized) model the program was extracted from.
+    Final,
+    /// The pre-minimization unraveled model — the structure the
+    /// soundness theorems directly speak about.
+    PreMinimization,
+}
+
+/// One verification failure: a structured kind and stage plus the
+/// human-readable description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    /// The violated requirement.
+    pub kind: FailureKind,
+    /// The model the violation was found on.
+    pub stage: FailureStage,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Failure {
+    /// A failure on the model currently under verification (the stage
+    /// is re-tagged by [`Verification::merge_pre_minimization`] when the
+    /// result is folded into a later verification).
+    fn new(kind: FailureKind, message: String) -> Failure {
+        Failure {
+            kind,
+            stage: FailureStage::Final,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.stage {
+            FailureStage::Final => write!(f, "{}", self.message),
+            FailureStage::PreMinimization => {
+                write!(f, "[pre-minimization] {}", self.message)
+            }
+        }
+    }
+}
 
 /// The satisfaction relation matching a synthesis mode: `⊨ₙ` for the
 /// main method, plain `⊨` for Section 8.3's alternative method.
@@ -34,8 +100,8 @@ pub struct Verification {
     pub labels_sound: bool,
     /// Number of perturbed states found.
     pub perturbed_count: usize,
-    /// Human-readable descriptions of any violations.
-    pub failures: Vec<String>,
+    /// Structured descriptions of any violations.
+    pub failures: Vec<Failure>,
 }
 
 impl Verification {
@@ -45,6 +111,27 @@ impl Verification {
             && self.perturbed_satisfy_tolerance
             && self.fault_closed
             && self.labels_sound
+    }
+
+    /// Folds a full pre-minimization verification into this (final,
+    /// post-minimization) semantic verification.
+    ///
+    /// Label soundness (Theorem 7.1.9) is only checkable on the
+    /// pre-minimization model, so its verdict carries over verbatim.
+    /// *Every* pre-minimization failure — semantic ones included — is
+    /// surfaced with its stage re-tagged, and the corresponding flags
+    /// are conjoined: semantic minimization only preserves requirements
+    /// that held before it, so a pre-minimization violation is a real
+    /// defect even when the minimized model happens to pass.
+    pub fn merge_pre_minimization(&mut self, pre: Verification) {
+        self.init_satisfies_spec &= pre.init_satisfies_spec;
+        self.perturbed_satisfy_tolerance &= pre.perturbed_satisfy_tolerance;
+        self.fault_closed &= pre.fault_closed;
+        self.labels_sound = pre.labels_sound;
+        self.failures.extend(pre.failures.into_iter().map(|mut f| {
+            f.stage = FailureStage::PreMinimization;
+            f
+        }));
     }
 }
 
@@ -93,11 +180,13 @@ pub fn verify_semantic(
                     }
                 }
             }
-            v.failures.push(msg);
+            v.failures.push(Failure::new(FailureKind::Spec, msg));
         }
         if !detailed {
-            v.failures
-                .push("initial state violates the temporal specification".into());
+            v.failures.push(Failure::new(
+                FailureKind::Spec,
+                "initial state violates the temporal specification".into(),
+            ));
         }
     }
 
@@ -122,9 +211,12 @@ pub fn verify_semantic(
             for f in problem.label_tol_formulas(tol) {
                 if !ck.holds(&problem.arena, f, s) {
                     v.perturbed_satisfy_tolerance = false;
-                    v.failures.push(format!(
-                        "perturbed state {} violates its {tol:?} tolerance label",
-                        model.state(s).display(&problem.props)
+                    v.failures.push(Failure::new(
+                        FailureKind::Tolerance,
+                        format!(
+                            "perturbed state {} violates its {tol:?} tolerance label",
+                            model.state(s).display(&problem.props)
+                        ),
                     ));
                 }
             }
@@ -145,10 +237,13 @@ pub fn verify_semantic(
                 });
                 if !covered {
                     v.fault_closed = false;
-                    v.failures.push(format!(
-                        "state {} misses a fault transition for `{}`",
-                        model.state(s).display(&problem.props),
-                        action.name()
+                    v.failures.push(Failure::new(
+                        FailureKind::FaultClosure,
+                        format!(
+                            "state {} misses a fault transition for `{}`",
+                            model.state(s).display(&problem.props),
+                            action.name()
+                        ),
                     ));
                 }
             }
@@ -181,14 +276,104 @@ pub fn verify(
             let f = closure.entry(idx).id;
             if !ck.holds(&problem.arena, f, s) {
                 v.labels_sound = false;
-                v.failures.push(format!(
-                    "state {} violates label formula {}",
-                    model.state(s).display(&problem.props),
-                    ftsyn_ctl::print::render(&problem.arena, &problem.props, f)
+                v.failures.push(Failure::new(
+                    FailureKind::LabelSoundness,
+                    format!(
+                        "state {} violates label formula {}",
+                        model.state(s).display(&problem.props),
+                        ftsyn_ctl::print::render(&problem.arena, &problem.props, f)
+                    ),
                 ));
             }
         }
     }
 
     v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::mutex;
+    use crate::unravel::unravel_mode;
+    use ftsyn_guarded::{BoolExpr, FaultAction, PropAssign};
+    use ftsyn_tableau::{apply_deletion_rules_mode, build, FaultSpec};
+
+    /// Regression test for the string-grep failure filter this module's
+    /// structured kinds replaced: a *non-label* failure pushed through
+    /// the full [`verify`] must surface as a [`FailureKind::FaultClosure`]
+    /// failure, distinguishable from label soundness without grepping
+    /// the message.
+    #[test]
+    fn uncovered_fault_surfaces_as_structured_fault_closure() {
+        let mut problem = mutex::fault_free(2);
+
+        // Replicate the pipeline up to the pre-minimization model verify()
+        // is specified on: closure → tableau → deletion → unraveling.
+        let roots = problem.closure_roots();
+        let spec_formula = roots[0];
+        let closure = Closure::build(&mut problem.arena, &problem.props, &roots);
+        let fault_spec = FaultSpec {
+            actions: problem.faults.clone(),
+            tolerance_labels: problem.tolerance_label_sets(&closure),
+        };
+        let mut root_label = closure.empty_label();
+        root_label.insert(closure.index_of(spec_formula).unwrap());
+        let mut tableau = build(&closure, &problem.props, root_label, &fault_spec);
+        apply_deletion_rules_mode(&mut tableau, &closure, problem.mode);
+        assert!(tableau.alive(tableau.root()), "mutex is synthesizable");
+        let c0 = tableau
+            .alive_succ(tableau.root(), |_| true)
+            .map(|(_, c)| c)
+            .next()
+            .expect("alive root has an alive AND child");
+        let unr = unravel_mode(&tableau, &closure, &problem.props, c0, problem.mode);
+
+        let baseline = verify(&mut problem, &closure, &tableau, &unr);
+        assert!(baseline.ok(), "baseline must verify: {:?}", baseline.failures);
+
+        // Inject a fault action the synthesized model knows nothing
+        // about: enabled everywhere, never represented by a transition.
+        let t1 = problem.props.id("T1").unwrap();
+        problem.faults.push(
+            FaultAction::new("ghost", BoolExpr::Const(true), vec![(t1, PropAssign::True)])
+                .expect("well-formed action"),
+        );
+        let v = verify(&mut problem, &closure, &tableau, &unr);
+        assert!(!v.fault_closed);
+        assert!(!v.ok());
+        // Labels are untouched by the extra action: soundness still holds.
+        assert!(v.labels_sound);
+        let kinds: Vec<FailureKind> = v.failures.iter().map(|f| f.kind).collect();
+        assert!(
+            kinds.iter().all(|&k| k == FailureKind::FaultClosure),
+            "only fault-closure failures expected, got {kinds:?}"
+        );
+        assert!(!kinds.is_empty(), "the violation must be reported");
+        assert!(
+            v.failures.iter().all(|f| f.stage == FailureStage::Final),
+            "verify() reports on the model it was given"
+        );
+
+        // The merge re-tags the stage and conjoins the semantic flags, so
+        // a pre-minimization fault-closure violation survives into a
+        // final verification that passed on its own.
+        let mut final_v = Verification {
+            init_satisfies_spec: true,
+            perturbed_satisfy_tolerance: true,
+            fault_closed: true,
+            labels_sound: true,
+            ..Verification::default()
+        };
+        final_v.merge_pre_minimization(v);
+        assert!(!final_v.fault_closed);
+        assert!(!final_v.ok());
+        assert!(final_v
+            .failures
+            .iter()
+            .all(|f| f.kind == FailureKind::FaultClosure
+                && f.stage == FailureStage::PreMinimization));
+        let shown = format!("{}", final_v.failures[0]);
+        assert!(shown.starts_with("[pre-minimization] "), "{shown}");
+    }
 }

@@ -144,7 +144,25 @@ pub struct Closure {
     false_idx: ClosureIdx,
     true_idx: ClosureIdx,
     words: usize,
+    /// Bits of the positive literals whose negative twin sits at the
+    /// next index in the same word; a label word `w` then carries a
+    /// `p ∧ ¬p` conflict iff `w & (w >> 1) & adj_pos_mask` is nonzero.
+    adj_pos_mask: Box<[u64]>,
+    /// Literal pairs that did not land word-adjacent (empty in practice:
+    /// the builder seeds `p`/`¬p` back to back); checked one by one.
+    slow_pairs: Vec<(ClosureIdx, ClosureIdx)>,
+    /// `opposite_lit[i]` = closure index of the complementary literal of
+    /// member `i`, or `NO_IDX` when `i` is not a literal (or has no
+    /// registered complement).
+    opposite_lit: Box<[ClosureIdx]>,
+    /// Bits of all `AXᵢ` members.
+    ax_mask: Box<[u64]>,
+    /// Bits of all `EXᵢ` members.
+    ex_mask: Box<[u64]>,
 }
+
+/// Sentinel for "no closure index" in dense side tables.
+const NO_IDX: ClosureIdx = ClosureIdx::MAX;
 
 impl Closure {
     /// Builds the closure of `roots` over `arena`.
@@ -317,6 +335,33 @@ impl Closure {
         let false_idx = idx_of(fl);
         let true_idx = idx_of(t);
         let ex_true = ex_true_ids.into_iter().map(idx_of).collect();
+
+        // Phase 3: dense side tables for the hot consistency checks.
+        let mut adj_pos_mask = vec![0u64; words].into_boxed_slice();
+        let mut slow_pairs: Vec<(ClosureIdx, ClosureIdx)> = Vec::new();
+        let mut opposite_lit = vec![NO_IDX; entries.len()].into_boxed_slice();
+        for &(p, n) in lit_idx.values() {
+            if let (Some(pi), Some(ni)) = (p, n) {
+                opposite_lit[pi as usize] = ni;
+                opposite_lit[ni as usize] = pi;
+                if ni == pi + 1 && pi % 64 != 63 {
+                    adj_pos_mask[pi as usize / 64] |= 1u64 << (pi % 64);
+                } else {
+                    slow_pairs.push((pi, ni));
+                }
+            }
+        }
+        slow_pairs.sort_unstable(); // lit_idx iteration order is random
+        let mut ax_mask = vec![0u64; words].into_boxed_slice();
+        let mut ex_mask = vec![0u64; words].into_boxed_slice();
+        for (i, e) in entries.iter().enumerate() {
+            match e.kind {
+                EntryKind::Ax { .. } => ax_mask[i / 64] |= 1u64 << (i % 64),
+                EntryKind::Ex { .. } => ex_mask[i / 64] |= 1u64 << (i % 64),
+                _ => {}
+            }
+        }
+
         Closure {
             entries,
             pos,
@@ -325,6 +370,11 @@ impl Closure {
             false_idx,
             true_idx,
             words,
+            adj_pos_mask,
+            slow_pairs,
+            opposite_lit,
+            ax_mask,
+            ex_mask,
         }
     }
 
@@ -411,18 +461,66 @@ impl Closure {
 
     /// Checks a label for propositional consistency: no `false`, and no
     /// `p` together with `¬p`.
+    ///
+    /// Complementary literals are seeded back to back by [`Closure::build`],
+    /// so almost every pair is covered by one precomputed word mask
+    /// (`w & (w >> 1) & adj_pos_mask`); only pairs that happen to
+    /// straddle a word boundary fall back to individual bit tests.
     pub fn is_prop_consistent(&self, label: &LabelSet) -> bool {
         if label.contains(self.false_idx) {
             return false;
         }
-        for &(pos, neg) in self.lit_idx.values() {
-            if let (Some(pi), Some(ni)) = (pos, neg) {
-                if label.contains(pi) && label.contains(ni) {
-                    return false;
-                }
+        for (&w, &m) in label.bits.iter().zip(self.adj_pos_mask.iter()) {
+            if w & (w >> 1) & m != 0 {
+                return false;
             }
         }
-        true
+        self.slow_pairs
+            .iter()
+            .all(|&(pi, ni)| !(label.contains(pi) && label.contains(ni)))
+    }
+
+    /// The complementary literal of member `idx` (`p` ↔ `¬p`), if `idx`
+    /// is a literal with a registered complement.
+    pub fn opposite_literal(&self, idx: ClosureIdx) -> Option<ClosureIdx> {
+        match self.opposite_lit[idx as usize] {
+            NO_IDX => None,
+            o => Some(o),
+        }
+    }
+
+    /// Whether inserting member `comp` into a *propositionally
+    /// consistent* `label` would make it inconsistent: `comp` is the
+    /// constant `false`, or a literal whose complement is present.
+    ///
+    /// O(1) — the clone-free equivalent of inserting into a copy and
+    /// re-running [`Closure::is_prop_consistent`].
+    pub fn insert_breaks_consistency(&self, label: &LabelSet, comp: ClosureIdx) -> bool {
+        if comp == self.false_idx {
+            return true;
+        }
+        match self.opposite_lit[comp as usize] {
+            NO_IDX => false,
+            o => label.contains(o),
+        }
+    }
+
+    /// Whether the label contains any `AXᵢ` member (one mask pass).
+    pub fn label_has_ax(&self, label: &LabelSet) -> bool {
+        label
+            .bits
+            .iter()
+            .zip(self.ax_mask.iter())
+            .any(|(&w, &m)| w & m != 0)
+    }
+
+    /// Whether the label contains any `EXᵢ` member (one mask pass).
+    pub fn label_has_ex(&self, label: &LabelSet) -> bool {
+        label
+            .bits
+            .iter()
+            .zip(self.ex_mask.iter())
+            .any(|(&w, &m)| w & m != 0)
     }
 
     /// Closure index of the constant `false`.
@@ -498,6 +596,21 @@ impl LabelSet {
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// A deterministic 64-bit hash of the set (FxHash-style word fold).
+    ///
+    /// Unlike the `Hash` impl, this does not depend on a per-process
+    /// random seed, so it can be computed on worker threads and reused
+    /// across data structures (e.g. the tableau's sharded intern table)
+    /// without re-reading the label.
+    pub fn stable_hash(&self) -> u64 {
+        const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut h = 0u64;
+        for &w in self.bits.iter() {
+            h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+        }
+        h
     }
 
     /// Iterates over members in increasing index order.
@@ -618,6 +731,85 @@ mod tests {
         assert!(cl.is_prop_consistent(&l));
         l.insert(cl.literal(p, false).unwrap());
         assert!(!cl.is_prop_consistent(&l));
+    }
+
+    #[test]
+    fn mask_consistency_matches_pairwise_walk() {
+        // The word-mask fast path must agree with the definitional
+        // pairwise check on labels over every literal combination.
+        let (mut arena, props, root) = small_setup();
+        let cl = Closure::build(&mut arena, &props, &[root]);
+        let lits: Vec<ClosureIdx> = props
+            .iter()
+            .flat_map(|p| [cl.literal(p, true).unwrap(), cl.literal(p, false).unwrap()])
+            .collect();
+        for combo in 0u32..(1 << lits.len()) {
+            let mut l = cl.empty_label();
+            for (i, &idx) in lits.iter().enumerate() {
+                if combo & (1 << i) != 0 {
+                    l.insert(idx);
+                }
+            }
+            let naive = !label_pairs_conflict(&cl, &props, &l);
+            assert_eq!(cl.is_prop_consistent(&l), naive, "combo {combo:b}");
+        }
+        let mut l = cl.empty_label();
+        l.insert(cl.false_idx());
+        assert!(!cl.is_prop_consistent(&l), "false is always inconsistent");
+    }
+
+    fn label_pairs_conflict(cl: &Closure, props: &PropTable, l: &LabelSet) -> bool {
+        props.iter().any(|p| {
+            let (pi, ni) = (cl.literal(p, true).unwrap(), cl.literal(p, false).unwrap());
+            l.contains(pi) && l.contains(ni)
+        })
+    }
+
+    #[test]
+    fn opposite_literal_and_insert_blocking() {
+        let (mut arena, props, root) = small_setup();
+        let cl = Closure::build(&mut arena, &props, &[root]);
+        let p = props.id("p").unwrap();
+        let (pi, ni) = (cl.literal(p, true).unwrap(), cl.literal(p, false).unwrap());
+        assert_eq!(cl.opposite_literal(pi), Some(ni));
+        assert_eq!(cl.opposite_literal(ni), Some(pi));
+        assert_eq!(cl.opposite_literal(cl.true_idx()), None);
+        let mut l = cl.empty_label();
+        l.insert(pi);
+        assert!(cl.insert_breaks_consistency(&l, ni));
+        assert!(!cl.insert_breaks_consistency(&l, pi));
+        assert!(cl.insert_breaks_consistency(&l, cl.false_idx()));
+        let q = props.id("q").unwrap();
+        assert!(!cl.insert_breaks_consistency(&l, cl.literal(q, false).unwrap()));
+    }
+
+    #[test]
+    fn ax_ex_masks_match_entry_scan() {
+        let (mut arena, props, root) = small_setup();
+        let cl = Closure::build(&mut arena, &props, &[root]);
+        for idx in cl.indices() {
+            let mut l = cl.empty_label();
+            l.insert(idx);
+            let is_ax = matches!(cl.entry(idx).kind, EntryKind::Ax { .. });
+            let is_ex = matches!(cl.entry(idx).kind, EntryKind::Ex { .. });
+            assert_eq!(cl.label_has_ax(&l), is_ax, "idx {idx}");
+            assert_eq!(cl.label_has_ex(&l), is_ex, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_label_equality_compatible() {
+        let (mut arena, props, root) = small_setup();
+        let cl = Closure::build(&mut arena, &props, &[root]);
+        let mut a = cl.empty_label();
+        let mut b = cl.empty_label();
+        a.insert(3);
+        a.insert(17);
+        b.insert(17);
+        b.insert(3);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        b.insert(1);
+        assert_ne!(a.stable_hash(), b.stable_hash());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! tableau is bit-identical to a sequential build regardless of thread
 //! count. Small frontiers fall back to inline expansion.
 
+use crate::cache::{CacheFill, ExpansionCache};
 use crate::expand::{blocks, tiles, Tile};
 use crate::graph::{EdgeKind, NodeId, NodeKind, Tableau};
 use ftsyn_ctl::{Closure, EntryKind, LabelSet, PropTable};
@@ -116,50 +117,118 @@ pub struct BuildProfile {
     /// Time applying steps: interning, edges, frontier bookkeeping
     /// (inherently sequential).
     pub apply_time: Duration,
+    /// Portion of [`BuildProfile::apply_time`] spent probing/creating
+    /// nodes in the label-intern tables.
+    pub intern_time: Duration,
+    /// Number of label-intern probes (one per non-dummy successor step).
+    pub intern_probes: usize,
+    /// `Blocks`/`Tiles` memo-cache hits during this build (0 without a
+    /// cache; also 0 on any cold build — interning already dedups labels
+    /// within one build, so hits only come from earlier builds).
+    pub cache_hits: usize,
+    /// `Blocks`/`Tiles` memo-cache misses during this build.
+    pub cache_misses: usize,
 }
 
 /// One successor to materialize for a frontier node — the output of the
-/// pure expansion half, applied sequentially afterwards.
+/// pure expansion half, applied sequentially afterwards. Labels carry
+/// their [`LabelSet::stable_hash`], computed on the (parallel) worker
+/// side so the sequential intern pass probes with a ready-made hash.
 enum Step {
     /// OR-node child: intern the AND-node for this block.
-    And(LabelSet),
+    And { label: LabelSet, hash: u64 },
     /// AND-node `Tiles` successor for process `proc`.
-    Or { proc: usize, label: LabelSet },
+    Or {
+        proc: usize,
+        label: LabelSet,
+        hash: u64,
+    },
     /// AND-node dummy self-loop (pure-propositional tile).
     Dummy,
     /// Fault successor of action `action` with the perturbed label.
-    Fault { action: usize, label: LabelSet },
+    Fault {
+        action: usize,
+        label: LabelSet,
+        hash: u64,
+    },
+}
+
+/// Which expansion kernels a build uses.
+#[derive(Clone, Copy)]
+enum Kernel {
+    /// The optimized kernels in [`crate::expand`] (plus the memo cache
+    /// when one is supplied).
+    Fast,
+    /// The pre-optimization kernels in [`crate::expand_naive`], kept as
+    /// a timing/equivalence oracle.
+    #[cfg(any(test, feature = "slow-reference"))]
+    Reference,
 }
 
 /// The pure half of expanding one node: everything that only *reads*
-/// the tableau. Safe to run concurrently for all frontier nodes.
+/// the tableau. Safe to run concurrently for all frontier nodes; cache
+/// lookups share the table immutably (counters are atomic) and cache
+/// *inserts* are deferred to the apply phase as [`CacheFill`]s.
 fn expand_node(
     t: &Tableau,
     closure: &Closure,
     props: &PropTable,
     faults: &FaultSpec,
     id: NodeId,
-) -> Vec<Step> {
+    cache: Option<&ExpansionCache>,
+    kernel: Kernel,
+) -> (Vec<Step>, Option<CacheFill>) {
     match t.node(id).kind {
         NodeKind::Or => {
             if t.node(id).dummy {
-                return Vec::new(); // successors pinned at creation
+                return (Vec::new(), None); // successors pinned at creation
             }
-            blocks(closure, &t.node(id).label)
+            let label = &t.node(id).label;
+            let mut fill = None;
+            let bs = match cache.and_then(|c| c.lookup_blocks(label)) {
+                Some(cached) => cached.clone(),
+                None => {
+                    let computed = run_blocks(closure, label, kernel);
+                    if cache.is_some() {
+                        fill = Some(CacheFill::Blocks(label.clone(), computed.clone()));
+                    }
+                    computed
+                }
+            };
+            let steps = bs
                 .into_iter()
-                .map(Step::And)
-                .collect()
+                .map(|label| {
+                    let hash = label.stable_hash();
+                    Step::And { label, hash }
+                })
+                .collect();
+            (steps, fill)
         }
         NodeKind::And => {
             let label = &t.node(id).label;
             let mut steps = Vec::new();
+            let mut fill = None;
             // Tiles successors.
-            for tile in tiles(closure, label) {
+            let ts = match cache.and_then(|c| c.lookup_tiles(label)) {
+                Some(cached) => cached.clone(),
+                None => {
+                    let computed = run_tiles(closure, label, kernel);
+                    if cache.is_some() {
+                        fill = Some(CacheFill::Tiles(label.clone(), computed.clone()));
+                    }
+                    computed
+                }
+            };
+            for tile in ts {
                 match tile {
-                    Tile::Or { proc, or_label } => steps.push(Step::Or {
-                        proc,
-                        label: or_label,
-                    }),
+                    Tile::Or { proc, or_label } => {
+                        let hash = or_label.stable_hash();
+                        steps.push(Step::Or {
+                            proc,
+                            label: or_label,
+                            hash,
+                        });
+                    }
                     Tile::Dummy => steps.push(Step::Dummy),
                 }
             }
@@ -170,14 +239,34 @@ fn expand_node(
                     continue;
                 }
                 for phi in action.outcomes(&valuation, props.len()) {
+                    let label =
+                        fault_or_label(closure, props, &phi, &faults.tolerance_labels[ai]);
+                    let hash = label.stable_hash();
                     steps.push(Step::Fault {
                         action: ai,
-                        label: fault_or_label(closure, props, &phi, &faults.tolerance_labels[ai]),
+                        label,
+                        hash,
                     });
                 }
             }
-            steps
+            (steps, fill)
         }
+    }
+}
+
+fn run_blocks(closure: &Closure, label: &LabelSet, kernel: Kernel) -> Vec<LabelSet> {
+    match kernel {
+        Kernel::Fast => blocks(closure, label),
+        #[cfg(any(test, feature = "slow-reference"))]
+        Kernel::Reference => crate::expand_naive::blocks_naive(closure, label),
+    }
+}
+
+fn run_tiles(closure: &Closure, label: &LabelSet, kernel: Kernel) -> Vec<Tile> {
+    match kernel {
+        Kernel::Fast => tiles(closure, label),
+        #[cfg(any(test, feature = "slow-reference"))]
+        Kernel::Reference => crate::expand_naive::tiles_naive(closure, label),
     }
 }
 
@@ -207,11 +296,84 @@ pub fn build_with_threads(
     faults: &FaultSpec,
     threads: usize,
 ) -> (Tableau, BuildProfile) {
+    build_core(closure, props, root_label, faults, threads, None, Kernel::Fast)
+}
+
+/// [`build_with_threads`] with a cross-build `Blocks`/`Tiles` memo
+/// cache. The cache never changes the result (the kernels are pure);
+/// hits only occur for labels already expanded by *earlier* builds
+/// through the same cache (see [`ExpansionCache`]).
+pub fn build_with_cache(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+    threads: usize,
+    cache: &mut ExpansionCache,
+) -> (Tableau, BuildProfile) {
+    build_core(
+        closure,
+        props,
+        root_label,
+        faults,
+        threads,
+        Some(cache),
+        Kernel::Fast,
+    )
+}
+
+/// [`build_with_threads`] running the pre-optimization
+/// [`crate::expand_naive`] kernels — the timing/equivalence oracle for
+/// the fast path. Must produce a bit-identical tableau.
+#[cfg(any(test, feature = "slow-reference"))]
+pub fn build_reference(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+    threads: usize,
+) -> (Tableau, BuildProfile) {
+    build_core(
+        closure,
+        props,
+        root_label,
+        faults,
+        threads,
+        None,
+        Kernel::Reference,
+    )
+}
+
+/// The planned materialization of one [`Step`] after interning: which
+/// edge to draw, or a dummy pair. Produced by the intern pass, consumed
+/// by the edge pass.
+enum Planned {
+    /// Draw `frontier_node --kind--> target`; `fresh` nodes join the
+    /// next frontier.
+    Edge {
+        kind: EdgeKind,
+        target: NodeId,
+        fresh: bool,
+    },
+    /// Draw the dummy self-loop pair through dummy node `dummy`.
+    DummyPair { dummy: NodeId },
+}
+
+fn build_core(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+    threads: usize,
+    mut cache: Option<&mut ExpansionCache>,
+    kernel: Kernel,
+) -> (Tableau, BuildProfile) {
     let threads = threads.max(1);
     let mut profile = BuildProfile {
         threads,
         ..BuildProfile::default()
     };
+    let counters_before = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
     let mut t = Tableau::with_root(root_label);
     let mut frontier = vec![t.root()];
 
@@ -222,7 +384,8 @@ pub fn build_with_threads(
 
         // Pure expansion of the whole level, possibly on worker threads.
         let t0 = Instant::now();
-        let expansions: Vec<Vec<Step>> =
+        let shared_cache: Option<&ExpansionCache> = cache.as_deref();
+        let expansions: Vec<(Vec<Step>, Option<CacheFill>)> =
             if threads > 1 && frontier.len() >= MIN_PARALLEL_FRONTIER {
                 profile.parallel_levels += 1;
                 let chunk = frontier.len().div_ceil(threads);
@@ -233,7 +396,17 @@ pub fn build_with_threads(
                             let t = &t;
                             scope.spawn(move || {
                                 ids.iter()
-                                    .map(|&id| expand_node(t, closure, props, faults, id))
+                                    .map(|&id| {
+                                        expand_node(
+                                            t,
+                                            closure,
+                                            props,
+                                            faults,
+                                            id,
+                                            shared_cache,
+                                            kernel,
+                                        )
+                                    })
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -248,43 +421,83 @@ pub fn build_with_threads(
             } else {
                 frontier
                     .iter()
-                    .map(|&id| expand_node(&t, closure, props, faults, id))
+                    .map(|&id| expand_node(&t, closure, props, faults, id, shared_cache, kernel))
                     .collect()
             };
         profile.expand_time += t0.elapsed();
 
-        // Sequential application in frontier order: interning and edge
-        // insertion mutate the tableau and define node numbering.
+        // Sequential application in frontier order. Two passes, both in
+        // frontier/step order so node numbering matches the historic
+        // interleaved apply exactly: (A) intern every successor label
+        // (this alone defines node ids — edges never create nodes),
+        // (B) draw the edges and collect the next frontier.
         let t0 = Instant::now();
-        let mut next = Vec::new();
-        for (&id, steps) in frontier.iter().zip(expansions) {
+        let mut planned: Vec<(NodeId, Vec<Planned>)> = Vec::with_capacity(frontier.len());
+        for (&id, (steps, fill)) in frontier.iter().zip(expansions) {
+            if let (Some(c), Some(fill)) = (cache.as_deref_mut(), fill) {
+                c.apply_fill(fill);
+            }
+            let mut plans = Vec::with_capacity(steps.len());
             for step in steps {
-                match step {
-                    Step::And(label) => {
-                        let (c, fresh) = t.intern_and(label);
-                        t.add_edge(id, EdgeKind::Unlabeled, c);
-                        if fresh {
-                            next.push(c);
+                let plan = match step {
+                    Step::And { label, hash } => {
+                        profile.intern_probes += 1;
+                        let (target, fresh) = t.intern_and_hashed(label, hash);
+                        Planned::Edge {
+                            kind: EdgeKind::Unlabeled,
+                            target,
+                            fresh,
                         }
                     }
-                    Step::Or { proc, label } => {
-                        let (d, fresh) = t.intern_or(label);
-                        t.add_edge(id, EdgeKind::Proc(proc), d);
-                        if fresh {
-                            next.push(d);
+                    Step::Or { proc, label, hash } => {
+                        profile.intern_probes += 1;
+                        let (target, fresh) = t.intern_or_hashed(label, hash);
+                        Planned::Edge {
+                            kind: EdgeKind::Proc(proc),
+                            target,
+                            fresh,
                         }
                     }
-                    Step::Dummy => {
-                        let d = t.new_dummy_or(t.node(id).label.clone());
-                        t.add_edge(id, EdgeKind::Dummy, d);
-                        t.add_edge(d, EdgeKind::Unlabeled, id);
-                    }
-                    Step::Fault { action, label } => {
-                        let (d, fresh) = t.intern_or(label);
-                        t.add_edge(id, EdgeKind::Fault(action), d);
-                        if fresh {
-                            next.push(d);
+                    Step::Fault {
+                        action,
+                        label,
+                        hash,
+                    } => {
+                        profile.intern_probes += 1;
+                        let (target, fresh) = t.intern_or_hashed(label, hash);
+                        Planned::Edge {
+                            kind: EdgeKind::Fault(action),
+                            target,
+                            fresh,
                         }
+                    }
+                    Step::Dummy => Planned::DummyPair {
+                        dummy: t.new_dummy_or(t.node(id).label.clone()),
+                    },
+                };
+                plans.push(plan);
+            }
+            planned.push((id, plans));
+        }
+        profile.intern_time += t0.elapsed();
+
+        let mut next = Vec::new();
+        for (id, plans) in planned {
+            for plan in plans {
+                match plan {
+                    Planned::Edge {
+                        kind,
+                        target,
+                        fresh,
+                    } => {
+                        t.add_edge(id, kind, target);
+                        if fresh {
+                            next.push(target);
+                        }
+                    }
+                    Planned::DummyPair { dummy } => {
+                        t.add_edge(id, EdgeKind::Dummy, dummy);
+                        t.add_edge(dummy, EdgeKind::Unlabeled, id);
                     }
                 }
             }
@@ -292,6 +505,9 @@ pub fn build_with_threads(
         profile.apply_time += t0.elapsed();
         frontier = next;
     }
+    let counters_after = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
+    profile.cache_hits = counters_after.0 - counters_before.0;
+    profile.cache_misses = counters_after.1 - counters_before.1;
     (t, profile)
 }
 
@@ -444,27 +660,67 @@ mod tests {
         assert!(checked);
     }
 
+    /// A fault spec that flips `p` whenever it holds — wide enough to
+    /// exercise fault-successor generation on most test specs.
+    fn flip_p_faults(props: &PropTable, cl: &Closure) -> FaultSpec {
+        let p = props.id("p").unwrap();
+        let action =
+            FaultAction::new("flip-p", BoolExpr::Prop(p), vec![(p, PropAssign::False)]).unwrap();
+        FaultSpec::uniform(vec![action], cl.empty_label())
+    }
+
     /// The tableau is bit-identical for every worker-thread count
-    /// (labels, kinds, and edges in the same order at the same ids).
+    /// (labels, kinds, and edges in the same order at the same ids),
+    /// with and without fault actions, through the sharded intern
+    /// tables.
     #[test]
     fn build_is_deterministic_across_thread_counts() {
         for spec in ["p & AG(EX1 true & EX2 true)", "AG(EX1 true) & AF p & EF q"] {
-            let (_, props, cl, root) = simple_setup(spec, 2);
-            let (seq, seq_prof) =
-                build_with_threads(&cl, &props, root.clone(), &FaultSpec::none(), 1);
-            assert_eq!(seq_prof.parallel_levels, 0);
-            for threads in [2, 4] {
-                let (par, prof) =
-                    build_with_threads(&cl, &props, root.clone(), &FaultSpec::none(), threads);
-                assert_eq!(seq.len(), par.len(), "{spec}: node counts differ");
-                for id in seq.node_ids() {
-                    assert_eq!(seq.node(id).label, par.node(id).label, "{spec}: {id:?}");
-                    assert_eq!(seq.node(id).kind, par.node(id).kind);
-                    assert_eq!(seq.node(id).succ, par.node(id).succ);
+            for with_faults in [false, true] {
+                let (_, props, cl, root) = simple_setup(spec, 2);
+                let faults = if with_faults {
+                    flip_p_faults(&props, &cl)
+                } else {
+                    FaultSpec::none()
+                };
+                let (seq, seq_prof) = build_with_threads(&cl, &props, root.clone(), &faults, 1);
+                assert_eq!(seq_prof.parallel_levels, 0);
+                for threads in [2, 4, 8] {
+                    let (par, prof) =
+                        build_with_threads(&cl, &props, root.clone(), &faults, threads);
+                    assert_eq!(seq.len(), par.len(), "{spec}: node counts differ");
+                    for id in seq.node_ids() {
+                        assert_eq!(seq.node(id).label, par.node(id).label, "{spec}: {id:?}");
+                        assert_eq!(seq.node(id).kind, par.node(id).kind);
+                        assert_eq!(seq.node(id).succ, par.node(id).succ);
+                    }
+                    assert_eq!(prof.threads, threads);
+                    assert_eq!(prof.levels, seq_prof.levels);
+                    // Dummy successors are created without ever joining
+                    // a frontier, so compare against the sequential
+                    // profile, not the node count.
+                    assert_eq!(prof.nodes_expanded, seq_prof.nodes_expanded);
                 }
-                assert_eq!(prof.threads, threads);
-                assert_eq!(prof.levels, seq_prof.levels);
-                assert_eq!(prof.nodes_expanded, seq.len());
+            }
+        }
+    }
+
+    /// The optimized build and the [`build_reference`] oracle (naive
+    /// kernels) produce bit-identical tableaux at every thread count.
+    #[test]
+    fn build_matches_reference_kernels() {
+        for spec in ["p & AG(EX1 true & EX2 true)", "AG(EX1 true) & AF p & EF q"] {
+            let (_, props, cl, root) = simple_setup(spec, 2);
+            let faults = flip_p_faults(&props, &cl);
+            let (fast, _) = build_with_threads(&cl, &props, root.clone(), &faults, 1);
+            for threads in [1, 4] {
+                let (oracle, _) = build_reference(&cl, &props, root.clone(), &faults, threads);
+                assert_eq!(fast.len(), oracle.len(), "{spec}: node counts differ");
+                for id in fast.node_ids() {
+                    assert_eq!(fast.node(id).label, oracle.node(id).label, "{spec}: {id:?}");
+                    assert_eq!(fast.node(id).kind, oracle.node(id).kind);
+                    assert_eq!(fast.node(id).succ, oracle.node(id).succ);
+                }
             }
         }
     }

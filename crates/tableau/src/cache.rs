@@ -1,0 +1,106 @@
+//! Memoization of the `Blocks`/`Tiles` expansions across tableau builds.
+//!
+//! Both kernels are pure functions of `(closure, label)`, and OR-labels
+//! repeat heavily across related builds (fault successors pin complete
+//! valuations, so different specifications over the same propositions
+//! keep producing the same perturbed labels). An [`ExpansionCache`]
+//! owned by the caller can therefore be threaded through any number of
+//! [`build_with_cache`](crate::build_with_cache) calls.
+//!
+//! Within a *single* build the cache never hits: node interning already
+//! deduplicates labels per kind, so each unique label is expanded
+//! exactly once per build. The hit/miss counters in
+//! [`BuildProfile`](crate::BuildProfile) make this visible rather than
+//! hiding it — warm-cache wins show up only from the second build over
+//! a given label population onwards.
+//!
+//! Lookups run concurrently on expansion worker threads (shared
+//! reference, atomic counters); inserts are deferred to the sequential
+//! apply phase via [`CacheFill`] records, so the map itself needs no
+//! locking.
+
+use crate::expand::Tile;
+use ftsyn_ctl::LabelSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A deferred cache insert, produced on a worker thread during the pure
+/// expansion half and applied by the sequential apply phase.
+#[derive(Clone, Debug)]
+pub enum CacheFill {
+    /// `Blocks(label)` result for an OR-node label.
+    Blocks(LabelSet, Vec<LabelSet>),
+    /// `Tiles(label)` result for an AND-node label.
+    Tiles(LabelSet, Vec<Tile>),
+}
+
+/// Cross-build memo table for `Blocks` and `Tiles` results.
+#[derive(Debug, Default)]
+pub struct ExpansionCache {
+    blocks: HashMap<LabelSet, Vec<LabelSet>>,
+    tiles: HashMap<LabelSet, Vec<Tile>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ExpansionCache {
+    /// An empty cache.
+    pub fn new() -> ExpansionCache {
+        ExpansionCache::default()
+    }
+
+    /// The memoized `Blocks` result for `label`, if present. Counts a
+    /// hit or a miss either way.
+    pub fn lookup_blocks(&self, label: &LabelSet) -> Option<&Vec<LabelSet>> {
+        Self::count(&self.hits, &self.misses, self.blocks.get(label))
+    }
+
+    /// The memoized `Tiles` result for `label`, if present.
+    pub fn lookup_tiles(&self, label: &LabelSet) -> Option<&Vec<Tile>> {
+        Self::count(&self.hits, &self.misses, self.tiles.get(label))
+    }
+
+    fn count<'a, T>(
+        hits: &AtomicUsize,
+        misses: &AtomicUsize,
+        found: Option<&'a T>,
+    ) -> Option<&'a T> {
+        if found.is_some() {
+            hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Applies a deferred insert (first result for a label wins; the
+    /// kernels are deterministic so later fills are identical anyway).
+    pub fn apply_fill(&mut self, fill: CacheFill) {
+        match fill {
+            CacheFill::Blocks(label, result) => {
+                self.blocks.entry(label).or_insert(result);
+            }
+            CacheFill::Tiles(label, result) => {
+                self.tiles.entry(label).or_insert(result);
+            }
+        }
+    }
+
+    /// Number of memoized entries `(blocks, tiles)`.
+    pub fn len(&self) -> (usize, usize) {
+        (self.blocks.len(), self.tiles.len())
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty() && self.tiles.is_empty()
+    }
+
+    /// Lifetime lookup counters `(hits, misses)`.
+    pub fn counters(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}

@@ -40,23 +40,19 @@ pub fn blocks(closure: &Closure, label: &LabelSet) -> Vec<LabelSet> {
     let mut stack: Vec<(LabelSet, Vec<ClosureIdx>, Vec<ClosureIdx>)> =
         vec![(label.clone(), alphas, betas)];
 
-    while let Some((acc, mut alphas, mut betas)) = stack.pop() {
-        if alphas.is_empty() && betas.is_empty() {
-            if done_set.insert(acc.clone()) {
-                done.push(acc);
-            }
-            continue;
-        }
-        if let Some(idx) = alphas.pop() {
+    'branch: while let Some((mut acc, mut alphas, mut betas)) = stack.pop() {
+        // Drain all α/elementary work in place. In the pre-optimization
+        // code each α step pushed the branch back and immediately
+        // re-popped it (LIFO), so this loop is step-for-step identical —
+        // minus one stack round-trip (and its Vec moves) per formula.
+        while let Some(idx) = alphas.pop() {
             match closure.expansion(idx) {
                 Expansion::Elementary => {
                     if matches!(closure.entry(idx).kind, EntryKind::False) {
-                        continue; // propositionally inconsistent branch
+                        continue 'branch; // propositionally inconsistent
                     }
-                    stack.push((acc, alphas, betas));
                 }
                 Expansion::Alpha(a, b) => {
-                    let mut acc = acc;
                     for comp in [a, b] {
                         if acc.insert(comp) {
                             match closure.expansion(comp) {
@@ -65,11 +61,16 @@ pub fn blocks(closure: &Closure, label: &LabelSet) -> Vec<LabelSet> {
                             }
                         }
                     }
-                    if closure.is_prop_consistent(&acc) {
-                        stack.push((acc, alphas, betas));
+                    if !closure.is_prop_consistent(&acc) {
+                        continue 'branch;
                     }
                 }
                 Expansion::Beta(_, _) => unreachable!("betas are queued separately"),
+            }
+        }
+        if betas.is_empty() {
+            if done_set.insert(acc.clone()) {
+                done.push(acc);
             }
             continue;
         }
@@ -81,6 +82,14 @@ pub fn blocks(closure: &Closure, label: &LabelSet) -> Vec<LabelSet> {
         // choices as the only branch points. This is a search-order
         // heuristic only: the set of minimal labels produced is
         // unchanged (superset branches are filtered below either way).
+        //
+        // The "would inserting this literal contradict the branch?"
+        // probe is O(1): `acc` was already checked for consistency (at
+        // its fork/α site, or here for the not-yet-checked root label),
+        // so a literal insertion breaks consistency iff its complement
+        // is present. The pre-optimization probe cloned `acc` and re-ran
+        // the full consistency scan per candidate.
+        let acc_consistent = closure.is_prop_consistent(&acc);
         let mut chosen = betas.len() - 1;
         let mut forced: Option<ClosureIdx> = None;
         'scan: for (bi, &idx) in betas.iter().enumerate() {
@@ -97,9 +106,7 @@ pub fn blocks(closure: &Closure, label: &LabelSet) -> Vec<LabelSet> {
                     match closure.entry(comp).kind {
                         EntryKind::False => true,
                         EntryKind::Lit { .. } => {
-                            let mut probe = acc.clone();
-                            probe.insert(comp);
-                            !closure.is_prop_consistent(&probe)
+                            !acc_consistent || closure.insert_breaks_consistency(&acc, comp)
                         }
                         _ => false,
                     }
@@ -122,22 +129,26 @@ pub fn blocks(closure: &Closure, label: &LabelSet) -> Vec<LabelSet> {
             stack.push((acc, alphas, betas));
             continue;
         }
-        let choices: &[ClosureIdx] = match &forced {
-            Some(comp) => std::slice::from_ref(comp),
-            None => &[a, b],
-        };
-        for &comp in choices {
-            let mut acc2 = acc.clone();
-            let mut alphas2 = alphas.clone();
-            let mut betas2 = betas.clone();
-            if acc2.insert(comp) {
-                match closure.expansion(comp) {
-                    Expansion::Beta(_, _) => betas2.push(comp),
-                    _ => alphas2.push(comp),
+        // The last choice reuses the branch's buffers; a two-way fork
+        // clones only for `a`. Push order (`a` then `b`) matches the
+        // original exactly.
+        let mut push_choice =
+            |mut acc2: LabelSet, mut alphas2: Vec<ClosureIdx>, mut betas2: Vec<ClosureIdx>, comp| {
+                if acc2.insert(comp) {
+                    match closure.expansion(comp) {
+                        Expansion::Beta(_, _) => betas2.push(comp),
+                        _ => alphas2.push(comp),
+                    }
                 }
-            }
-            if closure.is_prop_consistent(&acc2) {
-                stack.push((acc2, alphas2, betas2));
+                if closure.is_prop_consistent(&acc2) {
+                    stack.push((acc2, alphas2, betas2));
+                }
+            };
+        match forced {
+            Some(comp) => push_choice(acc, alphas, betas, comp),
+            None => {
+                push_choice(acc.clone(), alphas.clone(), betas.clone(), a);
+                push_choice(acc, alphas, betas, b);
             }
         }
     }
@@ -146,15 +157,8 @@ pub fn blocks(closure: &Closure, label: &LabelSet) -> Vec<LabelSet> {
     let mut out: Vec<LabelSet> = Vec::new();
     let mut out_set: HashSet<LabelSet> = HashSet::new();
     for acc in done {
-        let mut has_ax = false;
-        let mut has_ex = false;
-        for idx in acc.iter() {
-            match closure.entry(idx).kind {
-                EntryKind::Ax { .. } => has_ax = true,
-                EntryKind::Ex { .. } => has_ex = true,
-                _ => {}
-            }
-        }
+        let has_ax = closure.label_has_ax(&acc);
+        let has_ex = closure.label_has_ex(&acc);
         if has_ax && !has_ex {
             for i in 0..closure.num_procs() {
                 let mut v = acc.clone();
@@ -172,16 +176,31 @@ pub fn blocks(closure: &Closure, label: &LabelSet) -> Vec<LabelSet> {
     // and is satisfiable whenever the superset is, so dropping supersets
     // preserves both soundness and completeness while keeping the
     // tableau (and the final model) small.
+    //
+    // A strict subset has strictly smaller cardinality, so only labels
+    // from smaller size classes can shadow `a` — and expansion output
+    // skews heavily toward one size class (full-valuation labels), so
+    // iterating candidates in ascending size order and stopping at
+    // `|a|` turns the quadratic all-pairs scan into a near-linear one.
+    let sizes: Vec<usize> = out.iter().map(LabelSet::len).collect();
+    let mut by_size: Vec<usize> = (0..out.len()).collect();
+    by_size.sort_unstable_by_key(|&i| sizes[i]);
     let minimal: Vec<LabelSet> = out
         .iter()
-        .filter(|a| !out.iter().any(|b| *b != **a && b.is_subset(a)))
-        .cloned()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !by_size
+                .iter()
+                .take_while(|&&j| sizes[j] < sizes[i])
+                .any(|&j| out[j].is_subset(a))
+        })
+        .map(|(_, a)| a.clone())
         .collect();
     minimal
 }
 
 /// One `Tiles` successor requirement of an AND-node.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Tile {
     /// A per-process OR-node successor: edge label `Proc(proc)`, OR-node
     /// label `or_label` (the `AXᵢ` bodies plus one `EXᵢ` body).
@@ -227,17 +246,21 @@ pub fn tiles(closure: &Closure, label: &LabelSet) -> Vec<Tile> {
         return vec![Tile::Dummy];
     }
     let mut out = Vec::new();
+    let mut out_set: HashSet<Tile> = HashSet::new();
     for (proc, exs) in ex_bodies.iter().enumerate() {
-        for &e in exs {
-            let mut or_label = closure.empty_label();
-            if let Some(axs) = ax_bodies.get(proc) {
-                for &a in axs {
-                    or_label.insert(a);
-                }
+        // The shared AXᵢ-bodies part of each tile label is built once
+        // per process; each EXᵢ body is then added to a copy.
+        let mut ax_label = closure.empty_label();
+        if let Some(axs) = ax_bodies.get(proc) {
+            for &a in axs {
+                ax_label.insert(a);
             }
+        }
+        for &e in exs {
+            let mut or_label = ax_label.clone();
             or_label.insert(e);
             let tile = Tile::Or { proc, or_label };
-            if !out.contains(&tile) {
+            if out_set.insert(tile.clone()) {
                 out.push(tile);
             }
         }

@@ -8,7 +8,7 @@
 use ftsyn_ctl::LabelSet;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Identifier of a tableau node.
@@ -95,13 +95,56 @@ impl Node {
     }
 }
 
+/// Number of shards in a [`LabelInterner`]; must be a power of two.
+const INTERN_SHARDS: usize = 16;
+
+/// A label → node intern table addressed by *precomputed*
+/// [`LabelSet::stable_hash`] values, sharded by the low hash bits.
+///
+/// Build workers hash every produced label on the (parallel) expansion
+/// side; the sequential apply phase then probes with the ready-made
+/// hash instead of re-reading each label, and the per-shard maps stay
+/// small. Shard choice depends only on the hash, so the table contents
+/// are identical for every thread count.
+#[derive(Clone, Debug)]
+struct LabelInterner {
+    /// `hash → candidate nodes` (collision chains are label-checked).
+    shards: Vec<HashMap<u64, Vec<NodeId>>>,
+}
+
+impl LabelInterner {
+    fn new() -> LabelInterner {
+        LabelInterner {
+            shards: vec![HashMap::new(); INTERN_SHARDS],
+        }
+    }
+
+    fn get(&self, nodes: &[Node], label: &LabelSet, hash: u64) -> Option<NodeId> {
+        self.shards[hash as usize & (INTERN_SHARDS - 1)]
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|id| nodes[id.index()].label == *label)
+    }
+
+    fn insert(&mut self, hash: u64, id: NodeId) {
+        self.shards[hash as usize & (INTERN_SHARDS - 1)]
+            .entry(hash)
+            .or_default()
+            .push(id);
+    }
+}
+
 /// The tableau: an AND/OR graph with a root OR-node.
 #[derive(Clone, Debug)]
 pub struct Tableau {
     nodes: Vec<Node>,
     root: NodeId,
-    and_index: HashMap<LabelSet, NodeId>,
-    or_index: HashMap<LabelSet, NodeId>,
+    and_index: LabelInterner,
+    or_index: LabelInterner,
+    /// Edge dedup set: `(from, kind, to)` of every edge ever added, so
+    /// [`Tableau::add_edge`] is O(1) instead of scanning `succ`.
+    edge_set: HashSet<(NodeId, EdgeKind, NodeId)>,
     /// Every deletion in order. The worklist deletion engine consumes
     /// this with per-client cursors: a client that processed the first
     /// `k` entries catches up by looking only at `deletion_log[k..]`.
@@ -112,8 +155,8 @@ impl Tableau {
     /// Creates a tableau containing only the root OR-node with `label`.
     pub fn with_root(label: LabelSet) -> Tableau {
         let root = NodeId(0);
-        let mut or_index = HashMap::new();
-        or_index.insert(label.clone(), root);
+        let mut or_index = LabelInterner::new();
+        or_index.insert(label.stable_hash(), root);
         Tableau {
             nodes: vec![Node {
                 kind: NodeKind::Or,
@@ -126,8 +169,9 @@ impl Tableau {
                 alive_succ_fault: 0,
             }],
             root,
-            and_index: HashMap::new(),
+            and_index: LabelInterner::new(),
             or_index,
+            edge_set: HashSet::new(),
             deletion_log: Vec::new(),
         }
     }
@@ -164,11 +208,19 @@ impl Tableau {
     /// Finds (or creates) an AND-node with the given label. Returns the
     /// id and whether it was newly created.
     pub fn intern_and(&mut self, label: LabelSet) -> (NodeId, bool) {
-        if let Some(&id) = self.and_index.get(&label) {
+        let hash = label.stable_hash();
+        self.intern_and_hashed(label, hash)
+    }
+
+    /// [`Tableau::intern_and`] with the label's
+    /// [`stable_hash`](LabelSet::stable_hash) already computed (the
+    /// parallel build hashes labels on worker threads).
+    pub fn intern_and_hashed(&mut self, label: LabelSet, hash: u64) -> (NodeId, bool) {
+        if let Some(id) = self.and_index.get(&self.nodes, &label, hash) {
             return (id, false);
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.and_index.insert(label.clone(), id);
+        self.and_index.insert(hash, id);
         self.nodes.push(Node {
             kind: NodeKind::And,
             label,
@@ -184,11 +236,17 @@ impl Tableau {
 
     /// Finds (or creates) a non-dummy OR-node with the given label.
     pub fn intern_or(&mut self, label: LabelSet) -> (NodeId, bool) {
-        if let Some(&id) = self.or_index.get(&label) {
+        let hash = label.stable_hash();
+        self.intern_or_hashed(label, hash)
+    }
+
+    /// [`Tableau::intern_or`] with the label hash precomputed.
+    pub fn intern_or_hashed(&mut self, label: LabelSet, hash: u64) -> (NodeId, bool) {
+        if let Some(id) = self.or_index.get(&self.nodes, &label, hash) {
             return (id, false);
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.or_index.insert(label.clone(), id);
+        self.or_index.insert(hash, id);
         self.nodes.push(Node {
             kind: NodeKind::Or,
             label,
@@ -220,18 +278,27 @@ impl Tableau {
     }
 
     /// Adds an edge (duplicates ignored).
+    ///
+    /// The alive-successor counters are only touched while *both*
+    /// endpoints are alive: a deleted `from` node's counters are frozen
+    /// at their deletion-time values (they are never read again — every
+    /// consumer checks aliveness first), and [`Tableau::delete`]
+    /// symmetrically skips deleted predecessors, so the counters of
+    /// alive nodes always equal their alive-successor count and can
+    /// never underflow.
     pub fn add_edge(&mut self, from: NodeId, kind: EdgeKind, to: NodeId) {
-        if !self.nodes[from.index()].succ.contains(&(kind, to)) {
-            self.nodes[from.index()].succ.push((kind, to));
-            if !self.nodes[to.index()].deleted {
-                if kind.is_fault() {
-                    self.nodes[from.index()].alive_succ_fault += 1;
-                } else {
-                    self.nodes[from.index()].alive_succ_prog += 1;
-                }
-            }
-            self.nodes[to.index()].pred.push((kind, from));
+        if !self.edge_set.insert((from, kind, to)) {
+            return;
         }
+        self.nodes[from.index()].succ.push((kind, to));
+        if !self.nodes[from.index()].deleted && !self.nodes[to.index()].deleted {
+            if kind.is_fault() {
+                self.nodes[from.index()].alive_succ_fault += 1;
+            } else {
+                self.nodes[from.index()].alive_succ_prog += 1;
+            }
+        }
+        self.nodes[to.index()].pred.push((kind, from));
     }
 
     /// Iterates over all node ids (including deleted nodes).
@@ -258,6 +325,12 @@ impl Tableau {
         let preds = std::mem::take(&mut self.nodes[id.index()].pred);
         for &(kind, p) in &preds {
             let n = &mut self.nodes[p.index()];
+            // A deleted predecessor's counters are frozen (add_edge never
+            // incremented them past its deletion), so decrementing here
+            // would underflow. Alive nodes' counters stay exact.
+            if n.deleted {
+                continue;
+            }
             if kind.is_fault() {
                 n.alive_succ_fault -= 1;
             } else {
@@ -458,5 +531,55 @@ mod tests {
         assert!(t.delete(a));
         assert_eq!(t.node(t.root()).alive_succ_total(), 0);
         assert_eq!(t.deletion_log(), &[b, a]);
+    }
+
+    /// Regression test: an edge added from an already-deleted node must
+    /// not bump its alive-successor counters, and deleting the target
+    /// afterwards must not underflow them.
+    #[test]
+    fn add_edge_from_deleted_node_keeps_counters_frozen() {
+        let (_, l) = label_with(&[0]);
+        let (_, l2) = label_with(&[1]);
+        let (_, l3) = label_with(&[2]);
+        let mut t = Tableau::with_root(l);
+        let (a, _) = t.intern_and(l2);
+        let (b, _) = t.intern_or(l3);
+        t.delete(a);
+
+        t.add_edge(a, EdgeKind::Proc(0), b);
+        t.add_edge(a, EdgeKind::Fault(0), b);
+        assert_eq!(
+            t.node(a).alive_succ_total(),
+            0,
+            "deleted `from` node's counters stay frozen"
+        );
+        // The edges themselves still exist (structure is preserved).
+        assert_eq!(t.node(a).succ.len(), 2);
+        assert_eq!(t.node(b).pred.len(), 2);
+
+        // Deleting `b` now must not underflow `a`'s frozen counters.
+        assert!(t.delete(b));
+        assert_eq!(t.node(a).alive_succ_prog, 0);
+        assert_eq!(t.node(a).alive_succ_fault, 0);
+    }
+
+    /// Counters survive a deletion-time decrement when the predecessor
+    /// was itself deleted first (frozen counters are skipped).
+    #[test]
+    fn delete_skips_deleted_predecessors() {
+        let (_, l) = label_with(&[0]);
+        let (_, l2) = label_with(&[1]);
+        let (_, l3) = label_with(&[2]);
+        let mut t = Tableau::with_root(l);
+        let (a, _) = t.intern_and(l2);
+        let (b, _) = t.intern_or(l3);
+        t.add_edge(a, EdgeKind::Proc(0), b);
+        assert_eq!(t.node(a).alive_succ_prog, 1);
+        // Delete the predecessor first: its counter freezes at 1.
+        t.delete(a);
+        // Deleting `b` must skip the frozen predecessor (no underflow,
+        // counter untouched).
+        t.delete(b);
+        assert_eq!(t.node(a).alive_succ_prog, 1);
     }
 }

@@ -20,16 +20,28 @@
 #![forbid(unsafe_code)]
 
 mod build;
+mod cache;
 mod delete;
 mod expand;
+#[cfg(any(test, feature = "slow-reference"))]
+mod expand_naive;
 mod graph;
+#[cfg(test)]
+mod prop_tests;
 
-pub use build::{build, build_with_threads, valuation_of, BuildProfile, FaultSpec};
+#[cfg(any(test, feature = "slow-reference"))]
+pub use build::build_reference;
+pub use build::{
+    build, build_with_cache, build_with_threads, valuation_of, BuildProfile, FaultSpec,
+};
+pub use cache::{CacheFill, ExpansionCache};
 #[cfg(any(test, feature = "slow-reference"))]
 pub use delete::{apply_deletion_rules_naive_mode, au_fulfillment_naive, eu_fulfillment_naive};
 pub use delete::{
     apply_deletion_rules, apply_deletion_rules_mode, apply_deletion_rules_profiled, au_fulfillment,
     eu_fulfillment, CertMode, DeletionProfile, DeletionStats, Fulfillment,
 };
+#[cfg(any(test, feature = "slow-reference"))]
+pub use expand_naive::{blocks_naive, naive_is_prop_consistent, tiles_naive};
 pub use expand::{blocks, tiles, Tile};
 pub use graph::{EdgeKind, Node, NodeId, NodeKind, Tableau};
