@@ -24,7 +24,9 @@ use ftsyn::tableau::{
     apply_deletion_rules_mode, apply_deletion_rules_naive_mode, build, build_reference,
     build_with_cache, build_with_threads, CertMode, ExpansionCache, FaultSpec, Tableau,
 };
-use ftsyn::{synthesize, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance};
+use ftsyn::{
+    synthesize, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance, Verification,
+};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -169,18 +171,35 @@ fn stats_json(stats: &SynthesisStats, solved: bool) -> String {
         .build()
 }
 
+/// Serializes a verification outcome: overall verdict plus the failure
+/// counts aggregated by [`ftsyn::FailureKind`].
+fn verification_json(v: &Verification) -> String {
+    let mut by_kind = Obj::default();
+    for (kind, count) in v.failures_by_kind() {
+        by_kind = by_kind.num(kind.name(), count);
+    }
+    Obj::default()
+        .bool("ok", v.ok())
+        .raw("failures_by_kind", &by_kind.build())
+        .str("failure_summary", &v.failure_summary())
+        .build()
+}
+
 /// Runs synthesis on one named problem and serializes the result.
 fn run_problem(name: &str, procs: usize, mut problem: SynthesisProblem) -> String {
     eprintln!("synthesizing {name} ...");
-    let (stats, solved) = match synthesize(&mut problem) {
-        SynthesisOutcome::Solved(s) => (s.stats.clone(), true),
-        SynthesisOutcome::Impossible(imp) => (imp.stats, false),
+    let (stats, solved, verification) = match synthesize(&mut problem) {
+        SynthesisOutcome::Solved(s) => (s.stats.clone(), true, Some(s.verification.clone())),
+        SynthesisOutcome::Impossible(imp) => (imp.stats, false, None),
     };
-    Obj::default()
+    let mut obj = Obj::default()
         .str("name", name)
         .num("procs", procs)
-        .raw("stats", &stats_json(&stats, solved))
-        .build()
+        .raw("stats", &stats_json(&stats, solved));
+    if let Some(v) = verification {
+        obj = obj.raw("verification", &verification_json(&v));
+    }
+    obj.build()
 }
 
 /// Builds the closure and tableau `T₀` of a problem (the input of the
@@ -388,6 +407,21 @@ fn main() {
         ));
     }
 
+    // Multitolerance at three processes (Section 8.2 scaled up): P1's
+    // fail-stop/repair actions only need nonmasking tolerance, the
+    // other processes' faults stay masking.
+    problems.push(run_problem(
+        "mutex3-failstop-multitolerance",
+        3,
+        mutex::with_fail_stop_multitolerance(3, |f| {
+            if f.name().contains("P1") {
+                Tolerance::Nonmasking
+            } else {
+                Tolerance::Masking
+            }
+        }),
+    ));
+
     // Barrier synchronization with general state faults.
     for n in 2..=3 {
         problems.push(run_problem(
@@ -501,7 +535,7 @@ fn main() {
             "generated_by",
             "cargo run --release -p ftsyn-bench --bin bench_json",
         )
-        .str("schema_version", "2")
+        .str("schema_version", "3")
         .raw("problems", &arr(problems))
         .raw("wire", &arr(wires))
         .raw("deletion_engine_comparison", &arr(comparisons))

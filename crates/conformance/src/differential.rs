@@ -1,0 +1,143 @@
+//! The differential-fuzzer case runner: synthesize twice, compare
+//! byte-for-byte, and re-check every synthesized program with the model
+//! checker as an independent oracle.
+
+use crate::generate::{random_problem, GeneratedCase};
+use crate::render::render_solved;
+use ftsyn::{check_program, synthesize, SynthesisOutcome};
+use ftsyn_prng::XorShift64;
+
+/// The summarized result of one fuzzer case.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// The generated instance's descriptive name.
+    pub name: String,
+    /// Whether synthesis succeeded (`false`: proven impossible).
+    pub solved: bool,
+    /// Final model-state count (0 for impossible instances).
+    pub model_states: usize,
+}
+
+/// Runs the full differential check for one seed:
+///
+/// 1. builds the seed's problem **twice** and synthesizes each copy;
+/// 2. asserts the two runs agree — same outcome, identical model-state
+///    counts, byte-identical rendered programs (run-to-run determinism);
+/// 3. for solved cases, asserts the pipeline's own verification passed
+///    and re-checks the extracted program against the specification,
+///    tolerance labels, and fault closure with the `ftsyn-kripke` model
+///    checker ([`check_program`]), which explores the program
+///    independently of the tableau;
+/// 4. with the `slow-reference` feature, cross-checks the optimized
+///    tableau build against the reference kernel on a third copy.
+///
+/// # Panics
+///
+/// Panics on any divergence or oracle failure, naming the seed so the
+/// case can be replayed.
+pub fn run_seed(seed: u64) -> CaseResult {
+    let GeneratedCase {
+        name,
+        problem: mut p1,
+    } = random_problem(&mut XorShift64::new(seed));
+    let GeneratedCase {
+        problem: mut p2, ..
+    } = random_problem(&mut XorShift64::new(seed));
+
+    #[cfg(feature = "slow-reference")]
+    {
+        let GeneratedCase {
+            problem: mut p3, ..
+        } = random_problem(&mut XorShift64::new(seed));
+        cross_check_build(seed, &name, &mut p3);
+    }
+
+    let o1 = synthesize(&mut p1);
+    let o2 = synthesize(&mut p2);
+    match (o1, o2) {
+        (SynthesisOutcome::Solved(s1), SynthesisOutcome::Solved(s2)) => {
+            assert_eq!(
+                s1.stats.model_states, s2.stats.model_states,
+                "seed {seed} ({name}): model-state counts diverged between runs"
+            );
+            let (r1, r2) = (render_solved(&p1, &s1), render_solved(&p2, &s2));
+            assert_eq!(
+                r1, r2,
+                "seed {seed} ({name}): rendered programs diverged between runs"
+            );
+            assert!(
+                s1.verification.ok(),
+                "seed {seed} ({name}): pipeline verification failed: {}",
+                s1.verification.failure_summary()
+            );
+            let report = check_program(&mut p1, &s1.program).unwrap_or_else(|e| {
+                panic!("seed {seed} ({name}): synthesized program not executable: {e}")
+            });
+            assert!(
+                report.tolerant(),
+                "seed {seed} ({name}): model checker rejects the synthesized program: {}",
+                report.verification.failure_summary()
+            );
+            CaseResult {
+                name,
+                solved: true,
+                model_states: s1.stats.model_states,
+            }
+        }
+        (SynthesisOutcome::Impossible(i1), SynthesisOutcome::Impossible(i2)) => {
+            assert_eq!(
+                i1.stats.tableau_nodes, i2.stats.tableau_nodes,
+                "seed {seed} ({name}): tableau sizes diverged between runs"
+            );
+            assert_eq!(
+                i1.stats.deletion, i2.stats.deletion,
+                "seed {seed} ({name}): deletion statistics diverged between runs"
+            );
+            CaseResult {
+                name,
+                solved: false,
+                model_states: 0,
+            }
+        }
+        _ => panic!("seed {seed} ({name}): synthesis outcomes diverged between runs"),
+    }
+}
+
+/// Asserts two tableaux are bit-identical: same nodes in the same
+/// order, same labels, kinds, successor lists, and alive flags.
+pub fn assert_tableaux_identical(
+    what: &str,
+    a: &ftsyn::tableau::Tableau,
+    b: &ftsyn::tableau::Tableau,
+) {
+    assert_eq!(a.len(), b.len(), "{what}: node count diverged");
+    for id in a.node_ids() {
+        assert_eq!(a.node(id).label, b.node(id).label, "{what}: label at {id:?}");
+        assert_eq!(a.node(id).kind, b.node(id).kind, "{what}: kind at {id:?}");
+        assert_eq!(a.node(id).succ, b.node(id).succ, "{what}: edges at {id:?}");
+        assert_eq!(a.alive(id), b.alive(id), "{what}: alive flag at {id:?}");
+    }
+}
+
+/// Cross-checks the optimized build kernel against the pre-optimization
+/// reference kernel on this problem's tableau (both single-threaded, so
+/// the comparison isolates the kernels).
+#[cfg(feature = "slow-reference")]
+pub fn cross_check_build(seed: u64, name: &str, problem: &mut ftsyn::SynthesisProblem) {
+    use ftsyn::ctl::Closure;
+    use ftsyn::tableau::{build_reference, build_with_threads, FaultSpec};
+
+    let roots = problem.closure_roots();
+    let spec = roots[0];
+    let closure = Closure::build(&mut problem.arena, &problem.props, &roots);
+    let tolerance_labels = problem.tolerance_label_sets(&closure);
+    let fault_spec = FaultSpec {
+        actions: problem.faults.clone(),
+        tolerance_labels,
+    };
+    let mut root = closure.empty_label();
+    root.insert(closure.index_of(spec).expect("spec is a closure root"));
+    let (fast, _) = build_with_threads(&closure, &problem.props, root.clone(), &fault_spec, 1);
+    let (reference, _) = build_reference(&closure, &problem.props, root, &fault_spec, 1);
+    assert_tableaux_identical(&format!("seed {seed} ({name}) build kernels"), &fast, &reference);
+}

@@ -1,0 +1,54 @@
+//! Run-to-run determinism regression tests.
+//!
+//! Before the pipeline was made deterministic, `HashMap` iteration
+//! order leaked into the frontier queue of the unraveling and into the
+//! greedy merge order of semantic minimization
+//! (`minimize.rs`' group formation), so two syntheses of the same
+//! problem could disagree on the final state count — 85 vs 86 on
+//! mutex3-failstop — and print different-but-equivalent programs.
+//! These tests fail on that seed behavior.
+
+use ftsyn::problems::mutex;
+use ftsyn::{synthesize, Tolerance};
+use ftsyn_conformance::render::render_solved;
+
+fn assert_two_runs_identical(name: &str, make: impl Fn() -> ftsyn::SynthesisProblem) {
+    let mut p1 = make();
+    let mut p2 = make();
+    let s1 = synthesize(&mut p1).unwrap_solved();
+    let s2 = synthesize(&mut p2).unwrap_solved();
+    assert_eq!(
+        s1.stats.model_states, s2.stats.model_states,
+        "{name}: model-state counts diverged between two in-process syntheses"
+    );
+    assert_eq!(
+        render_solved(&p1, &s1),
+        render_solved(&p2, &s2),
+        "{name}: rendered programs diverged between two in-process syntheses"
+    );
+}
+
+/// The historical nondeterminism witness: mutex3-failstop produced 85
+/// or 86 states depending on `HashMap` iteration order (each map
+/// instance gets a fresh `RandomState`, so even two syntheses inside
+/// one process diverged).
+#[test]
+fn mutex3_failstop_is_run_to_run_deterministic() {
+    assert_two_runs_identical("mutex3-failstop-masking", || {
+        mutex::with_fail_stop(3, Tolerance::Masking)
+    });
+}
+
+#[test]
+fn mutex2_failstop_is_run_to_run_deterministic() {
+    assert_two_runs_identical("mutex2-failstop-masking", || {
+        mutex::with_fail_stop(2, Tolerance::Masking)
+    });
+}
+
+#[test]
+fn philosophers_are_run_to_run_deterministic() {
+    assert_two_runs_identical("philosophers4-fault-free", || {
+        mutex::dining_philosophers(4)
+    });
+}

@@ -59,17 +59,25 @@ pub fn semantic_minimize(
         // region — correct, but it would lose the paper's Section 6.2
         // observation that recovery transitions generate no new states
         // under normal operation — so merges stay within a class.
+        // Groups are kept in first-occurrence (state-id) order: iterating
+        // a `HashMap<(PropSet, bool), _>` here was the pipeline's last
+        // source of run-to-run nondeterminism (the greedy merge order
+        // changed, and with it the final state count — 85 vs 86 on
+        // mutex3-failstop).
         let roles = model.classify();
-        let mut groups: HashMap<(PropSet, bool), Vec<StateId>> = HashMap::new();
+        let mut group_index: HashMap<(PropSet, bool), usize> = HashMap::new();
+        let mut groups: Vec<Vec<StateId>> = Vec::new();
         for s in model.state_ids() {
             let normal = roles[s.index()] == ftsyn_kripke::StateRole::Normal;
-            groups
-                .entry((model.state(s).props.clone(), normal))
-                .or_default()
-                .push(s);
+            let key = (model.state(s).props.clone(), normal);
+            let gi = *group_index.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[gi].push(s);
         }
         let mut candidates: Vec<(StateId, StateId)> = Vec::new();
-        for members in groups.values() {
+        for members in &groups {
             for (i, &a) in members.iter().enumerate() {
                 for &b in &members[i + 1..] {
                     candidates.push((b, a)); // merge later copy into earlier

@@ -67,10 +67,13 @@ pub fn unravel_mode(
      -> usize {
         let frag = build_ffrag_mode(t, closure, c, mode);
         // Copy only the nodes reachable from the fragment root (frontier
-        // merging can orphan duplicates).
-        let mut map: HashMap<usize, usize> = HashMap::new();
+        // merging can orphan duplicates). Fragment node indices are
+        // dense, so a plain vec keeps the mapping — and, crucially, lets
+        // the frontier be enqueued in fragment-index order, making the
+        // model's state numbering a pure function of the tableau.
+        let mut map: Vec<Option<usize>> = vec![None; frag.nodes.len()];
         let mut stack = vec![frag.root];
-        map.insert(frag.root, nodes.len());
+        map[frag.root] = Some(nodes.len());
         nodes.push(MNode {
             tableau_id: frag.nodes[frag.root].tableau_id,
             succ: Vec::new(),
@@ -80,11 +83,11 @@ pub fn unravel_mode(
         while let Some(i) = stack.pop() {
             let succ: Vec<(EdgeKind, usize)> = frag.nodes[i].succ.clone();
             for (kind, j) in succ {
-                let jj = if let Some(&jj) = map.get(&j) {
+                let jj = if let Some(jj) = map[j] {
                     jj
                 } else {
                     let jj = nodes.len();
-                    map.insert(j, jj);
+                    map[j] = Some(jj);
                     nodes.push(MNode {
                         tableau_id: frag.nodes[j].tableau_id,
                         succ: Vec::new(),
@@ -94,16 +97,18 @@ pub fn unravel_mode(
                     stack.push(j);
                     jj
                 };
-                let ii = map[&i];
+                let ii = map[i].expect("visited");
                 nodes[ii].succ.push((kind, jj));
             }
         }
-        for (&fi, &mi) in &map {
-            if frag.nodes[fi].frontier {
-                queue.push_back(mi);
+        for (fi, &mi) in map.iter().enumerate() {
+            if let Some(mi) = mi {
+                if frag.nodes[fi].frontier {
+                    queue.push_back(mi);
+                }
             }
         }
-        let r = map[&frag.root];
+        let r = map[frag.root].expect("root mapped");
         root_of.insert(c, r);
         r
     };
@@ -129,23 +134,24 @@ pub fn unravel_mode(
 
     let mut model = FtKripke::new();
     let mut state_tableau: Vec<NodeId> = Vec::new();
-    let mut state_of: HashMap<usize, StateId> = HashMap::new();
+    let mut state_of: Vec<Option<StateId>> = vec![None; nodes.len()];
     for (i, n) in nodes.iter().enumerate() {
         if n.redirect.is_some() {
             continue;
         }
         let valuation = valuation_of(closure, props, &t.node(n.tableau_id).label);
         let sid = model.push_state(State::new(valuation));
-        state_of.insert(i, sid);
+        state_of[i] = Some(sid);
         state_tableau.push(n.tableau_id);
     }
+    let state_at = |i: usize, state_of: &[Option<StateId>]| state_of[i].expect("kept state");
     for (i, n) in nodes.iter().enumerate() {
         if n.redirect.is_some() {
             continue;
         }
-        let from = state_of[&i];
+        let from = state_at(i, &state_of);
         for &(kind, j) in &n.succ {
-            let to = state_of[&resolve(j, &nodes)];
+            let to = state_at(resolve(j, &nodes), &state_of);
             match kind {
                 EdgeKind::Proc(p) => model.add_edge(from, TransKind::Proc(p), to),
                 EdgeKind::Fault(a) => model.add_edge(from, TransKind::Fault(a), to),
@@ -156,7 +162,7 @@ pub fn unravel_mode(
             }
         }
     }
-    model.add_init(state_of[&r0]);
+    model.add_init(state_at(r0, &state_of));
 
     Unraveled {
         model,

@@ -28,6 +28,27 @@ pub enum FailureKind {
     LabelSoundness,
 }
 
+impl FailureKind {
+    /// Every kind, in reporting order.
+    pub const ALL: [FailureKind; 4] = [
+        FailureKind::Spec,
+        FailureKind::Tolerance,
+        FailureKind::FaultClosure,
+        FailureKind::LabelSoundness,
+    ];
+
+    /// Stable machine-readable name (used as a JSON key by `bench_json`
+    /// and in the `experiments` failure table).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Spec => "spec",
+            FailureKind::Tolerance => "tolerance",
+            FailureKind::FaultClosure => "fault_closure",
+            FailureKind::LabelSoundness => "label_soundness",
+        }
+    }
+}
+
 /// Which model a failure was detected on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FailureStage {
@@ -132,6 +153,25 @@ impl Verification {
             f.stage = FailureStage::PreMinimization;
             f
         }));
+    }
+
+    /// Failure counts aggregated by kind, in [`FailureKind::ALL`] order
+    /// (including kinds with zero failures, so consumers get a fixed
+    /// schema).
+    pub fn failures_by_kind(&self) -> [(FailureKind, usize); 4] {
+        FailureKind::ALL.map(|k| (k, self.failures.iter().filter(|f| f.kind == k).count()))
+    }
+
+    /// Compact `kind:count` summary of non-empty kinds, e.g.
+    /// `"spec:1 fault_closure:3"`; empty string when there are no
+    /// failures.
+    pub fn failure_summary(&self) -> String {
+        self.failures_by_kind()
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| format!("{}:{n}", k.name()))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -289,6 +329,63 @@ pub fn verify(
     }
 
     v
+}
+
+#[cfg(test)]
+mod aggregation_tests {
+    use super::*;
+
+    fn with_failures(kinds: &[FailureKind]) -> Verification {
+        let mut v = Verification::default();
+        for &k in kinds {
+            v.failures.push(Failure::new(k, format!("injected {k:?}")));
+        }
+        v
+    }
+
+    fn count_of(v: &Verification, kind: FailureKind) -> usize {
+        v.failures_by_kind()
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, n)| *n)
+            .unwrap()
+    }
+
+    #[test]
+    fn aggregates_spec_failures() {
+        let v = with_failures(&[FailureKind::Spec, FailureKind::Spec]);
+        assert_eq!(count_of(&v, FailureKind::Spec), 2);
+        assert_eq!(v.failure_summary(), "spec:2");
+    }
+
+    #[test]
+    fn aggregates_tolerance_failures() {
+        let v = with_failures(&[FailureKind::Tolerance]);
+        assert_eq!(count_of(&v, FailureKind::Tolerance), 1);
+        assert_eq!(v.failure_summary(), "tolerance:1");
+    }
+
+    #[test]
+    fn aggregates_fault_closure_failures() {
+        let v = with_failures(&[FailureKind::FaultClosure, FailureKind::Spec]);
+        assert_eq!(count_of(&v, FailureKind::FaultClosure), 1);
+        // Summary keeps FailureKind::ALL order regardless of insertion.
+        assert_eq!(v.failure_summary(), "spec:1 fault_closure:1");
+    }
+
+    #[test]
+    fn aggregates_label_soundness_failures() {
+        let v = with_failures(&[FailureKind::LabelSoundness; 3]);
+        assert_eq!(count_of(&v, FailureKind::LabelSoundness), 3);
+        assert_eq!(v.failure_summary(), "label_soundness:3");
+    }
+
+    #[test]
+    fn clean_verification_has_empty_summary() {
+        let v = Verification::default();
+        assert!(v.failure_summary().is_empty());
+        assert!(v.failures_by_kind().iter().all(|(_, n)| *n == 0));
+    }
 }
 
 #[cfg(test)]

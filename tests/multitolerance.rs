@@ -103,6 +103,60 @@ fn multitolerance_masks_fail_stops_and_rides_out_corruption() {
     }
 }
 
+/// Three processes with per-action tolerances: P1's fail-stop/repair
+/// actions are only required to be nonmasking, P2's and P3's stay
+/// masking. The per-action labels must survive semantic minimization —
+/// on the *final* (minimized) model, every perturbed state still honors
+/// the tolerance of each fault action that reaches it.
+#[test]
+fn three_process_multitolerance_labels_survive_minimization() {
+    let mut problem = mutex::with_fail_stop_multitolerance(3, |f| {
+        if f.name().contains("P1") {
+            Tolerance::Nonmasking
+        } else {
+            Tolerance::Masking
+        }
+    });
+    let s = synthesize(&mut problem).unwrap_solved();
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+
+    let ag_global = {
+        let g = problem.spec.global;
+        problem.arena.ag(g)
+    };
+    let af_ag = problem.arena.af(ag_global);
+    let roles = s.model.classify();
+    let mut ck = Checker::new(&s.model, Semantics::FaultFree);
+    let (mut via_p1, mut via_rest) = (0, 0);
+    for st in s.model.state_ids() {
+        if roles[st.index()] != StateRole::Perturbed {
+            continue;
+        }
+        for e in s.model.pred(st) {
+            let TransKind::Fault(a) = e.kind else { continue };
+            if problem.faults[a].name().contains("P1") {
+                via_p1 += 1;
+                assert!(
+                    ck.holds(&problem.arena, af_ag, st),
+                    "state {} reached by nonmasking {} must converge",
+                    s.model.state(st).display(&problem.props),
+                    problem.faults[a].name()
+                );
+            } else {
+                via_rest += 1;
+                assert!(
+                    ck.holds(&problem.arena, ag_global, st),
+                    "state {} reached by masking {} must be masked",
+                    s.model.state(st).display(&problem.props),
+                    problem.faults[a].name()
+                );
+            }
+        }
+    }
+    assert!(via_p1 > 0, "some perturbed state is reached by a P1 fault");
+    assert!(via_rest > 0, "some perturbed state is reached by a P2/P3 fault");
+}
+
 #[test]
 fn per_fault_assignment_round_trips() {
     let (mut problem, corrupt_idx) = mixed_problem();
