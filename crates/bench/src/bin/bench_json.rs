@@ -5,12 +5,14 @@
 //!
 //! The JSON is hand-rolled (no serde — the offline build has no
 //! external dependencies) and contains, per problem, the size and
-//! per-phase timing statistics of one synthesis run plus the worklist
-//! counters, and, for the largest fault-prone instances, head-to-head
-//! timings of the worklist deletion engine against the sweep-based
-//! reference and of the optimized build kernel (cold and warm through
-//! the `Blocks`/`Tiles` memo cache) against the pre-optimization
-//! reference kernel (both under the `slow-reference` feature).
+//! per-phase timing statistics of one synthesis run plus the worklist,
+//! scheduler, and minimization counters, and, for the largest
+//! fault-prone instances, head-to-head timings of the worklist deletion
+//! engine against the sweep-based reference, of the optimized build
+//! kernel (cold and warm through the `Blocks`/`Tiles` memo cache)
+//! against the pre-optimization reference kernel, and of the
+//! work-stealing expansion scheduler against the retained
+//! level-synchronized engine at 8 worker threads.
 //!
 //! ```text
 //! cargo run --release -p ftsyn-bench --bin bench_json
@@ -21,8 +23,9 @@ use ftsyn::guarded::interp::explore;
 use ftsyn::guarded::sim::{simulate, SimConfig};
 use ftsyn::problems::{barrier, handshake, mutex, readers_writers, wire};
 use ftsyn::tableau::{
-    apply_deletion_rules_mode, apply_deletion_rules_naive_mode, build, build_reference,
-    build_with_cache, build_with_threads, CertMode, ExpansionCache, FaultSpec, Tableau,
+    apply_deletion_rules_mode, apply_deletion_rules_naive_mode, build, build_level_sync,
+    build_reference, build_with_cache, build_with_threads, CertMode, ExpansionCache, FaultSpec,
+    Tableau,
 };
 use ftsyn::{
     synthesize, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance, Verification,
@@ -146,12 +149,33 @@ fn stats_json(stats: &SynthesisStats, solved: bool) -> String {
                 .num("parallel_levels", bp.parallel_levels)
                 .num("max_frontier", bp.max_frontier)
                 .num("threads", bp.threads)
+                .num("batches", bp.batches)
+                .num("steals", bp.steals)
+                .raw(
+                    "worker_batches",
+                    &arr(bp.worker_batches.iter().map(|n| n.to_string()).collect()),
+                )
+                .raw(
+                    "worker_idle_ns",
+                    &arr(bp
+                        .worker_idle
+                        .iter()
+                        .map(|d| d.as_nanos().to_string())
+                        .collect()),
+                )
                 .ns("expand_ns", bp.expand_time)
                 .ns("apply_ns", bp.apply_time)
                 .ns("intern_ns", bp.intern_time)
                 .num("intern_probes", bp.intern_probes)
                 .num("cache_hits", bp.cache_hits)
                 .num("cache_misses", bp.cache_misses)
+                .build(),
+        )
+        .raw(
+            "minimize_profile",
+            &Obj::default()
+                .num("attempts", stats.minimize_profile.attempts)
+                .num("merges", stats.minimize_profile.merges)
                 .build(),
         )
         .raw(
@@ -350,6 +374,7 @@ fn compare_build(name: &str, procs: usize, mut problem: SynthesisProblem, runs: 
         t_ref.len()
     );
     Obj::default()
+        .str("kind", "kernel")
         .str("name", name)
         .num("procs", procs)
         .num("tableau_nodes", t_ref.len())
@@ -362,6 +387,66 @@ fn compare_build(name: &str, procs: usize, mut problem: SynthesisProblem, runs: 
         .num("warm_cache_hits", warm_prof.cache_hits)
         .float("speedup", speedup)
         .float("warm_speedup", warm_speedup)
+        .bool("identical_tableaux", true)
+        .build()
+}
+
+/// Head-to-head engine-generation timing on one problem: the
+/// work-stealing expansion scheduler (with the current expansion
+/// kernel) against the retained level-synchronized engine (which
+/// freezes the previous generation's kernel, the same way
+/// `build_reference` freezes the naive one), both at `threads` worker
+/// threads on identical inputs, best of `runs`. The tableaux must agree
+/// bit-for-bit — the engines differ only in scheduling and kernel
+/// generation, never in output.
+fn compare_scheduler(
+    name: &str,
+    procs: usize,
+    mut problem: SynthesisProblem,
+    threads: usize,
+    runs: usize,
+) -> String {
+    eprintln!("comparing build engines on {name} at {threads} threads ...");
+    let roots = problem.closure_roots();
+    let spec = roots[0];
+    let closure = Closure::build(&mut problem.arena, &problem.props, &roots);
+    let fault_spec = FaultSpec {
+        actions: problem.faults.clone(),
+        tolerance_labels: problem.tolerance_label_sets(&closure),
+    };
+    let mut root = closure.empty_label();
+    root.insert(closure.index_of(spec).expect("spec is a closure root"));
+
+    let (t_ls, level_sync) = time_build(runs, || {
+        build_level_sync(&closure, &problem.props, root.clone(), &fault_spec, threads).0
+    });
+    let (t_ws, work_stealing) = time_build(runs, || {
+        build_with_threads(&closure, &problem.props, root.clone(), &fault_spec, threads).0
+    });
+    assert_identical(name, "ws-vs-levelsync", &t_ws, &t_ls);
+    let (_, prof) =
+        build_with_threads(&closure, &problem.props, root.clone(), &fault_spec, threads);
+
+    let speedup = level_sync.as_secs_f64() / work_stealing.as_secs_f64();
+    eprintln!(
+        "  {name}: level-sync {level_sync:.2?}, work-stealing {work_stealing:.2?} \
+         ({speedup:.2}x, {} batches, {} steals) ({} nodes)",
+        prof.batches,
+        prof.steals,
+        t_ws.len()
+    );
+    Obj::default()
+        .str("kind", "scheduler")
+        .str("name", name)
+        .num("procs", procs)
+        .num("threads", threads)
+        .num("tableau_nodes", t_ws.len())
+        .num("runs", runs)
+        .ns("level_sync_ns", level_sync)
+        .ns("work_stealing_ns", work_stealing)
+        .num("batches", prof.batches)
+        .num("steals", prof.steals)
+        .float("speedup", speedup)
         .bool("identical_tableaux", true)
         .build()
 }
@@ -421,6 +506,18 @@ fn main() {
             }
         }),
     ));
+
+    // Dining philosophers (fault-free), scaled to five processes. The
+    // five-philosopher run is the pipeline's semantic-minimization
+    // stress case: the build is milliseconds while minimization
+    // dominates the wall-clock (see `minimize_profile.attempts`).
+    for n in [3, 5] {
+        problems.push(run_problem(
+            &format!("philosophers{n}-fault-free"),
+            n,
+            mutex::dining_philosophers(n),
+        ));
+    }
 
     // Barrier synchronization with general state faults.
     for n in 2..=3 {
@@ -508,7 +605,9 @@ fn main() {
 
     // Build-kernel head-to-head: optimized (cold and warm-cache)
     // expansion against the pre-optimization reference, bit-identical
-    // outputs asserted.
+    // outputs asserted ("kind": "kernel"), plus the work-stealing
+    // scheduler against the retained level-synchronized engine at 8
+    // worker threads ("kind": "scheduler").
     let build_comparisons = vec![
         compare_build(
             "mutex2-failstop-masking",
@@ -528,6 +627,20 @@ fn main() {
             barrier::with_general_state_faults(3),
             3,
         ),
+        compare_scheduler(
+            "mutex3-failstop-masking",
+            3,
+            mutex::with_fail_stop(3, Tolerance::Masking),
+            8,
+            3,
+        ),
+        compare_scheduler(
+            "mutex4-failstop-masking",
+            4,
+            mutex::with_fail_stop(4, Tolerance::Masking),
+            8,
+            3,
+        ),
     ];
 
     let doc = Obj::default()
@@ -535,7 +648,7 @@ fn main() {
             "generated_by",
             "cargo run --release -p ftsyn-bench --bin bench_json",
         )
-        .str("schema_version", "3")
+        .str("schema_version", "4")
         .raw("problems", &arr(problems))
         .raw("wire", &arr(wires))
         .raw("deletion_engine_comparison", &arr(comparisons))

@@ -29,7 +29,7 @@ pub fn scaling_problems() -> Vec<(String, Box<dyn Fn() -> SynthesisProblem>)> {
             Box::new(move || ftsyn::problems::barrier::with_general_state_faults(n)),
         ));
     }
-    for n in 2..=3 {
+    for n in 2..=4 {
         out.push((
             format!("mutex{n}-failstop-masking"),
             Box::new(move || ftsyn::problems::mutex::with_fail_stop(n, Tolerance::Masking)),

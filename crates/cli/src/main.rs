@@ -61,16 +61,22 @@ fn main() -> ExitCode {
                     s.stats.elapsed
                 );
                 let st = &s.stats;
+                let idle_total: std::time::Duration =
+                    st.build_profile.worker_idle.iter().sum();
                 println!(
                     "phases: build {:.1?} ({} levels, peak frontier {}, {} threads, \
+                     {} batches, {} steals, idle {:.1?}, \
                      {} intern probes in {:.1?}, cache {}/{} hits), \
                      delete {:.1?} ({} rounds, {} worklist pops, {} certs built, {} reused), \
-                     unravel {:.1?}, minimize {:.1?}, extract {:.1?}, verify {:.1?}, \
-                     other {:.1?}",
+                     unravel {:.1?}, minimize {:.1?} ({} merges of {} tried), \
+                     extract {:.1?}, verify {:.1?}, other {:.1?}",
                     st.build_time,
                     st.build_profile.levels,
                     st.build_profile.max_frontier,
                     st.build_profile.threads,
+                    st.build_profile.batches,
+                    st.build_profile.steals,
+                    idle_total,
                     st.build_profile.intern_probes,
                     st.build_profile.intern_time,
                     st.build_profile.cache_hits,
@@ -82,6 +88,8 @@ fn main() -> ExitCode {
                     st.deletion_profile.cert_reuses,
                     st.unravel_time,
                     st.minimize_time,
+                    st.minimize_profile.merges,
+                    st.minimize_profile.attempts,
                     st.extract_time,
                     st.verify_time,
                     st.residual_time

@@ -1,11 +1,19 @@
-//! The differential-fuzzer case runner: synthesize twice, compare
-//! byte-for-byte, and re-check every synthesized program with the model
-//! checker as an independent oracle.
+//! The differential-fuzzer case runner: synthesize the same seed across
+//! a whole thread-count matrix, compare byte-for-byte, and re-check
+//! every synthesized program with the model checker as an independent
+//! oracle.
 
 use crate::generate::{random_problem, GeneratedCase};
 use crate::render::render_solved;
-use ftsyn::{check_program, synthesize, SynthesisOutcome};
+use ftsyn::{check_program, synthesize_with_threads, SynthesisOutcome};
 use ftsyn_prng::XorShift64;
+
+/// Thread counts every seed is synthesized at. Programs must be
+/// byte-identical across the whole matrix — this pins the work-stealing
+/// scheduler's determinism the same way run-to-run determinism is
+/// pinned (the runs are independent processes-worth of state anyway:
+/// each gets a freshly generated problem copy).
+pub const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
 
 /// The summarized result of one fuzzer case.
 #[derive(Clone, Debug)]
@@ -20,16 +28,20 @@ pub struct CaseResult {
 
 /// Runs the full differential check for one seed:
 ///
-/// 1. builds the seed's problem **twice** and synthesizes each copy;
-/// 2. asserts the two runs agree — same outcome, identical model-state
-///    counts, byte-identical rendered programs (run-to-run determinism);
+/// 1. builds a fresh copy of the seed's problem per entry of
+///    [`THREAD_MATRIX`] and synthesizes each at that thread count;
+/// 2. asserts all runs agree — same outcome, identical model-state
+///    counts, byte-identical rendered programs (covers both run-to-run
+///    and scheduler determinism);
 /// 3. for solved cases, asserts the pipeline's own verification passed
 ///    and re-checks the extracted program against the specification,
 ///    tolerance labels, and fault closure with the `ftsyn-kripke` model
 ///    checker ([`check_program`]), which explores the program
 ///    independently of the tableau;
-/// 4. with the `slow-reference` feature, cross-checks the optimized
-///    tableau build against the reference kernel on a third copy.
+/// 4. cross-checks the work-stealing build engine against the retained
+///    level-synchronized engine on this seed's tableau, and — with the
+///    `slow-reference` feature — both against the naive reference
+///    kernel.
 ///
 /// # Panics
 ///
@@ -40,9 +52,6 @@ pub fn run_seed(seed: u64) -> CaseResult {
         name,
         problem: mut p1,
     } = random_problem(&mut XorShift64::new(seed));
-    let GeneratedCase {
-        problem: mut p2, ..
-    } = random_problem(&mut XorShift64::new(seed));
 
     #[cfg(feature = "slow-reference")]
     {
@@ -51,20 +60,30 @@ pub fn run_seed(seed: u64) -> CaseResult {
         } = random_problem(&mut XorShift64::new(seed));
         cross_check_build(seed, &name, &mut p3);
     }
+    cross_check_engines(seed, &name);
 
-    let o1 = synthesize(&mut p1);
-    let o2 = synthesize(&mut p2);
-    match (o1, o2) {
-        (SynthesisOutcome::Solved(s1), SynthesisOutcome::Solved(s2)) => {
-            assert_eq!(
-                s1.stats.model_states, s2.stats.model_states,
-                "seed {seed} ({name}): model-state counts diverged between runs"
-            );
-            let (r1, r2) = (render_solved(&p1, &s1), render_solved(&p2, &s2));
-            assert_eq!(
-                r1, r2,
-                "seed {seed} ({name}): rendered programs diverged between runs"
-            );
+    let o1 = synthesize_with_threads(&mut p1, THREAD_MATRIX[0]);
+    match o1 {
+        SynthesisOutcome::Solved(s1) => {
+            let r1 = render_solved(&p1, &s1);
+            for &threads in &THREAD_MATRIX[1..] {
+                let GeneratedCase {
+                    problem: mut p, ..
+                } = random_problem(&mut XorShift64::new(seed));
+                let SynthesisOutcome::Solved(s) = synthesize_with_threads(&mut p, threads)
+                else {
+                    panic!("seed {seed} ({name}): outcome diverged at {threads} threads")
+                };
+                assert_eq!(
+                    s1.stats.model_states, s.stats.model_states,
+                    "seed {seed} ({name}): model-state counts diverged at {threads} threads"
+                );
+                assert_eq!(
+                    r1,
+                    render_solved(&p, &s),
+                    "seed {seed} ({name}): rendered programs diverged at {threads} threads"
+                );
+            }
             assert!(
                 s1.verification.ok(),
                 "seed {seed} ({name}): pipeline verification failed: {}",
@@ -84,22 +103,30 @@ pub fn run_seed(seed: u64) -> CaseResult {
                 model_states: s1.stats.model_states,
             }
         }
-        (SynthesisOutcome::Impossible(i1), SynthesisOutcome::Impossible(i2)) => {
-            assert_eq!(
-                i1.stats.tableau_nodes, i2.stats.tableau_nodes,
-                "seed {seed} ({name}): tableau sizes diverged between runs"
-            );
-            assert_eq!(
-                i1.stats.deletion, i2.stats.deletion,
-                "seed {seed} ({name}): deletion statistics diverged between runs"
-            );
+        SynthesisOutcome::Impossible(i1) => {
+            for &threads in &THREAD_MATRIX[1..] {
+                let GeneratedCase {
+                    problem: mut p, ..
+                } = random_problem(&mut XorShift64::new(seed));
+                let SynthesisOutcome::Impossible(i) = synthesize_with_threads(&mut p, threads)
+                else {
+                    panic!("seed {seed} ({name}): outcome diverged at {threads} threads")
+                };
+                assert_eq!(
+                    i1.stats.tableau_nodes, i.stats.tableau_nodes,
+                    "seed {seed} ({name}): tableau sizes diverged at {threads} threads"
+                );
+                assert_eq!(
+                    i1.stats.deletion, i.stats.deletion,
+                    "seed {seed} ({name}): deletion statistics diverged at {threads} threads"
+                );
+            }
             CaseResult {
                 name,
                 solved: false,
                 model_states: 0,
             }
         }
-        _ => panic!("seed {seed} ({name}): synthesis outcomes diverged between runs"),
     }
 }
 
@@ -119,13 +146,17 @@ pub fn assert_tableaux_identical(
     }
 }
 
-/// Cross-checks the optimized build kernel against the pre-optimization
-/// reference kernel on this problem's tableau (both single-threaded, so
-/// the comparison isolates the kernels).
-#[cfg(feature = "slow-reference")]
-pub fn cross_check_build(seed: u64, name: &str, problem: &mut ftsyn::SynthesisProblem) {
+/// The closure, fault spec, and root label a problem's tableau is built
+/// from — shared setup of the build cross-checks.
+fn tableau_inputs(
+    problem: &mut ftsyn::SynthesisProblem,
+) -> (
+    ftsyn::ctl::Closure,
+    ftsyn::tableau::FaultSpec,
+    ftsyn::ctl::LabelSet,
+) {
     use ftsyn::ctl::Closure;
-    use ftsyn::tableau::{build_reference, build_with_threads, FaultSpec};
+    use ftsyn::tableau::FaultSpec;
 
     let roots = problem.closure_roots();
     let spec = roots[0];
@@ -137,7 +168,37 @@ pub fn cross_check_build(seed: u64, name: &str, problem: &mut ftsyn::SynthesisPr
     };
     let mut root = closure.empty_label();
     root.insert(closure.index_of(spec).expect("spec is a closure root"));
+    (closure, fault_spec, root)
+}
+
+/// Cross-checks the work-stealing engine against the retained
+/// level-synchronized engine on this seed's tableau, both
+/// multi-threaded so the scheduler actually runs.
+pub fn cross_check_engines(seed: u64, name: &str) {
+    use ftsyn::tableau::{build_level_sync, build_with_threads};
+
+    let GeneratedCase {
+        problem: mut p, ..
+    } = random_problem(&mut XorShift64::new(seed));
+    let (closure, fault_spec, root) = tableau_inputs(&mut p);
+    let (ws, _) = build_with_threads(&closure, &p.props, root.clone(), &fault_spec, 2);
+    let (ls, _) = build_level_sync(&closure, &p.props, root, &fault_spec, 2);
+    assert_tableaux_identical(&format!("seed {seed} ({name}) build engines"), &ws, &ls);
+}
+
+/// Cross-checks the optimized build kernel against the pre-optimization
+/// reference kernel on this problem's tableau (both single-threaded, so
+/// the comparison isolates the kernels).
+#[cfg(feature = "slow-reference")]
+pub fn cross_check_build(seed: u64, name: &str, problem: &mut ftsyn::SynthesisProblem) {
+    use ftsyn::tableau::{build_reference, build_with_threads};
+
+    let (closure, fault_spec, root) = tableau_inputs(problem);
     let (fast, _) = build_with_threads(&closure, &problem.props, root.clone(), &fault_spec, 1);
     let (reference, _) = build_reference(&closure, &problem.props, root, &fault_spec, 1);
-    assert_tableaux_identical(&format!("seed {seed} ({name}) build kernels"), &fast, &reference);
+    assert_tableaux_identical(
+        &format!("seed {seed} ({name}) build kernels"),
+        &fast,
+        &reference,
+    );
 }

@@ -1,9 +1,11 @@
 //! Seeded differential fuzzer: random problem instances, each
-//! synthesized twice (run-to-run determinism asserted byte-for-byte)
-//! and every synthesized program re-checked by the model checker as an
-//! independent oracle. With `--features slow-reference` each case also
-//! cross-checks the optimized tableau build against the reference
-//! kernel.
+//! synthesized across the full worker-thread matrix (1, 2, and 8
+//! threads; run-to-run and scheduler determinism asserted
+//! byte-for-byte) and every synthesized program re-checked by the
+//! model checker as an independent oracle. Every case also
+//! cross-checks the work-stealing build engine against the retained
+//! level-synchronized engine; with `--features slow-reference` both
+//! are additionally checked against the naive reference kernel.
 //!
 //! The seed matrix is fixed (1..=60) so CI runs are reproducible; a
 //! failing seed can be replayed with

@@ -25,6 +25,37 @@ fn mutex_fail_stop() {
     );
 }
 
+/// The largest pinned masking instance: four processes under fail-stop
+/// faults. Minimization dominates this synthesis (tens of seconds — see
+/// EXPERIMENTS.md), so it is pinned once here; the thread-matrix
+/// determinism regression for the same instance lives in
+/// `determinism.rs`.
+#[test]
+fn mutex4_fail_stop() {
+    check(
+        "mutex4-failstop-masking",
+        mutex::with_fail_stop(4, Tolerance::Masking),
+    );
+}
+
+/// Three-process multitolerance: P1's fail-stop is ridden out
+/// nonmasking while every other fault (including repairs) stays
+/// masked. Extends the pinned multitolerance coverage beyond the
+/// two-process E9 instance below.
+#[test]
+fn multitolerance_mutex3() {
+    check(
+        "multitolerance-mutex3-P1-nonmasking",
+        mutex::with_fail_stop_multitolerance(3, |f| {
+            if f.name().contains("P1") {
+                Tolerance::Nonmasking
+            } else {
+                Tolerance::Masking
+            }
+        }),
+    );
+}
+
 #[test]
 fn barrier_state_faults() {
     check("barrier2-nonmasking", barrier::with_general_state_faults(2));

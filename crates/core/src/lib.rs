@@ -65,14 +65,17 @@ pub mod problems;
 pub use check::{check_program, CheckError, CheckReport};
 pub use extract::{extract_program, introduce_shared_variables};
 pub use fragment::{build_ffrag, build_ffrag_mode, eventualities_in, FragNode, Fragment};
-pub use minimize::semantic_minimize;
+pub use minimize::{semantic_minimize, semantic_minimize_profiled, MinimizeProfile};
 pub use problem::{SynthesisProblem, Tolerance, ToleranceAssignment};
 pub use synthesize::{
-    synthesize, Impossibility, SynthesisOutcome, SynthesisStats, Synthesized,
+    default_threads, synthesize, synthesize_with_threads, Impossibility, SynthesisOutcome,
+    SynthesisStats, Synthesized,
 };
 pub use ftsyn_tableau::CertMode;
 pub use unravel::{unravel, unravel_mode, Unraveled};
-pub use verify::{verify, verify_semantic, Failure, FailureKind, FailureStage, Verification};
+pub use verify::{
+    verify, verify_semantic, verify_semantic_ok, Failure, FailureKind, FailureStage, Verification,
+};
 
 // Re-export the substrate crates so downstream users need only `ftsyn`.
 pub use ftsyn_ctl as ctl;

@@ -1,7 +1,7 @@
 //! The end-to-end synthesis pipeline (Section 5.2, steps 1–5).
 
 use crate::extract::{extract_program, introduce_shared_variables};
-use crate::minimize::semantic_minimize;
+use crate::minimize::{semantic_minimize_profiled, MinimizeProfile};
 use crate::problem::SynthesisProblem;
 use crate::unravel::{unravel_mode, Unraveled};
 use crate::verify::{verify, verify_semantic, Verification};
@@ -62,6 +62,9 @@ pub struct SynthesisStats {
     pub build_profile: BuildProfile,
     /// Per-rule timings and worklist counters of the deletion engine.
     pub deletion_profile: DeletionProfile,
+    /// Candidate-merge counters of semantic minimization (the phase
+    /// that dominates wall-clock on the larger instances).
+    pub minimize_profile: MinimizeProfile,
 }
 
 impl SynthesisStats {
@@ -139,12 +142,39 @@ impl SynthesisOutcome {
     }
 }
 
+/// The worker-thread budget for tableau construction: the
+/// `FTSYN_THREADS` environment variable when set to a positive integer
+/// (the CI thread-matrix knob), the machine's available parallelism
+/// otherwise. The synthesized program is identical for every value —
+/// the build engine is deterministic across thread counts — so the
+/// variable only redistributes work.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("FTSYN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Runs the synthesis method on `problem`.
 ///
 /// Implements steps 1–5 of Section 5.2: tableau construction, deletion,
 /// fragment construction, unraveling, and extraction, followed by
 /// mechanical verification of the produced model.
 pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
+    synthesize_with_threads(problem, default_threads())
+}
+
+/// [`synthesize`] with an explicit tableau worker-thread budget
+/// (1 = fully sequential build). The outcome is bit-identical for
+/// every thread count; the stats record how the work was scheduled.
+pub fn synthesize_with_threads(
+    problem: &mut SynthesisProblem,
+    threads: usize,
+) -> SynthesisOutcome {
     let start = Instant::now();
     let mut stats = SynthesisStats {
         fault_size: fault_set_size(&problem.faults),
@@ -171,7 +201,7 @@ pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
             .expect("spec is a closure root"),
     );
     let t_build = Instant::now();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = threads.max(1);
     let (mut tableau, build_profile) =
         build_with_threads(&closure, &problem.props, root_label, &fault_spec, threads);
     stats.build_time = t_build.elapsed();
@@ -230,7 +260,9 @@ pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
     // Semantic minimization: merge same-valuation copies as long as the
     // model keeps satisfying the synthesis problem's requirements.
     let t_min = Instant::now();
-    let (model, merge_map) = semantic_minimize(problem, pre_unr.model);
+    let (model, merge_map, minimize_profile) =
+        semantic_minimize_profiled(problem, pre_unr.model);
+    stats.minimize_profile = minimize_profile;
     // Re-tag the minimized states: each final state keeps the tableau
     // node of the first pre-minimization state merged into it. (Labels
     // are exact on the pre-minimization model, where Theorem 7.1.9 is

@@ -183,6 +183,36 @@ pub fn verify_semantic(
     problem: &mut SynthesisProblem,
     model: &ftsyn_kripke::FtKripke,
 ) -> Verification {
+    verify_semantic_impl(problem, model, true)
+}
+
+/// Early-exit form of [`verify_semantic`] for callers that only need
+/// the verdict: evaluates the same three requirements with the same
+/// model checker and returns at the first violation, skipping
+/// counterexample extraction and failure-message construction. The
+/// boolean equals `verify_semantic(problem, model).ok()` — the checks
+/// are one shared implementation — but a rejection costs at most one
+/// failed check instead of a full three-pass sweep, which matters to
+/// the semantic minimizer's inner loop (one verification per candidate
+/// merge).
+pub fn verify_semantic_ok(
+    problem: &mut SynthesisProblem,
+    model: &ftsyn_kripke::FtKripke,
+) -> bool {
+    verify_semantic_impl(problem, model, false).ok()
+}
+
+/// Shared body of [`verify_semantic`] / [`verify_semantic_ok`]. With
+/// `collect` the full diagnostic sweep runs (every violation gets a
+/// [`Failure`] with a rendered message); without it the function
+/// returns at the first violated requirement with only the verdict
+/// flags set. Both modes evaluate the identical predicates in the
+/// identical order, so the [`Verification::ok`] verdict never differs.
+fn verify_semantic_impl(
+    problem: &mut SynthesisProblem,
+    model: &ftsyn_kripke::FtKripke,
+    collect: bool,
+) -> Verification {
     let mut v = Verification {
         init_satisfies_spec: true,
         perturbed_satisfy_tolerance: true,
@@ -199,6 +229,9 @@ pub fn verify_semantic(
     let init = model.init_states()[0];
     if !ck.holds(&problem.arena, spec_formula, init) {
         v.init_satisfies_spec = false;
+        if !collect {
+            return v;
+        }
         let conjuncts = problem.arena.conjuncts(spec_formula);
         let mut detailed = false;
         for conj in conjuncts {
@@ -251,6 +284,9 @@ pub fn verify_semantic(
             for f in problem.label_tol_formulas(tol) {
                 if !ck.holds(&problem.arena, f, s) {
                     v.perturbed_satisfy_tolerance = false;
+                    if !collect {
+                        return v;
+                    }
                     v.failures.push(Failure::new(
                         FailureKind::Tolerance,
                         format!(
@@ -277,6 +313,9 @@ pub fn verify_semantic(
                 });
                 if !covered {
                     v.fault_closed = false;
+                    if !collect {
+                        return v;
+                    }
                     v.failures.push(Failure::new(
                         FailureKind::FaultClosure,
                         format!(
@@ -472,5 +511,37 @@ mod tests {
                 && f.stage == FailureStage::PreMinimization));
         let shown = format!("{}", final_v.failures[0]);
         assert!(shown.starts_with("[pre-minimization] "), "{shown}");
+    }
+
+    /// The early-exit verdict must agree with the full diagnostic sweep
+    /// on both accepting and rejecting models — they share one
+    /// implementation, and this pins that they stay shared.
+    #[test]
+    fn fast_verdict_matches_full_verification() {
+        let mut problem = mutex::with_fail_stop(2, crate::Tolerance::Masking);
+        let solved = crate::synthesize(&mut problem).unwrap_solved();
+
+        // Accepting: the synthesized model passes both forms.
+        assert!(verify_semantic(&mut problem, &solved.model).ok());
+        assert!(verify_semantic_ok(&mut problem, &solved.model));
+
+        // Rejecting (fault closure): a ghost fault action breaks both.
+        let t1 = problem.props.id("T1").unwrap();
+        problem.faults.push(
+            FaultAction::new("ghost", BoolExpr::Const(true), vec![(t1, PropAssign::True)])
+                .expect("well-formed action"),
+        );
+        assert!(!verify_semantic(&mut problem, &solved.model).ok());
+        assert!(!verify_semantic_ok(&mut problem, &solved.model));
+        problem.faults.pop();
+
+        // Rejecting (spec): drop the initial state's only successor
+        // structure by merging every state into the initial one.
+        let mut broken = ftsyn_kripke::FtKripke::new();
+        let s0 = broken.push_state(solved.model.state(solved.model.init_states()[0]).clone());
+        broken.add_init(s0);
+        broken.add_edge(s0, TransKind::Proc(0), s0);
+        assert!(!verify_semantic(&mut problem, &broken).ok());
+        assert!(!verify_semantic_ok(&mut problem, &broken));
     }
 }

@@ -11,17 +11,31 @@
 //! tolerance formulae `Label_TOL(spec)` (or, for multitolerance, the
 //! per-action `Label_a(spec)`, Section 8.2).
 //!
-//! # Level-synchronized parallel expansion
+//! # Deterministic work-stealing expansion scheduler
 //!
-//! Construction is breadth-first over *levels*: the current frontier is
-//! expanded into [`Step`] lists (a pure, read-only computation —
-//! `Blocks`/`Tiles` decomposition and fault-outcome enumeration), then
-//! the steps are applied sequentially in frontier order (interning,
-//! edge insertion, next-frontier collection). Because only the pure
-//! half runs on worker threads (`std::thread::scope`, no external
-//! dependencies) and steps are applied in a fixed order, the resulting
-//! tableau is bit-identical to a sequential build regardless of thread
-//! count. Small frontiers fall back to inline expansion.
+//! The default engine ([`build`], [`build_with_threads`],
+//! [`build_with_cache`]) chunks expansion work into fixed-size batches
+//! carrying dense sequence ids. Worker threads
+//! (`std::thread::scope`, no external dependencies) pull batches from
+//! per-worker queues and *steal* from the most loaded other queue when
+//! theirs runs dry — so a worker that finishes its share of one BFS
+//! level immediately starts on the next level instead of idling at a
+//! barrier. Expansion itself is a pure, read-only computation
+//! (`Blocks`/`Tiles` decomposition and fault-outcome enumeration over a
+//! snapshot of the node's label), so batches may complete in any order;
+//! determinism comes from the *commit* side: the main thread applies
+//! batch results strictly in sequence order (interning, edge insertion,
+//! fresh-node collection), and fresh nodes are batched in discovery
+//! order. The global commit order therefore equals the BFS frontier
+//! order of a sequential build, and the produced tableau — node ids,
+//! edge order, intern order — is bit-identical at every thread count.
+//! See `DESIGN.md` §8 for the full argument.
+//!
+//! The previous level-synchronized engine is retained verbatim as
+//! [`build_level_sync`] (same output, barrier per BFS level, classic
+//! `Blocks` minimal filter) so benchmarks can compare engine
+//! generations head-to-head, and as the harness of the
+//! [`build_reference`] naive-kernel oracle.
 
 use crate::cache::{CacheFill, ExpansionCache};
 use crate::expand::{blocks, tiles, Tile};
@@ -29,6 +43,8 @@ use crate::graph::{EdgeKind, NodeId, NodeKind, Tableau};
 use ftsyn_ctl::{Closure, EntryKind, LabelSet, PropTable};
 use ftsyn_guarded::FaultAction;
 use ftsyn_kripke::PropSet;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// The fault side of a synthesis problem, ready for tableau construction:
@@ -100,11 +116,17 @@ fn fault_or_label(
 }
 
 /// Frontier/parallelism statistics of one tableau construction.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BuildProfile {
-    /// Breadth-first levels until the frontier emptied.
+    /// Breadth-first levels until the frontier emptied. (The
+    /// work-stealing engine has no level barriers, but tracks each
+    /// node's BFS level as bookkeeping; the value matches the
+    /// level-synchronized engine exactly.)
     pub levels: usize,
-    /// Levels whose expansion ran on worker threads.
+    /// Levels wide enough for parallel expansion (≥ the minimum
+    /// parallel frontier, with more than one thread). For the
+    /// level-synchronized engine these are the levels that actually ran
+    /// on worker threads.
     pub parallel_levels: usize,
     /// Total nodes expanded (= final node count).
     pub nodes_expanded: usize,
@@ -112,7 +134,20 @@ pub struct BuildProfile {
     pub max_frontier: usize,
     /// Worker threads the build was allowed to use.
     pub threads: usize,
-    /// Time in the pure expansion half (parallelizable).
+    /// Scheduler batches executed (0 for the level-synchronized
+    /// engine, which schedules whole levels).
+    pub batches: usize,
+    /// Batches a worker took from another worker's queue instead of
+    /// its own.
+    pub steals: usize,
+    /// Batches executed per worker (empty for single-threaded or
+    /// level-synchronized builds).
+    pub worker_batches: Vec<usize>,
+    /// Time each worker spent parked waiting for work.
+    pub worker_idle: Vec<Duration>,
+    /// Time in the pure expansion half. For multi-threaded
+    /// work-stealing builds this is the *sum* across workers, so it can
+    /// exceed wall-clock time when expansion overlaps the commit pass.
     pub expand_time: Duration,
     /// Time applying steps: interning, edges, frontier bookkeeping
     /// (inherently sequential).
@@ -157,33 +192,48 @@ enum Step {
 #[derive(Clone, Copy)]
 enum Kernel {
     /// The optimized kernels in [`crate::expand`] (plus the memo cache
-    /// when one is supplied).
+    /// when one is supplied) — the work-stealing engine's kernels.
     Fast,
+    /// The [`crate::expand`] kernels with the classic `Blocks` minimal
+    /// filter, frozen with the retained level-synchronized engine
+    /// ([`build_level_sync`]) so head-to-heads compare engine
+    /// generations.
+    Classic,
     /// The pre-optimization kernels in [`crate::expand_naive`], kept as
     /// a timing/equivalence oracle.
     #[cfg(any(test, feature = "slow-reference"))]
     Reference,
 }
 
+/// The tableau-side facts expansion needs about one node, taken as an
+/// explicit snapshot so the work-stealing workers never borrow the
+/// mutably growing tableau.
+#[derive(Clone, Copy)]
+struct NodeView<'a> {
+    kind: NodeKind,
+    dummy: bool,
+    label: &'a LabelSet,
+}
+
 /// The pure half of expanding one node: everything that only *reads*
-/// the tableau. Safe to run concurrently for all frontier nodes; cache
-/// lookups share the table immutably (counters are atomic) and cache
-/// *inserts* are deferred to the apply phase as [`CacheFill`]s.
-fn expand_node(
-    t: &Tableau,
+/// tableau state (through a [`NodeView`] snapshot). Safe to run
+/// concurrently for any set of nodes; cache lookups share the table
+/// immutably (counters are atomic) and cache *inserts* are deferred as
+/// [`CacheFill`]s.
+fn expand_task(
     closure: &Closure,
     props: &PropTable,
     faults: &FaultSpec,
-    id: NodeId,
+    view: NodeView<'_>,
     cache: Option<&ExpansionCache>,
     kernel: Kernel,
 ) -> (Vec<Step>, Option<CacheFill>) {
-    match t.node(id).kind {
+    let label = view.label;
+    match view.kind {
         NodeKind::Or => {
-            if t.node(id).dummy {
+            if view.dummy {
                 return (Vec::new(), None); // successors pinned at creation
             }
-            let label = &t.node(id).label;
             let mut fill = None;
             let bs = match cache.and_then(|c| c.lookup_blocks(label)) {
                 Some(cached) => cached.clone(),
@@ -205,7 +255,6 @@ fn expand_node(
             (steps, fill)
         }
         NodeKind::And => {
-            let label = &t.node(id).label;
             let mut steps = Vec::new();
             let mut fill = None;
             // Tiles successors.
@@ -254,9 +303,31 @@ fn expand_node(
     }
 }
 
+/// [`expand_task`] reading its snapshot from a tableau node — the
+/// level-synchronized engine's entry point (its workers share the
+/// tableau immutably between level barriers).
+fn expand_node(
+    t: &Tableau,
+    closure: &Closure,
+    props: &PropTable,
+    faults: &FaultSpec,
+    id: NodeId,
+    cache: Option<&ExpansionCache>,
+    kernel: Kernel,
+) -> (Vec<Step>, Option<CacheFill>) {
+    let n = t.node(id);
+    let view = NodeView {
+        kind: n.kind,
+        dummy: n.dummy,
+        label: &n.label,
+    };
+    expand_task(closure, props, faults, view, cache, kernel)
+}
+
 fn run_blocks(closure: &Closure, label: &LabelSet, kernel: Kernel) -> Vec<LabelSet> {
     match kernel {
         Kernel::Fast => blocks(closure, label),
+        Kernel::Classic => crate::expand::blocks_classic(closure, label),
         #[cfg(any(test, feature = "slow-reference"))]
         Kernel::Reference => crate::expand_naive::blocks_naive(closure, label),
     }
@@ -264,15 +335,23 @@ fn run_blocks(closure: &Closure, label: &LabelSet, kernel: Kernel) -> Vec<LabelS
 
 fn run_tiles(closure: &Closure, label: &LabelSet, kernel: Kernel) -> Vec<Tile> {
     match kernel {
-        Kernel::Fast => tiles(closure, label),
+        // `Tiles` never grew a second filter; Fast and Classic share it.
+        Kernel::Fast | Kernel::Classic => tiles(closure, label),
         #[cfg(any(test, feature = "slow-reference"))]
         Kernel::Reference => crate::expand_naive::tiles_naive(closure, label),
     }
 }
 
-/// Frontiers below this size are expanded inline: thread spawn overhead
-/// would dominate the pure expansion work.
+/// Frontiers below this size are expanded inline by the
+/// level-synchronized engine (thread spawn overhead would dominate);
+/// the work-stealing engine uses the same threshold only as the
+/// [`BuildProfile::parallel_levels`] bookkeeping cutoff.
 const MIN_PARALLEL_FRONTIER: usize = 4;
+
+/// Expansion tasks per work-stealing batch. Small enough to spread a
+/// narrow frontier across workers, large enough that the per-batch
+/// queue/commit bookkeeping stays noise.
+const BATCH_SIZE: usize = 16;
 
 /// Constructs the tableau `T₀` for the given root label (the temporal
 /// specification) and fault specification.
@@ -296,7 +375,7 @@ pub fn build_with_threads(
     faults: &FaultSpec,
     threads: usize,
 ) -> (Tableau, BuildProfile) {
-    build_core(closure, props, root_label, faults, threads, None, Kernel::Fast)
+    build_ws_core(closure, props, root_label, faults, threads, None, Kernel::Fast)
 }
 
 /// [`build_with_threads`] with a cross-build `Blocks`/`Tiles` memo
@@ -311,7 +390,7 @@ pub fn build_with_cache(
     threads: usize,
     cache: &mut ExpansionCache,
 ) -> (Tableau, BuildProfile) {
-    build_core(
+    build_ws_core(
         closure,
         props,
         root_label,
@@ -322,9 +401,33 @@ pub fn build_with_cache(
     )
 }
 
+/// The retained previous-generation engine: level-synchronized parallel
+/// expansion (barrier per BFS level) with the classic `Blocks` minimal
+/// filter. Produces a tableau bit-identical to [`build_with_threads`];
+/// kept public so benchmarks can compare engine generations
+/// head-to-head.
+pub fn build_level_sync(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+    threads: usize,
+) -> (Tableau, BuildProfile) {
+    build_level_core(
+        closure,
+        props,
+        root_label,
+        faults,
+        threads,
+        None,
+        Kernel::Classic,
+    )
+}
+
 /// [`build_with_threads`] running the pre-optimization
-/// [`crate::expand_naive`] kernels — the timing/equivalence oracle for
-/// the fast path. Must produce a bit-identical tableau.
+/// [`crate::expand_naive`] kernels on the level-synchronized harness —
+/// the timing/equivalence oracle for both engines. Must produce a
+/// bit-identical tableau.
 #[cfg(any(test, feature = "slow-reference"))]
 pub fn build_reference(
     closure: &Closure,
@@ -333,7 +436,7 @@ pub fn build_reference(
     faults: &FaultSpec,
     threads: usize,
 ) -> (Tableau, BuildProfile) {
-    build_core(
+    build_level_core(
         closure,
         props,
         root_label,
@@ -359,7 +462,9 @@ enum Planned {
     DummyPair { dummy: NodeId },
 }
 
-fn build_core(
+/// The retained level-synchronized engine (kept byte-for-byte as the
+/// previous generation; see [`build_level_sync`]).
+fn build_level_core(
     closure: &Closure,
     props: &PropTable,
     root_label: LabelSet,
@@ -505,6 +610,387 @@ fn build_core(
         profile.apply_time += t0.elapsed();
         frontier = next;
     }
+    let counters_after = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
+    profile.cache_hits = counters_after.0 - counters_before.0;
+    profile.cache_misses = counters_after.1 - counters_before.1;
+    (t, profile)
+}
+
+/// One node to expand, snapshotted at discovery time (kind and label
+/// are final once interned) so workers never touch the mutably growing
+/// tableau. Dummy OR-nodes are never interned fresh, hence never
+/// scheduled — tasks are always non-dummy.
+struct Task {
+    id: NodeId,
+    kind: NodeKind,
+    label: LabelSet,
+}
+
+/// A fixed-size chunk of expansion tasks with its dense sequence id
+/// (assigned at injection, in discovery order) and BFS level
+/// (bookkeeping only — the scheduler has no level barriers).
+struct Batch {
+    seq: usize,
+    level: usize,
+    tasks: Vec<Task>,
+}
+
+type BatchOutput = Vec<(Vec<Step>, Option<CacheFill>)>;
+
+/// Scheduler state shared between the committer (main thread) and the
+/// expansion workers.
+struct SchedState {
+    /// Per-worker FIFO queues. A worker whose queue is empty steals
+    /// from the back of the most loaded other queue.
+    queues: Vec<VecDeque<Batch>>,
+    /// Completed batches, indexed by sequence id. The committer
+    /// consumes them strictly in sequence order.
+    results: Vec<Option<(Batch, BatchOutput)>>,
+    /// Set by the committer once every injected batch is committed.
+    shutdown: bool,
+    steals: usize,
+    worker_batches: Vec<usize>,
+    worker_idle: Vec<Duration>,
+    /// Summed expansion time across workers.
+    expand_time: Duration,
+}
+
+struct Scheduler {
+    state: Mutex<SchedState>,
+    /// Workers park here when every queue is empty.
+    work: Condvar,
+    /// The committer parks here waiting for the next-in-sequence batch.
+    done: Condvar,
+}
+
+impl Scheduler {
+    fn new(workers: usize) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                results: Vec::new(),
+                shutdown: false,
+                steals: 0,
+                worker_batches: vec![0; workers],
+                worker_idle: vec![Duration::ZERO; workers],
+                expand_time: Duration::ZERO,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+}
+
+/// Snapshots freshly interned nodes into a batch.
+fn make_batch(t: &Tableau, seq: usize, level: usize, chunk: &[NodeId]) -> Batch {
+    Batch {
+        seq,
+        level,
+        tasks: chunk
+            .iter()
+            .map(|&id| Task {
+                id,
+                kind: t.node(id).kind,
+                label: t.node(id).label.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// An expansion worker: pop from the own queue, steal when dry, park
+/// when every queue is empty, exit on shutdown. Batch order is
+/// irrelevant here — determinism lives entirely in the sequence-ordered
+/// commit.
+fn worker_loop(
+    sched: &Scheduler,
+    w: usize,
+    closure: &Closure,
+    props: &PropTable,
+    faults: &FaultSpec,
+    cache: Option<&ExpansionCache>,
+    kernel: Kernel,
+) {
+    loop {
+        let batch = {
+            let mut st = sched.state.lock().expect("scheduler mutex");
+            loop {
+                if let Some(b) = st.queues[w].pop_front() {
+                    break Some(b);
+                }
+                let victim = (0..st.queues.len())
+                    .filter(|&v| v != w && !st.queues[v].is_empty())
+                    .max_by_key(|&v| st.queues[v].len());
+                if let Some(v) = victim {
+                    st.steals += 1;
+                    break st.queues[v].pop_back();
+                }
+                if st.shutdown {
+                    break None;
+                }
+                let idle = Instant::now();
+                st = sched.work.wait(st).expect("scheduler mutex");
+                st.worker_idle[w] += idle.elapsed();
+            }
+        };
+        let Some(batch) = batch else { return };
+        let t0 = Instant::now();
+        let output: BatchOutput = batch
+            .tasks
+            .iter()
+            .map(|task| {
+                let view = NodeView {
+                    kind: task.kind,
+                    dummy: false,
+                    label: &task.label,
+                };
+                expand_task(closure, props, faults, view, cache, kernel)
+            })
+            .collect();
+        let spent = t0.elapsed();
+        let seq = batch.seq;
+        let mut st = sched.state.lock().expect("scheduler mutex");
+        st.expand_time += spent;
+        st.worker_batches[w] += 1;
+        if st.results.len() <= seq {
+            st.results.resize_with(seq + 1, || None);
+        }
+        st.results[seq] = Some((batch, output));
+        drop(st);
+        sched.done.notify_all();
+    }
+}
+
+/// Applies one batch's expansion output in task order — the same two
+/// passes as the level-synchronized engine, per batch instead of per
+/// level: (A) intern every successor label (this alone defines node
+/// ids), (B) draw the edges and collect fresh nodes. Interleaving edge
+/// passes between batches' intern passes cannot perturb the result:
+/// node ids depend only on the intern-operation sequence and edge
+/// state only on the edge-operation sequence, and committing batches in
+/// sequence order preserves both sequences exactly as a sequential
+/// frontier-order build produces them.
+fn commit_batch(
+    t: &mut Tableau,
+    batch: &Batch,
+    output: BatchOutput,
+    profile: &mut BuildProfile,
+    fills: &mut Vec<CacheFill>,
+    level_widths: &mut Vec<usize>,
+) -> Vec<NodeId> {
+    profile.nodes_expanded += batch.tasks.len();
+    if level_widths.len() <= batch.level {
+        level_widths.resize(batch.level + 1, 0);
+    }
+    level_widths[batch.level] += batch.tasks.len();
+
+    let t0 = Instant::now();
+    let mut planned: Vec<(NodeId, Vec<Planned>)> = Vec::with_capacity(batch.tasks.len());
+    for (task, (steps, fill)) in batch.tasks.iter().zip(output) {
+        if let Some(fill) = fill {
+            fills.push(fill);
+        }
+        let id = task.id;
+        let mut plans = Vec::with_capacity(steps.len());
+        for step in steps {
+            let plan = match step {
+                Step::And { label, hash } => {
+                    profile.intern_probes += 1;
+                    let (target, fresh) = t.intern_and_hashed(label, hash);
+                    Planned::Edge {
+                        kind: EdgeKind::Unlabeled,
+                        target,
+                        fresh,
+                    }
+                }
+                Step::Or { proc, label, hash } => {
+                    profile.intern_probes += 1;
+                    let (target, fresh) = t.intern_or_hashed(label, hash);
+                    Planned::Edge {
+                        kind: EdgeKind::Proc(proc),
+                        target,
+                        fresh,
+                    }
+                }
+                Step::Fault {
+                    action,
+                    label,
+                    hash,
+                } => {
+                    profile.intern_probes += 1;
+                    let (target, fresh) = t.intern_or_hashed(label, hash);
+                    Planned::Edge {
+                        kind: EdgeKind::Fault(action),
+                        target,
+                        fresh,
+                    }
+                }
+                Step::Dummy => Planned::DummyPair {
+                    dummy: t.new_dummy_or(t.node(id).label.clone()),
+                },
+            };
+            plans.push(plan);
+        }
+        planned.push((id, plans));
+    }
+    profile.intern_time += t0.elapsed();
+
+    let mut fresh_nodes = Vec::new();
+    for (id, plans) in planned {
+        for plan in plans {
+            match plan {
+                Planned::Edge {
+                    kind,
+                    target,
+                    fresh,
+                } => {
+                    t.add_edge(id, kind, target);
+                    if fresh {
+                        fresh_nodes.push(target);
+                    }
+                }
+                Planned::DummyPair { dummy } => {
+                    t.add_edge(id, EdgeKind::Dummy, dummy);
+                    t.add_edge(dummy, EdgeKind::Unlabeled, id);
+                }
+            }
+        }
+    }
+    profile.apply_time += t0.elapsed();
+    fresh_nodes
+}
+
+/// The work-stealing engine core. Fresh nodes discovered by each commit
+/// are chunked into new batches in discovery order and injected with
+/// the next sequence ids, so the global commit order equals the BFS
+/// frontier order of a sequential build — which is what makes the
+/// output bit-identical at every thread count (and to the
+/// level-synchronized engine).
+fn build_ws_core(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+    threads: usize,
+    mut cache: Option<&mut ExpansionCache>,
+    kernel: Kernel,
+) -> (Tableau, BuildProfile) {
+    let threads = threads.max(1);
+    let mut profile = BuildProfile {
+        threads,
+        ..BuildProfile::default()
+    };
+    let counters_before = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
+    let mut t = Tableau::with_root(root_label);
+    // Cache inserts stay deferred past the entire build: workers hold a
+    // shared cache reference for its whole duration, so the first &mut
+    // moment is after the scope ends. Behavior-identical to per-level
+    // application — interning already guarantees each unique label is
+    // expanded (and hence looked up) at most once per build.
+    let mut fills: Vec<CacheFill> = Vec::new();
+    let mut level_widths: Vec<usize> = Vec::new();
+
+    let root_batch = make_batch(&t, 0, 0, &[t.root()]);
+    let mut injected = 1usize;
+
+    if threads == 1 {
+        // Inline scheduler: same batching and commit order, no workers.
+        let mut queue: VecDeque<Batch> = VecDeque::new();
+        queue.push_back(root_batch);
+        while let Some(batch) = queue.pop_front() {
+            let t0 = Instant::now();
+            let shared_cache: Option<&ExpansionCache> = cache.as_deref();
+            let output: BatchOutput = batch
+                .tasks
+                .iter()
+                .map(|task| {
+                    let view = NodeView {
+                        kind: task.kind,
+                        dummy: false,
+                        label: &task.label,
+                    };
+                    expand_task(closure, props, faults, view, shared_cache, kernel)
+                })
+                .collect();
+            profile.expand_time += t0.elapsed();
+            let fresh = commit_batch(&mut t, &batch, output, &mut profile, &mut fills, &mut level_widths);
+            for chunk in fresh.chunks(BATCH_SIZE) {
+                queue.push_back(make_batch(&t, injected, batch.level + 1, chunk));
+                injected += 1;
+            }
+        }
+    } else {
+        let sched = Scheduler::new(threads);
+        sched
+            .state
+            .lock()
+            .expect("scheduler mutex")
+            .queues[0]
+            .push_back(root_batch);
+        let shared_cache: Option<&ExpansionCache> = cache.as_deref();
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let sched = &sched;
+                scope.spawn(move || {
+                    worker_loop(sched, w, closure, props, faults, shared_cache, kernel)
+                });
+            }
+            // The committer: consume results strictly in sequence
+            // order, inject fresh batches round-robin across workers.
+            let mut next_commit = 0usize;
+            let mut rr = 0usize;
+            while next_commit < injected {
+                let (batch, output) = {
+                    let mut st = sched.state.lock().expect("scheduler mutex");
+                    loop {
+                        if let Some(done) =
+                            st.results.get_mut(next_commit).and_then(Option::take)
+                        {
+                            break done;
+                        }
+                        st = sched.done.wait(st).expect("scheduler mutex");
+                    }
+                };
+                let fresh =
+                    commit_batch(&mut t, &batch, output, &mut profile, &mut fills, &mut level_widths);
+                if !fresh.is_empty() {
+                    let mut st = sched.state.lock().expect("scheduler mutex");
+                    for chunk in fresh.chunks(BATCH_SIZE) {
+                        st.queues[rr % threads]
+                            .push_back(make_batch(&t, injected, batch.level + 1, chunk));
+                        rr += 1;
+                        injected += 1;
+                    }
+                    drop(st);
+                    sched.work.notify_all();
+                }
+                next_commit += 1;
+            }
+            sched.state.lock().expect("scheduler mutex").shutdown = true;
+            sched.work.notify_all();
+        });
+        let st = sched.state.into_inner().expect("scheduler mutex");
+        profile.steals = st.steals;
+        profile.worker_batches = st.worker_batches;
+        profile.worker_idle = st.worker_idle;
+        profile.expand_time = st.expand_time;
+    }
+
+    if let Some(c) = cache.as_deref_mut() {
+        for fill in fills {
+            c.apply_fill(fill);
+        }
+    }
+    profile.batches = injected;
+    profile.levels = level_widths.len();
+    profile.max_frontier = level_widths.iter().copied().max().unwrap_or(0);
+    profile.parallel_levels = if threads > 1 {
+        level_widths
+            .iter()
+            .filter(|&&w| w >= MIN_PARALLEL_FRONTIER)
+            .count()
+    } else {
+        0
+    };
     let counters_after = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
     profile.cache_hits = counters_after.0 - counters_before.0;
     profile.cache_misses = counters_after.1 - counters_before.1;
@@ -669,10 +1155,21 @@ mod tests {
         FaultSpec::uniform(vec![action], cl.empty_label())
     }
 
+    fn assert_same_tableau(context: &str, a: &Tableau, b: &Tableau) {
+        assert_eq!(a.len(), b.len(), "{context}: node counts differ");
+        for id in a.node_ids() {
+            assert_eq!(a.node(id).label, b.node(id).label, "{context}: {id:?}");
+            assert_eq!(a.node(id).kind, b.node(id).kind, "{context}: {id:?}");
+            assert_eq!(a.node(id).succ, b.node(id).succ, "{context}: {id:?}");
+            assert_eq!(a.node(id).pred, b.node(id).pred, "{context}: {id:?}");
+        }
+    }
+
     /// The tableau is bit-identical for every worker-thread count
     /// (labels, kinds, and edges in the same order at the same ids),
     /// with and without fault actions, through the sharded intern
-    /// tables.
+    /// tables — and identical to the retained level-synchronized
+    /// engine at every thread count.
     #[test]
     fn build_is_deterministic_across_thread_counts() {
         for spec in ["p & AG(EX1 true & EX2 true)", "AG(EX1 true) & AF p & EF q"] {
@@ -688,12 +1185,7 @@ mod tests {
                 for threads in [2, 4, 8] {
                     let (par, prof) =
                         build_with_threads(&cl, &props, root.clone(), &faults, threads);
-                    assert_eq!(seq.len(), par.len(), "{spec}: node counts differ");
-                    for id in seq.node_ids() {
-                        assert_eq!(seq.node(id).label, par.node(id).label, "{spec}: {id:?}");
-                        assert_eq!(seq.node(id).kind, par.node(id).kind);
-                        assert_eq!(seq.node(id).succ, par.node(id).succ);
-                    }
+                    assert_same_tableau(spec, &seq, &par);
                     assert_eq!(prof.threads, threads);
                     assert_eq!(prof.levels, seq_prof.levels);
                     // Dummy successors are created without ever joining
@@ -701,7 +1193,41 @@ mod tests {
                     // profile, not the node count.
                     assert_eq!(prof.nodes_expanded, seq_prof.nodes_expanded);
                 }
+                for threads in [1, 2, 4, 8] {
+                    let (level, level_prof) =
+                        build_level_sync(&cl, &props, root.clone(), &faults, threads);
+                    assert_same_tableau(spec, &seq, &level);
+                    assert_eq!(level_prof.levels, seq_prof.levels);
+                    assert_eq!(level_prof.nodes_expanded, seq_prof.nodes_expanded);
+                    // The level-synchronized engine schedules whole
+                    // levels, not batches.
+                    assert_eq!(level_prof.batches, 0);
+                }
             }
+        }
+    }
+
+    /// Scheduler counters add up: every batch is executed by exactly
+    /// one worker, and per-worker vectors match the thread budget.
+    #[test]
+    fn scheduler_counters_are_consistent() {
+        let (_, props, cl, root) = simple_setup("AG(EX1 true) & AF p & EF q", 2);
+        let faults = flip_p_faults(&props, &cl);
+        let (_, seq_prof) = build_with_threads(&cl, &props, root.clone(), &faults, 1);
+        assert!(seq_prof.batches > 0);
+        assert_eq!(seq_prof.steals, 0);
+        assert!(seq_prof.worker_batches.is_empty());
+        assert!(seq_prof.worker_idle.is_empty());
+        for threads in [2, 4] {
+            let (_, prof) = build_with_threads(&cl, &props, root.clone(), &faults, threads);
+            assert_eq!(prof.worker_batches.len(), threads);
+            assert_eq!(prof.worker_idle.len(), threads);
+            assert_eq!(
+                prof.worker_batches.iter().sum::<usize>(),
+                prof.batches,
+                "every batch runs on exactly one worker: {prof:?}"
+            );
+            assert_eq!(prof.batches, seq_prof.batches, "batching is deterministic");
         }
     }
 
@@ -715,17 +1241,12 @@ mod tests {
             let (fast, _) = build_with_threads(&cl, &props, root.clone(), &faults, 1);
             for threads in [1, 4] {
                 let (oracle, _) = build_reference(&cl, &props, root.clone(), &faults, threads);
-                assert_eq!(fast.len(), oracle.len(), "{spec}: node counts differ");
-                for id in fast.node_ids() {
-                    assert_eq!(fast.node(id).label, oracle.node(id).label, "{spec}: {id:?}");
-                    assert_eq!(fast.node(id).kind, oracle.node(id).kind);
-                    assert_eq!(fast.node(id).succ, oracle.node(id).succ);
-                }
+                assert_same_tableau(spec, &fast, &oracle);
             }
         }
     }
 
-    /// Wide frontiers actually take the worker-thread path.
+    /// Wide frontiers actually produce parallelizable work.
     #[test]
     fn wide_frontiers_expand_in_parallel() {
         let (_, props, cl, root) = simple_setup("AG(EX1 true) & AF p & EF q", 2);
@@ -735,5 +1256,6 @@ mod tests {
             "spec too narrow to exercise the parallel path: {prof:?}"
         );
         assert!(prof.parallel_levels >= 1, "{prof:?}");
+        assert!(prof.batches > 1, "{prof:?}");
     }
 }

@@ -104,3 +104,141 @@ impl ExpansionCache {
         )
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_with_cache, build_with_threads};
+    use crate::expand::Tile;
+    use crate::FaultSpec;
+    use ftsyn_ctl::{parse::parse, Closure, FormulaArena, Owner, PropTable};
+
+    /// A small closure to mint valid `LabelSet`s from, plus the root
+    /// label of its spec (the same shape the build tests use).
+    fn setup(spec: &str) -> (PropTable, Closure, LabelSet) {
+        let mut props = PropTable::new();
+        props.add("p", Owner::Process(0)).unwrap();
+        props.add("q", Owner::Process(0)).unwrap();
+        let mut arena = FormulaArena::new(1);
+        let f = parse(&mut arena, &mut props, spec, true).unwrap();
+        let cl = Closure::build(&mut arena, &props, &[f]);
+        let mut root = cl.empty_label();
+        root.insert(cl.index_of(f).unwrap());
+        (props, cl, root)
+    }
+
+    fn label(cl: &Closure, members: &[u32]) -> LabelSet {
+        let mut l = cl.empty_label();
+        for &m in members {
+            l.insert(m);
+        }
+        l
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let (_, cl, _) = setup("p & q");
+        let cache = ExpansionCache::new();
+        let key = label(&cl, &[0]);
+        assert!(cache.is_empty());
+        assert!(cache.lookup_blocks(&key).is_none());
+        assert_eq!(cache.counters(), (0, 1), "a lookup on empty is a miss");
+
+        let mut cache = cache;
+        let result = vec![label(&cl, &[0, 1])];
+        cache.apply_fill(CacheFill::Blocks(key.clone(), result.clone()));
+        assert_eq!(cache.len(), (1, 0));
+        assert!(!cache.is_empty());
+        assert_eq!(cache.lookup_blocks(&key), Some(&result));
+        assert_eq!(cache.counters(), (1, 1), "the filled label now hits");
+    }
+
+    #[test]
+    fn blocks_and_tiles_namespaces_are_separate() {
+        let (_, cl, _) = setup("p & q");
+        let mut cache = ExpansionCache::new();
+        let key = label(&cl, &[0]);
+        cache.apply_fill(CacheFill::Tiles(key.clone(), vec![Tile::Dummy]));
+        assert_eq!(cache.len(), (0, 1));
+        // The same label as a *blocks* key still misses: the memo is
+        // keyed per kernel, matching node-kind-specific expansion.
+        assert!(cache.lookup_blocks(&key).is_none());
+        assert_eq!(cache.lookup_tiles(&key), Some(&vec![Tile::Dummy]));
+        assert_eq!(cache.counters(), (1, 1));
+    }
+
+    /// `apply_fill` keeps the first result for a label. The kernels are
+    /// deterministic, so duplicate fills (e.g. the same label expanded
+    /// by two builds racing on a shared cache's fill queue) carry
+    /// identical payloads — but the first-wins contract is what makes
+    /// the order of deferred fills irrelevant, so it is pinned here.
+    #[test]
+    fn first_fill_wins() {
+        let (_, cl, _) = setup("p & q");
+        let mut cache = ExpansionCache::new();
+        let key = label(&cl, &[0]);
+        let first = vec![label(&cl, &[1])];
+        let second = vec![label(&cl, &[2])];
+        cache.apply_fill(CacheFill::Blocks(key.clone(), first.clone()));
+        cache.apply_fill(CacheFill::Blocks(key.clone(), second));
+        assert_eq!(cache.len(), (1, 0), "duplicate fill adds no entry");
+        assert_eq!(cache.lookup_blocks(&key), Some(&first));
+    }
+
+    /// Lookups are shared-reference and must account correctly when
+    /// issued from concurrent expansion workers (the scheduler hands
+    /// every worker `&ExpansionCache` for the whole build).
+    #[test]
+    fn concurrent_lookups_account_exactly() {
+        let (_, cl, _) = setup("p & q");
+        let mut cache = ExpansionCache::new();
+        let present = label(&cl, &[0]);
+        let absent = label(&cl, &[1]);
+        cache.apply_fill(CacheFill::Blocks(present.clone(), vec![]));
+        let cache = &cache;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        assert!(cache.lookup_blocks(&present).is_some());
+                        assert!(cache.lookup_blocks(&absent).is_none());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.counters(), (400, 400));
+    }
+
+    /// A warm multi-threaded build served by a cache filled by a cold
+    /// single-threaded build produces the bit-identical tableau, hits
+    /// on every unique label, and inserts nothing new — the end-to-end
+    /// contract of deferred [`CacheFill`]s under the work-stealing
+    /// scheduler.
+    #[test]
+    fn warm_multithreaded_build_matches_cold() {
+        let (props, cl, root) = setup("p & AG(EX1 true) & AF(q)");
+        let (plain, _) = build_with_threads(&cl, &props, root.clone(), &FaultSpec::none(), 1);
+        let mut cache = ExpansionCache::new();
+        let (cold, cold_prof) =
+            build_with_cache(&cl, &props, root.clone(), &FaultSpec::none(), 1, &mut cache);
+        let filled = cache.len();
+        assert_eq!(
+            cold_prof.cache_hits, 0,
+            "interning makes every label unique within one build"
+        );
+        assert!(cold_prof.cache_misses > 0);
+        let (warm, warm_prof) =
+            build_with_cache(&cl, &props, root, &FaultSpec::none(), 4, &mut cache);
+        assert!(warm_prof.cache_hits > 0);
+        assert_eq!(warm_prof.cache_misses, 0, "warm build is fully served");
+        assert_eq!(cache.len(), filled, "warm build adds no entries");
+        for t in [&cold, &warm] {
+            assert_eq!(plain.len(), t.len());
+            for id in plain.node_ids() {
+                assert_eq!(plain.node(id).label, t.node(id).label, "{id:?}");
+                assert_eq!(plain.node(id).kind, t.node(id).kind, "{id:?}");
+                assert_eq!(plain.node(id).succ, t.node(id).succ, "{id:?}");
+            }
+        }
+    }
+}

@@ -32,7 +32,8 @@ mod prop_tests;
 #[cfg(any(test, feature = "slow-reference"))]
 pub use build::build_reference;
 pub use build::{
-    build, build_with_cache, build_with_threads, valuation_of, BuildProfile, FaultSpec,
+    build, build_level_sync, build_with_cache, build_with_threads, valuation_of, BuildProfile,
+    FaultSpec,
 };
 pub use cache::{CacheFill, ExpansionCache};
 #[cfg(any(test, feature = "slow-reference"))]
