@@ -28,7 +28,8 @@ use ftsyn::tableau::{
     Tableau,
 };
 use ftsyn::{
-    synthesize, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance, Verification,
+    synthesize, Budget, Governor, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance,
+    Verification,
 };
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -209,12 +210,32 @@ fn verification_json(v: &Verification) -> String {
         .build()
 }
 
-/// Runs synthesis on one named problem and serializes the result.
+/// Serializes an abort: the phase + structured reason, so the perf
+/// trajectory distinguishes "slow" from "killed".
+fn aborted_json(a: &ftsyn::AbortedSynthesis) -> String {
+    Obj::default()
+        .str("phase", a.phase.name())
+        .str("reason", &a.reason.to_string())
+        .str(
+            "failures",
+            &a.failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
+        .build()
+}
+
+/// Runs synthesis on one named problem and serializes the result. Every
+/// row carries an `"aborted"` block: `null` for completed runs, the
+/// phase/reason for governed runs that hit a budget.
 fn run_problem(name: &str, procs: usize, mut problem: SynthesisProblem) -> String {
     eprintln!("synthesizing {name} ...");
-    let (stats, solved, verification) = match synthesize(&mut problem) {
-        SynthesisOutcome::Solved(s) => (s.stats.clone(), true, Some(s.verification.clone())),
-        SynthesisOutcome::Impossible(imp) => (imp.stats, false, None),
+    let (stats, solved, verification, aborted) = match synthesize(&mut problem) {
+        SynthesisOutcome::Solved(s) => (s.stats.clone(), true, Some(s.verification.clone()), None),
+        SynthesisOutcome::Impossible(imp) => (imp.stats, false, None, None),
+        SynthesisOutcome::Aborted(a) => (a.stats.clone(), false, None, Some(a)),
     };
     let mut obj = Obj::default()
         .str("name", name)
@@ -223,6 +244,34 @@ fn run_problem(name: &str, procs: usize, mut problem: SynthesisProblem) -> Strin
     if let Some(v) = verification {
         obj = obj.raw("verification", &verification_json(&v));
     }
+    obj = match &aborted {
+        Some(a) => obj.raw("aborted", &aborted_json(a)),
+        None => obj.raw("aborted", "null"),
+    };
+    obj.build()
+}
+
+/// Runs one problem under an aggressive budget and serializes the
+/// structured abort — a demonstration row showing what a budget-killed
+/// run looks like in the trajectory (deterministic caps only, so the
+/// row is stable across machines and thread counts).
+fn run_budgeted(name: &str, procs: usize, mut problem: SynthesisProblem, budget: Budget) -> String {
+    eprintln!("synthesizing {name} under a budget ...");
+    let gov = Governor::with_budget(budget);
+    let outcome = ftsyn::synthesize_governed(&mut problem, ftsyn::default_threads(), &gov);
+    let (stats, solved, aborted) = match outcome {
+        SynthesisOutcome::Solved(s) => (s.stats.clone(), true, None),
+        SynthesisOutcome::Impossible(imp) => (imp.stats, false, None),
+        SynthesisOutcome::Aborted(a) => (a.stats.clone(), false, Some(a)),
+    };
+    let mut obj = Obj::default()
+        .str("name", name)
+        .num("procs", procs)
+        .raw("stats", &stats_json(&stats, solved));
+    obj = match &aborted {
+        Some(a) => obj.raw("aborted", &aborted_json(a)),
+        None => obj.raw("aborted", "null"),
+    };
     obj.build()
 }
 
@@ -555,6 +604,30 @@ fn main() {
         ));
     }
 
+    // Governed demonstration rows: the same problems killed by an
+    // aggressive deterministic budget, so the trajectory shows what a
+    // structured abort looks like (phase + counter-carrying reason).
+    let budgeted = vec![
+        run_budgeted(
+            "mutex3-failstop-masking-state-cap",
+            3,
+            mutex::with_fail_stop(3, Tolerance::Masking),
+            Budget {
+                max_states: Some(2_000),
+                ..Budget::default()
+            },
+        ),
+        run_budgeted(
+            "philosophers3-minimize-cap",
+            3,
+            mutex::dining_philosophers(3),
+            Budget {
+                max_minimize_attempts: Some(50),
+                ..Budget::default()
+            },
+        ),
+    ];
+
     // The wire of Section 2.3 (interpreter + simulator, not synthesis).
     let wires = vec![
         run_wire("wire-unbounded", None),
@@ -648,8 +721,9 @@ fn main() {
             "generated_by",
             "cargo run --release -p ftsyn-bench --bin bench_json",
         )
-        .str("schema_version", "4")
+        .str("schema_version", "5")
         .raw("problems", &arr(problems))
+        .raw("budgeted", &arr(budgeted))
         .raw("wire", &arr(wires))
         .raw("deletion_engine_comparison", &arr(comparisons))
         .raw("build_kernel_comparison", &arr(build_comparisons))

@@ -40,23 +40,36 @@
 
 use ftsyn::ctl::{parse::parse, Formula, FormulaArena, FormulaId, Owner, PropTable, Spec};
 use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
-use ftsyn::{SynthesisProblem, Tolerance, ToleranceAssignment};
+use ftsyn::{Budget, SynthesisProblem, Tolerance, ToleranceAssignment};
 use std::fmt;
+use std::time::Duration;
 
 /// The `ftsyn` usage banner, including the documented exit codes.
 pub const USAGE: &str = "\
 USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
+             [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
 
   --dot <out.dot>   write the synthesized model as Graphviz DOT
   --quiet           suppress statistics and verification output
   --no-program      do not print the extracted program
+  --timeout <secs>  abort if synthesis exceeds the wall-clock deadline
+  --max-states <n>  abort once the tableau reaches n nodes
+  --max-minimize-attempts <n>
+                    abort after n candidate-merge verifications during
+                    semantic minimization
+
+Budget aborts are structured: the run stops at the next poll point and
+reports the phase, the limit that tripped, and the partial statistics.
+The state/attempt caps abort at deterministic work counters (the same
+point at every thread count); only --timeout is wall-clock.
 
 Exit codes:
   0  synthesis succeeded and the program verified
   1  impossible: no program satisfies the specification with the
      required tolerance
   2  usage, file or problem-description error
-  3  a program was synthesized but mechanical verification failed";
+  3  a program was synthesized but mechanical verification failed
+  4  aborted: a budget was exceeded before synthesis finished";
 
 /// Parsed command line of the `ftsyn` binary.
 #[derive(Debug, PartialEq, Eq)]
@@ -69,6 +82,9 @@ pub struct CliArgs {
     pub quiet: bool,
     /// Absent `--no-program`: print the extracted program.
     pub show_program: bool,
+    /// Resource budget from `--timeout` / `--max-states` /
+    /// `--max-minimize-attempts` (unlimited when none given).
+    pub budget: Budget,
 }
 
 /// What the command line asks for: a synthesis run, or just the usage
@@ -94,6 +110,19 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut dot_out = None;
     let mut quiet = false;
     let mut show_program = true;
+    let mut budget = Budget::default();
+    // Fetches the value of a value-taking flag, rejecting a following
+    // flag so `--max-states --quiet` errors instead of parsing garbage.
+    let value_of = |flag: &str, i: &mut usize, args: &[String]| -> Result<String, String> {
+        *i += 1;
+        match args.get(*i) {
+            None => Err(format!("{flag} requires a value")),
+            Some(v) if v.starts_with("--") => {
+                Err(format!("{flag} requires a value, found flag `{v}`"))
+            }
+            Some(v) => Ok(v.clone()),
+        }
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -112,6 +141,30 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             }
             "--quiet" => quiet = true,
             "--no-program" => show_program = false,
+            "--timeout" => {
+                let v = value_of("--timeout", &mut i, args)?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--timeout expects seconds, got `{v}`"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("--timeout expects non-negative seconds, got `{v}`"));
+                }
+                budget.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-states" => {
+                let v = value_of("--max-states", &mut i, args)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-states expects a count, got `{v}`"))?;
+                budget.max_states = Some(n);
+            }
+            "--max-minimize-attempts" => {
+                let v = value_of("--max-minimize-attempts", &mut i, args)?;
+                let n: usize = v.parse().map_err(|_| {
+                    format!("--max-minimize-attempts expects a count, got `{v}`")
+                })?;
+                budget.max_minimize_attempts = Some(n);
+            }
             "--help" | "-h" => return Ok(CliCommand::Help),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
@@ -129,6 +182,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
         dot_out,
         quiet,
         show_program,
+        budget,
     }))
 }
 
@@ -467,10 +521,51 @@ tolerance nonmasking
                 dot_out: Some("out.dot".into()),
                 quiet: true,
                 show_program: true,
+                budget: Budget::default(),
             })
         );
         assert_eq!(parse_args(&argv(&["--help"])).unwrap(), CliCommand::Help);
         assert_eq!(parse_args(&argv(&["-h"])).unwrap(), CliCommand::Help);
+    }
+
+    #[test]
+    fn budget_flags_parse() {
+        let cmd = parse_args(&argv(&[
+            "p.ftsyn",
+            "--timeout",
+            "2.5",
+            "--max-states",
+            "5000",
+            "--max-minimize-attempts",
+            "100",
+        ]))
+        .unwrap();
+        let CliCommand::Run(a) = cmd else { panic!() };
+        assert_eq!(a.budget.deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(a.budget.max_states, Some(5000));
+        assert_eq!(a.budget.max_minimize_attempts, Some(100));
+        assert!(!a.budget.is_unlimited());
+        // No budget flags → unlimited.
+        let cmd = parse_args(&argv(&["p.ftsyn"])).unwrap();
+        let CliCommand::Run(a) = cmd else { panic!() };
+        assert!(a.budget.is_unlimited());
+    }
+
+    #[test]
+    fn budget_flags_reject_garbage() {
+        for bad in [
+            vec!["p.ftsyn", "--timeout", "soon"],
+            vec!["p.ftsyn", "--timeout", "-1"],
+            vec!["p.ftsyn", "--timeout"],
+            vec!["p.ftsyn", "--max-states", "many"],
+            vec!["p.ftsyn", "--max-states", "--quiet"],
+            vec!["p.ftsyn", "--max-minimize-attempts", "1.5"],
+        ] {
+            assert!(
+                parse_args(&argv(&bad)).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]
@@ -502,7 +597,7 @@ tolerance nonmasking
 
     #[test]
     fn usage_documents_every_exit_code() {
-        for code in ["0 ", "1 ", "2 ", "3 "] {
+        for code in ["0 ", "1 ", "2 ", "3 ", "4 "] {
             assert!(
                 USAGE.lines().any(|l| l.trim_start().starts_with(code)),
                 "exit code {code} undocumented in USAGE"

@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
+//!              [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
 //! ```
 
 use ftsyn::kripke::StateRole;
-use ftsyn::SynthesisOutcome;
+use ftsyn::{Governor, SynthesisOutcome};
 use ftsyn_cli::{parse_args, CliArgs, CliCommand, USAGE};
 use std::process::ExitCode;
 
@@ -17,6 +18,7 @@ fn main() -> ExitCode {
         dot_out,
         quiet,
         show_program,
+        budget,
     } = match parse_args(&args) {
         Ok(CliCommand::Run(a)) => a,
         Ok(CliCommand::Help) => {
@@ -44,7 +46,15 @@ fn main() -> ExitCode {
         }
     };
 
-    match ftsyn::synthesize(&mut problem) {
+    // An unlimited budget takes the ungoverned (byte-identical) path;
+    // any budget flag switches to the governed pipeline.
+    let outcome = if budget.is_unlimited() {
+        ftsyn::synthesize(&mut problem)
+    } else {
+        let gov = Governor::with_budget(budget);
+        ftsyn::synthesize_governed(&mut problem, ftsyn::default_threads(), &gov)
+    };
+    match outcome {
         SynthesisOutcome::Solved(s) => {
             if !quiet {
                 let roles = s.model.classify();
@@ -145,6 +155,28 @@ fn main() -> ExitCode {
                 imp.stats.deletion_profile.worklist_pops
             );
             ExitCode::from(1)
+        }
+        SynthesisOutcome::Aborted(a) => {
+            println!("aborted in {} phase: {}", a.phase, a.reason);
+            println!(
+                "partial stats: tableau {} nodes, build {:.1?}, delete {:.1?} \
+                 ({} worklist pops, {} certs built), unravel {:.1?}, \
+                 minimize {:.1?} ({} merges of {} tried), elapsed {:.1?}",
+                a.stats.tableau_nodes,
+                a.stats.build_time,
+                a.stats.deletion_time,
+                a.stats.deletion_profile.worklist_pops,
+                a.stats.deletion_profile.cert_builds,
+                a.stats.unravel_time,
+                a.stats.minimize_time,
+                a.stats.minimize_profile.merges,
+                a.stats.minimize_profile.attempts,
+                a.stats.elapsed
+            );
+            for f in &a.failures {
+                println!("failure: {f}");
+            }
+            ExitCode::from(4)
         }
     }
 }

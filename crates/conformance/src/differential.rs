@@ -3,8 +3,10 @@
 //! every synthesized program with the model checker as an independent
 //! oracle.
 
+use crate::campaign::assert_campaign;
 use crate::generate::{random_problem, GeneratedCase};
 use crate::render::render_solved;
+use ftsyn::guarded::sim::CampaignConfig;
 use ftsyn::{check_program, synthesize_with_threads, SynthesisOutcome};
 use ftsyn_prng::XorShift64;
 
@@ -37,7 +39,9 @@ pub struct CaseResult {
 ///    and re-checks the extracted program against the specification,
 ///    tolerance labels, and fault closure with the `ftsyn-kripke` model
 ///    checker ([`check_program`]), which explores the program
-///    independently of the tableau;
+///    independently of the tableau, and runs a small seeded
+///    fault-injection campaign ([`assert_campaign`]) so the program's
+///    runtime traces are simulation-checked too;
 /// 4. cross-checks the work-stealing build engine against the retained
 ///    level-synchronized engine on this seed's tableau, and — with the
 ///    `slow-reference` feature — both against the naive reference
@@ -97,6 +101,19 @@ pub fn run_seed(seed: u64) -> CaseResult {
                 "seed {seed} ({name}): model checker rejects the synthesized program: {}",
                 report.verification.failure_summary()
             );
+            // Runtime oracle: a small seeded fault-injection campaign
+            // of the synthesized program (simulation-level counterpart
+            // of the model check above — see [`crate::campaign`]).
+            assert_campaign(
+                &format!("seed {seed} ({name})"),
+                &mut p1,
+                &s1.program,
+                &CampaignConfig {
+                    runs: 4,
+                    steps: 200,
+                    base_seed: seed,
+                },
+            );
             CaseResult {
                 name,
                 solved: true,
@@ -127,6 +144,10 @@ pub fn run_seed(seed: u64) -> CaseResult {
                 model_states: 0,
             }
         }
+        SynthesisOutcome::Aborted(a) => panic!(
+            "seed {seed} ({name}): ungoverned synthesis aborted in {} phase: {}",
+            a.phase, a.reason
+        ),
     }
 }
 

@@ -20,10 +20,22 @@
 //!   `⊨ₙ`, via [`ftsyn::check_program`]). With the `slow-reference`
 //!   feature, each case additionally cross-checks the optimized tableau
 //!   build against the pre-optimization reference kernel.
+//! - **Fault-injection campaigns** ([`campaign`], `tests/campaign.rs`):
+//!   synthesized programs are *run* under seeded randomized simulation
+//!   with injected faults, asserting the runtime counterpart of their
+//!   tolerance — containment in the verified structure, safety `always`
+//!   (masking/fail-safe), post-fault convergence (masking/nonmasking).
+//!   Every fuzzer seed's program is simulation-checked the same way.
+//! - **Budget-abort determinism** (`tests/budget.rs`): governed runs
+//!   must abort at identical deterministic counters at every thread
+//!   count, a governed-unlimited run must be byte-identical to an
+//!   ungoverned one, and an injected worker panic must surface as a
+//!   structured abort with no poisoned scheduler state left behind.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod differential;
 pub mod generate;
 pub mod golden;

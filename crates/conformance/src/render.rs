@@ -52,6 +52,13 @@ pub fn render_outcome(problem: &SynthesisProblem, outcome: &SynthesisOutcome) ->
             imp.stats.tableau_nodes,
             imp.stats.deletion.total()
         ),
+        // Deterministic caps render their counters; the reason text is
+        // timing-free for every abort a conformance test can produce
+        // (deadline aborts embed durations, but the suites never set
+        // deadlines on compared runs).
+        SynthesisOutcome::Aborted(a) => {
+            format!("aborted in {} phase: {}\n", a.phase, a.reason)
+        }
     }
 }
 

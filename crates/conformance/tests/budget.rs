@@ -1,0 +1,219 @@
+//! Governor conformance: budget aborts must be *deterministic* — the
+//! capped budgets (states, deletion work, minimize attempts) are
+//! checked against deterministic work counters, so the same problem
+//! with the same caps must abort in the identical phase with the
+//! identical partial statistics at every worker-thread count — and a
+//! governed run with no limits must be byte-identical to an ungoverned
+//! one. Worker panics must be contained by the scheduler and surfaced
+//! as a structured abort, never as a process abort or a poisoned mutex.
+
+use ftsyn::problems::mutex;
+use ftsyn::{
+    synthesize, synthesize_governed, AbortReason, Budget, FailureKind, Governor, Phase,
+    SynthesisOutcome, Tolerance,
+};
+use ftsyn_conformance::differential::THREAD_MATRIX;
+use ftsyn_conformance::render::render_solved;
+
+/// Runs mutex3-failstop-masking under `budget` at `threads` workers and
+/// returns the abort, panicking if the run did not abort.
+fn abort_of(budget: Budget, threads: usize) -> ftsyn::AbortedSynthesis {
+    let mut p = mutex::with_fail_stop(3, Tolerance::Masking);
+    let gov = Governor::with_budget(budget);
+    match synthesize_governed(&mut p, threads, &gov) {
+        SynthesisOutcome::Aborted(a) => *a,
+        other => panic!(
+            "expected an abort at {threads} threads, got {}",
+            match other {
+                SynthesisOutcome::Solved(_) => "Solved",
+                SynthesisOutcome::Impossible(_) => "Impossible",
+                SynthesisOutcome::Aborted(_) => unreachable!(),
+            }
+        ),
+    }
+}
+
+#[test]
+fn state_cap_abort_is_identical_across_thread_counts() {
+    let budget = Budget {
+        max_states: Some(500),
+        ..Budget::default()
+    };
+    let first = abort_of(budget.clone(), THREAD_MATRIX[0]);
+    assert_eq!(first.phase, Phase::Build);
+    assert!(
+        matches!(first.reason, AbortReason::StateCapExceeded { cap: 500, .. }),
+        "{:?}",
+        first.reason
+    );
+    // The partial profile is populated up to the abort point.
+    assert!(first.stats.tableau_nodes >= 500);
+    assert!(first.stats.build_profile.batches > 0);
+    for &threads in &THREAD_MATRIX[1..] {
+        let a = abort_of(budget.clone(), threads);
+        assert_eq!(first.phase, a.phase, "phase diverged at {threads} threads");
+        assert_eq!(
+            first.reason, a.reason,
+            "abort reason (incl. reached counter) diverged at {threads} threads"
+        );
+        assert_eq!(
+            first.stats.tableau_nodes, a.stats.tableau_nodes,
+            "partial tableau size diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn deletion_work_cap_abort_is_identical_across_thread_counts() {
+    let budget = Budget {
+        max_deletion_work: Some(100),
+        ..Budget::default()
+    };
+    let first = abort_of(budget.clone(), THREAD_MATRIX[0]);
+    assert_eq!(first.phase, Phase::Deletion);
+    assert!(
+        matches!(
+            first.reason,
+            AbortReason::DeletionWorkCapExceeded { cap: 100, .. }
+        ),
+        "{:?}",
+        first.reason
+    );
+    // The build completed — its stats are final, not partial.
+    assert!(first.stats.tableau_nodes > 0);
+    assert!(
+        first.stats.deletion_profile.worklist_pops + first.stats.deletion_profile.cert_builds
+            >= 100
+    );
+    for &threads in &THREAD_MATRIX[1..] {
+        let a = abort_of(budget.clone(), threads);
+        assert_eq!(first.phase, a.phase, "phase diverged at {threads} threads");
+        assert_eq!(first.reason, a.reason, "reason diverged at {threads} threads");
+        assert_eq!(
+            first.stats.deletion_profile.worklist_pops, a.stats.deletion_profile.worklist_pops,
+            "worklist pops diverged at {threads} threads"
+        );
+        assert_eq!(
+            first.stats.deletion_profile.cert_builds, a.stats.deletion_profile.cert_builds,
+            "certificate builds diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn minimize_attempt_cap_abort_is_identical_across_thread_counts() {
+    let budget = Budget {
+        max_minimize_attempts: Some(5),
+        ..Budget::default()
+    };
+    let first = abort_of(budget.clone(), THREAD_MATRIX[0]);
+    assert_eq!(first.phase, Phase::Minimize);
+    assert_eq!(
+        first.reason,
+        AbortReason::MinimizeAttemptCapExceeded { cap: 5, reached: 5 },
+        "`max_minimize_attempts: Some(5)` permits exactly 5 attempts"
+    );
+    assert_eq!(first.stats.minimize_profile.attempts, 5);
+    for &threads in &THREAD_MATRIX[1..] {
+        let a = abort_of(budget.clone(), threads);
+        assert_eq!(first.phase, a.phase, "phase diverged at {threads} threads");
+        assert_eq!(first.reason, a.reason, "reason diverged at {threads} threads");
+        assert_eq!(
+            first.stats.minimize_profile.attempts, a.stats.minimize_profile.attempts,
+            "minimize attempts diverged at {threads} threads"
+        );
+    }
+}
+
+/// A governed run whose budget never trips must be byte-identical to an
+/// ungoverned run — the governed pipeline is the same code polling a
+/// governor that always says "go".
+#[test]
+fn unlimited_governor_is_byte_identical_to_ungoverned() {
+    let mut p1 = mutex::with_fail_stop(3, Tolerance::Masking);
+    let mut p2 = mutex::with_fail_stop(3, Tolerance::Masking);
+    let ungoverned = synthesize(&mut p1).unwrap_solved();
+    let gov = Governor::unlimited();
+    let governed = synthesize_governed(&mut p2, ftsyn::default_threads(), &gov).unwrap_solved();
+    assert_eq!(
+        ungoverned.stats.model_states,
+        governed.stats.model_states
+    );
+    assert_eq!(
+        render_solved(&p1, &ungoverned),
+        render_solved(&p2, &governed),
+        "governed-unlimited and ungoverned programs must be byte-identical"
+    );
+}
+
+/// The CI budget scenario: mutex4-failstop under an aggressive state
+/// cap aborts structurally in seconds instead of synthesizing for half
+/// a minute — the whole point of the governor.
+#[test]
+fn aggressive_state_cap_on_mutex4_failstop_aborts_structurally() {
+    let mut p = mutex::with_fail_stop(4, Tolerance::Masking);
+    let gov = Governor::with_budget(Budget {
+        max_states: Some(2_000),
+        ..Budget::default()
+    });
+    let SynthesisOutcome::Aborted(a) = synthesize_governed(&mut p, ftsyn::default_threads(), &gov)
+    else {
+        panic!("mutex4-failstop under a 2k state cap must abort")
+    };
+    assert_eq!(a.phase, Phase::Build);
+    assert!(matches!(
+        a.reason,
+        AbortReason::StateCapExceeded { cap: 2_000, .. }
+    ));
+    assert!(a.failures.is_empty(), "budget aborts carry no failures");
+}
+
+/// A pre-cancelled governor aborts at the first realtime poll.
+#[test]
+fn cancelled_governor_aborts_in_the_build_phase() {
+    let mut p = mutex::with_fail_stop(3, Tolerance::Masking);
+    let gov = Governor::unlimited();
+    gov.cancel();
+    let SynthesisOutcome::Aborted(a) = synthesize_governed(&mut p, 2, &gov) else {
+        panic!("cancelled governor must abort")
+    };
+    assert_eq!(a.phase, Phase::Build);
+    assert_eq!(a.reason, AbortReason::Cancelled);
+}
+
+/// Panic containment: an injected worker panic during tableau expansion
+/// must surface as a structured `Aborted` with a
+/// [`FailureKind::WorkerPanic`] failure and partial profiles — at every
+/// thread count, with the process alive and no mutex poisoned (proven
+/// by running a full synthesis right after, in the same process).
+#[test]
+fn injected_worker_panic_yields_a_clean_abort_at_every_thread_count() {
+    for &threads in &THREAD_MATRIX {
+        let mut p = mutex::with_fail_stop(3, Tolerance::Masking);
+        let gov = Governor::unlimited().inject_worker_panic_at_batch(2);
+        let SynthesisOutcome::Aborted(a) = synthesize_governed(&mut p, threads, &gov) else {
+            panic!("injected panic must abort at {threads} threads")
+        };
+        assert_eq!(a.phase, Phase::Build, "at {threads} threads");
+        let AbortReason::WorkerPanic { message } = &a.reason else {
+            panic!("expected WorkerPanic at {threads} threads, got {:?}", a.reason)
+        };
+        assert!(
+            message.contains("injected worker panic at batch 2"),
+            "panic payload must round-trip: {message:?}"
+        );
+        assert_eq!(a.failures.len(), 1, "at {threads} threads");
+        assert_eq!(a.failures[0].kind, FailureKind::WorkerPanic);
+        // Partial build profile: at least the batches committed before
+        // the panic were accounted.
+        assert!(a.stats.tableau_nodes > 0, "at {threads} threads");
+
+        // No poison cascade: the same process can synthesize again.
+        let mut p2 = mutex::with_fail_stop(3, Tolerance::Masking);
+        let s = ftsyn::synthesize_with_threads(&mut p2, threads).unwrap_solved();
+        assert!(
+            s.verification.ok(),
+            "post-panic synthesis at {threads} threads must verify"
+        );
+    }
+}

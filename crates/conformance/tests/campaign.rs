@@ -1,0 +1,160 @@
+//! Fault-injection campaign suite: every golden case with faults is
+//! synthesized and its program *run* under a seeded campaign of
+//! randomized simulations, asserting the runtime counterpart of its
+//! tolerance (see `ftsyn_conformance::campaign`). The golden suite pins
+//! the program's text; this suite pins its behavior under injected
+//! faults.
+
+use ftsyn::guarded::sim::CampaignConfig;
+use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
+use ftsyn::problems::{barrier, mutex, readers_writers};
+use ftsyn::{synthesize, SynthesisProblem, Tolerance, ToleranceAssignment};
+use ftsyn_conformance::campaign::assert_campaign;
+
+fn run(name: &str, mut problem: SynthesisProblem) {
+    let s = synthesize(&mut problem).unwrap_solved();
+    assert!(s.verification.ok(), "{name}: {:?}", s.verification.failures);
+    // The campaign judges traces against the program's own explored
+    // structure, so that structure must itself pass the model checker
+    // (it can over-approximate the synthesized model — see the pinned
+    // multitolerance-mutex3 gap below).
+    let checked = ftsyn::check_program(&mut problem, &s.program)
+        .unwrap_or_else(|e| panic!("{name}: not executable: {e}"));
+    assert!(
+        checked.tolerant(),
+        "{name}: model checker rejects the extracted program: {}",
+        checked.verification.failure_summary()
+    );
+    let report = assert_campaign(name, &mut problem, &s.program, &CampaignConfig::default());
+    // Campaign strength: these hand-picked cases must actually exercise
+    // what they claim to (faults fired, convergence probed).
+    assert_eq!(report.runs, 16, "{name}");
+    if !problem.faults.is_empty() {
+        assert!(report.faulted_runs > 0, "{name}: no faults injected");
+    }
+    if report.convergence_checked {
+        assert!(
+            report.convergence_probes > 0,
+            "{name}: no run was long enough to probe convergence"
+        );
+    }
+}
+
+#[test]
+fn mutex2_failstop_masking_holds_at_runtime() {
+    // Masking: safety always + convergence after the last fault.
+    run(
+        "mutex2-failstop-masking",
+        mutex::with_fail_stop(2, Tolerance::Masking),
+    );
+}
+
+#[test]
+fn mutex3_failstop_masking_holds_at_runtime() {
+    run(
+        "mutex3-failstop-masking",
+        mutex::with_fail_stop(3, Tolerance::Masking),
+    );
+}
+
+#[test]
+fn barrier2_nonmasking_converges_at_runtime() {
+    // Nonmasking: transient violations allowed, convergence required.
+    run("barrier2-nonmasking", barrier::with_general_state_faults(2));
+}
+
+#[test]
+fn readers_writers_writer_failstop_holds_at_runtime() {
+    run(
+        "readers-writers-1R-writer-failstop",
+        readers_writers::with_writer_fail_stop(1, Tolerance::Masking),
+    );
+}
+
+/// Known gap, surfaced by this suite: for *per-fault multitolerance*
+/// assignments the extracted program reaches more global states than
+/// the synthesized model it came from (e.g. 1944 explored vs 138 model
+/// states for multitolerance-mutex3), and the `ftsyn-kripke` model
+/// checker rejects the extra perturbed states' tolerance labels — so
+/// the runtime campaign assertions cannot be expected to hold either.
+/// The synthesized *model* verifies; the shared-variable extraction
+/// over-approximates. Pinned so an extraction fix flips these tests;
+/// tracked in ROADMAP.md.
+fn extraction_gap_pin(name: &str, mut problem: SynthesisProblem) {
+    let s = synthesize(&mut problem).unwrap_solved();
+    assert!(
+        s.verification.ok(),
+        "{name}: the synthesized model itself verifies"
+    );
+    let checked = ftsyn::check_program(&mut problem, &s.program).expect("executable");
+    assert!(
+        !checked.tolerant(),
+        "{name}: extraction gap fixed — move this case into the campaign \
+         suite (use `run`) and delete its pin"
+    );
+}
+
+#[test]
+fn multitolerance_mutex3_extraction_gap_is_pinned() {
+    extraction_gap_pin(
+        "multitolerance-mutex3-P1-nonmasking",
+        mutex::with_fail_stop_multitolerance(3, |f| {
+            if f.name().contains("P1") {
+                Tolerance::Nonmasking
+            } else {
+                Tolerance::Masking
+            }
+        }),
+    );
+}
+
+#[test]
+fn multitolerance_mixed_extraction_gap_is_pinned() {
+    // The E9 instance: fail-stop masked, an undetectable corruption of
+    // P1 ridden out nonmasking. Subject to the same extraction gap as
+    // multitolerance-mutex3 above.
+    let mut problem = mutex::with_fail_stop(2, Tolerance::Masking);
+    let (n1, t1, c1, d1) = (
+        problem.props.id("N1").unwrap(),
+        problem.props.id("T1").unwrap(),
+        problem.props.id("C1").unwrap(),
+        problem.props.id("D1").unwrap(),
+    );
+    problem.faults.push(
+        FaultAction::new(
+            "corrupt-P1-to-C",
+            BoolExpr::tru(),
+            vec![
+                (c1, PropAssign::True),
+                (n1, PropAssign::False),
+                (t1, PropAssign::False),
+                (d1, PropAssign::False),
+            ],
+        )
+        .unwrap(),
+    );
+    let corrupt_idx = problem.faults.len() - 1;
+    let tols: Vec<Tolerance> = (0..problem.faults.len())
+        .map(|i| {
+            if i == corrupt_idx {
+                Tolerance::Nonmasking
+            } else {
+                Tolerance::Masking
+            }
+        })
+        .collect();
+    problem.tolerance = ToleranceAssignment::PerFault(tols);
+    extraction_gap_pin("multitolerance-mutex2-mixed", problem);
+}
+
+/// Fault-free sanity: the campaign machinery still applies (pure
+/// containment + safety, no fault ever fires, convergence not probed).
+#[test]
+fn philosophers3_fault_free_stays_contained() {
+    let name = "philosophers3-fault-free";
+    let mut problem = mutex::dining_philosophers(3);
+    let s = synthesize(&mut problem).unwrap_solved();
+    let report = assert_campaign(name, &mut problem, &s.program, &CampaignConfig::default());
+    assert_eq!(report.faulted_runs, 0, "{name}: no faults exist to inject");
+    assert!(!report.convergence_checked, "{name}");
+}

@@ -65,14 +65,17 @@ pub mod problems;
 pub use check::{check_program, CheckError, CheckReport};
 pub use extract::{extract_program, introduce_shared_variables};
 pub use fragment::{build_ffrag, build_ffrag_mode, eventualities_in, FragNode, Fragment};
-pub use minimize::{semantic_minimize, semantic_minimize_profiled, MinimizeProfile};
+pub use minimize::{
+    semantic_minimize, semantic_minimize_governed, semantic_minimize_profiled, MinimizeAbort,
+    MinimizeProfile,
+};
 pub use problem::{SynthesisProblem, Tolerance, ToleranceAssignment};
 pub use synthesize::{
-    default_threads, synthesize, synthesize_with_threads, Impossibility, SynthesisOutcome,
-    SynthesisStats, Synthesized,
+    default_threads, synthesize, synthesize_governed, synthesize_with_threads, AbortedSynthesis,
+    Impossibility, SynthesisOutcome, SynthesisStats, Synthesized,
 };
-pub use ftsyn_tableau::CertMode;
-pub use unravel::{unravel, unravel_mode, Unraveled};
+pub use ftsyn_tableau::{AbortReason, Budget, CertMode, Governor, Phase};
+pub use unravel::{unravel, unravel_governed, unravel_mode, Unraveled};
 pub use verify::{
     verify, verify_semantic, verify_semantic_ok, Failure, FailureKind, FailureStage, Verification,
 };

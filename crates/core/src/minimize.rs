@@ -15,6 +15,7 @@
 use crate::problem::SynthesisProblem;
 use crate::verify::verify_semantic_ok;
 use ftsyn_kripke::{FtKripke, PropSet, StateId};
+use ftsyn_tableau::{AbortReason, Governor};
 use std::collections::HashMap;
 
 /// Work counters of one [`semantic_minimize`] run. Minimization
@@ -78,6 +79,37 @@ pub fn semantic_minimize_profiled(
     problem: &mut SynthesisProblem,
     model: FtKripke,
 ) -> (FtKripke, Vec<StateId>, MinimizeProfile) {
+    minimize_core(problem, model, None)
+        .unwrap_or_else(|a| panic!("ungoverned minimize aborted: {}", a.reason))
+}
+
+/// Partial results of a governed minimization that exceeded its budget.
+#[derive(Clone, Debug)]
+pub struct MinimizeAbort {
+    /// Which limit tripped.
+    pub reason: AbortReason,
+    /// Attempts/merges performed up to the abort point.
+    pub profile: MinimizeProfile,
+}
+
+/// [`semantic_minimize_profiled`] under a [`Governor`]: the attempt cap
+/// and the deadline/cancel flag are polled before every candidate
+/// verification (each attempt model-checks a full candidate model, so
+/// per-attempt polling is cheap relative to the work it bounds).
+/// `max_minimize_attempts: Some(n)` performs exactly `n` attempts.
+pub fn semantic_minimize_governed(
+    problem: &mut SynthesisProblem,
+    model: FtKripke,
+    gov: &Governor,
+) -> Result<(FtKripke, Vec<StateId>, MinimizeProfile), MinimizeAbort> {
+    minimize_core(problem, model, Some(gov))
+}
+
+fn minimize_core(
+    problem: &mut SynthesisProblem,
+    model: FtKripke,
+    gov: Option<&Governor>,
+) -> Result<(FtKripke, Vec<StateId>, MinimizeProfile), MinimizeAbort> {
     let mut profile = MinimizeProfile::default();
     let mut model = model;
     let mut total_map: Vec<StateId> = model.state_ids().collect();
@@ -113,6 +145,14 @@ pub fn semantic_minimize_profiled(
             }
         }
         for (from, into) in candidates {
+            if let Some(g) = gov {
+                if let Err(reason) = g
+                    .check_minimize_attempts(profile.attempts)
+                    .and_then(|()| g.check_realtime())
+                {
+                    return Err(MinimizeAbort { reason, profile });
+                }
+            }
             let (cand, step_map) = merged(&model, from, into);
             profile.attempts += 1;
             // Early-exit verdict: same predicates as `verify_semantic`,
@@ -128,7 +168,7 @@ pub fn semantic_minimize_profiled(
         }
         break;
     }
-    (model, total_map, profile)
+    Ok((model, total_map, profile))
 }
 
 #[cfg(test)]

@@ -1,16 +1,17 @@
 //! The end-to-end synthesis pipeline (Section 5.2, steps 1–5).
 
 use crate::extract::{extract_program, introduce_shared_variables};
-use crate::minimize::{semantic_minimize_profiled, MinimizeProfile};
+use crate::minimize::{semantic_minimize_governed, semantic_minimize_profiled, MinimizeProfile};
 use crate::problem::SynthesisProblem;
-use crate::unravel::{unravel_mode, Unraveled};
-use crate::verify::{verify, verify_semantic, Verification};
+use crate::unravel::{unravel_governed, unravel_mode, Unraveled};
+use crate::verify::{verify, verify_semantic, Failure, FailureKind, Verification};
 use ftsyn_ctl::Closure;
 use ftsyn_guarded::{fault_set_size, Program};
 use ftsyn_kripke::{bisimulation_quotient, FtKripke};
 use ftsyn_tableau::{
-    apply_deletion_rules_profiled, build_with_threads, BuildProfile, DeletionProfile,
-    DeletionStats, FaultSpec, NodeId, Tableau,
+    apply_deletion_rules_governed, apply_deletion_rules_profiled, build_governed,
+    build_with_threads, AbortReason, BuildProfile, DeletionProfile, DeletionStats, FaultSpec,
+    Governor, NodeId, Phase, Tableau,
 };
 use std::time::{Duration, Instant};
 
@@ -111,6 +112,27 @@ pub struct Impossibility {
     pub stats: SynthesisStats,
 }
 
+/// A governed run that exceeded its [`ftsyn_tableau::Budget`] (or was
+/// cancelled, or lost a worker to a panic): which phase stopped, why,
+/// and everything measured up to the abort point — partial
+/// [`BuildProfile`]/[`DeletionProfile`]/[`MinimizeProfile`] included, so
+/// a caller can see how far the run got and how fast it was going.
+#[derive(Clone, Debug)]
+pub struct AbortedSynthesis {
+    /// The pipeline phase that hit the limit.
+    pub phase: Phase,
+    /// Which limit tripped (deterministic caps report their counters).
+    pub reason: AbortReason,
+    /// Measurements up to the abort point. Phases that never ran keep
+    /// their default (zero) values; the phase that aborted carries its
+    /// partial profile.
+    pub stats: SynthesisStats,
+    /// Structured failures accompanying the abort — currently one
+    /// [`FailureKind::WorkerPanic`] entry when a worker panicked, empty
+    /// for budget/cancellation aborts.
+    pub failures: Vec<Failure>,
+}
+
 /// The outcome of synthesis.
 #[derive(Debug)]
 #[allow(clippy::large_enum_variant)] // Impossibility stats are small but useful by value
@@ -119,6 +141,10 @@ pub enum SynthesisOutcome {
     Solved(Box<Synthesized>),
     /// No program exists (completeness: Corollary 7.2).
     Impossible(Impossibility),
+    /// A governed run stopped early: budget exceeded, cancelled, or a
+    /// contained worker panic. Carries partial diagnostics; says nothing
+    /// about whether a program exists.
+    Aborted(Box<AbortedSynthesis>),
 }
 
 impl SynthesisOutcome {
@@ -126,12 +152,16 @@ impl SynthesisOutcome {
     ///
     /// # Panics
     ///
-    /// Panics if the outcome is [`SynthesisOutcome::Impossible`].
+    /// Panics if the outcome is [`SynthesisOutcome::Impossible`] or
+    /// [`SynthesisOutcome::Aborted`].
     pub fn unwrap_solved(self) -> Box<Synthesized> {
         match self {
             SynthesisOutcome::Solved(s) => s,
             SynthesisOutcome::Impossible(_) => {
                 panic!("synthesis returned an impossibility result")
+            }
+            SynthesisOutcome::Aborted(a) => {
+                panic!("synthesis aborted in {} phase: {}", a.phase, a.reason)
             }
         }
     }
@@ -175,6 +205,59 @@ pub fn synthesize_with_threads(
     problem: &mut SynthesisProblem,
     threads: usize,
 ) -> SynthesisOutcome {
+    synthesize_impl(problem, threads, None)
+}
+
+/// [`synthesize_with_threads`] under a [`Governor`]: every hot loop
+/// (tableau build on both schedulers, deletion, unraveling, semantic
+/// minimization) polls the governor at bounded intervals, and exceeding
+/// a budget — or an external [`Governor::cancel`], or a contained
+/// worker panic — returns [`SynthesisOutcome::Aborted`] with the phase,
+/// the reason, and the partial measurements instead of running open-loop.
+///
+/// The capped budgets abort at deterministic work counters, so the abort
+/// point (phase + counters) is bit-identical at every thread count; with
+/// an unlimited budget the outcome is byte-identical to
+/// [`synthesize_with_threads`].
+pub fn synthesize_governed(
+    problem: &mut SynthesisProblem,
+    threads: usize,
+    gov: &Governor,
+) -> SynthesisOutcome {
+    synthesize_impl(problem, threads, Some(gov))
+}
+
+/// Packages an abort with final timing bookkeeping (mirrors the
+/// [`Impossibility`] return path: `elapsed`/`residual` reflect the
+/// truncated run).
+fn aborted(
+    phase: Phase,
+    reason: AbortReason,
+    mut stats: SynthesisStats,
+    start: Instant,
+) -> SynthesisOutcome {
+    stats.elapsed = start.elapsed();
+    stats.residual_time = stats.elapsed.saturating_sub(stats.phase_total());
+    let failures = match &reason {
+        AbortReason::WorkerPanic { message } => vec![Failure::pipeline(
+            FailureKind::WorkerPanic,
+            format!("tableau expansion worker panicked: {message}"),
+        )],
+        _ => Vec::new(),
+    };
+    SynthesisOutcome::Aborted(Box::new(AbortedSynthesis {
+        phase,
+        reason,
+        stats,
+        failures,
+    }))
+}
+
+fn synthesize_impl(
+    problem: &mut SynthesisProblem,
+    threads: usize,
+    gov: Option<&Governor>,
+) -> SynthesisOutcome {
     let start = Instant::now();
     let mut stats = SynthesisStats {
         fault_size: fault_set_size(&problem.faults),
@@ -202,16 +285,51 @@ pub fn synthesize_with_threads(
     );
     let t_build = Instant::now();
     let threads = threads.max(1);
-    let (mut tableau, build_profile) =
-        build_with_threads(&closure, &problem.props, root_label, &fault_spec, threads);
+    let build_result = match gov {
+        Some(g) => build_governed(&closure, &problem.props, root_label, &fault_spec, threads, g),
+        None => Ok(build_with_threads(
+            &closure,
+            &problem.props,
+            root_label,
+            &fault_spec,
+            threads,
+        )),
+    };
+    let (mut tableau, build_profile) = match build_result {
+        Ok(ok) => ok,
+        Err(a) => {
+            stats.build_time = t_build.elapsed();
+            stats.build_profile = a.profile;
+            stats.tableau_nodes = a.nodes;
+            return aborted(Phase::Build, a.reason, stats, start);
+        }
+    };
     stats.build_time = t_build.elapsed();
     stats.build_profile = build_profile;
     stats.tableau_nodes = tableau.len();
 
     // Step 2: deletion rules.
     let t_del = Instant::now();
-    let (deletion, deletion_profile) =
-        apply_deletion_rules_profiled(&mut tableau, &closure, problem.mode);
+    let deletion_result = match gov {
+        Some(g) => apply_deletion_rules_governed(&mut tableau, &closure, problem.mode, g),
+        None => Ok(apply_deletion_rules_profiled(
+            &mut tableau,
+            &closure,
+            problem.mode,
+        )),
+    };
+    let (deletion, deletion_profile) = match deletion_result {
+        Ok(ok) => ok,
+        Err(a) => {
+            stats.deletion = a.stats;
+            stats.deletion_profile = a.profile;
+            stats.deletion_time = t_del.elapsed();
+            let (alive_and, alive_or) = tableau.alive_counts();
+            stats.alive_and = alive_and;
+            stats.alive_or = alive_or;
+            return aborted(Phase::Deletion, a.reason, stats, start);
+        }
+    };
     stats.deletion = deletion;
     stats.deletion_profile = deletion_profile;
     stats.deletion_time = t_del.elapsed();
@@ -232,7 +350,23 @@ pub fn synthesize_with_threads(
         .next()
         .expect("alive root has an alive AND child (DeleteOR)");
     let t_unr = Instant::now();
-    let unraveled = unravel_mode(&tableau, &closure, &problem.props, c0, problem.mode);
+    let unravel_result = match gov {
+        Some(g) => unravel_governed(&tableau, &closure, &problem.props, c0, problem.mode, g),
+        None => Ok(unravel_mode(
+            &tableau,
+            &closure,
+            &problem.props,
+            c0,
+            problem.mode,
+        )),
+    };
+    let unraveled = match unravel_result {
+        Ok(u) => u,
+        Err(reason) => {
+            stats.unravel_time = t_unr.elapsed();
+            return aborted(Phase::Unravel, reason, stats, start);
+        }
+    };
     // Quotient by labeled bisimulation: the unraveling duplicates states
     // (one copy per fragment occurrence); the quotient collapses
     // behaviorally identical copies. CTL satisfaction under both
@@ -260,8 +394,18 @@ pub fn synthesize_with_threads(
     // Semantic minimization: merge same-valuation copies as long as the
     // model keeps satisfying the synthesis problem's requirements.
     let t_min = Instant::now();
-    let (model, merge_map, minimize_profile) =
-        semantic_minimize_profiled(problem, pre_unr.model);
+    let minimize_result = match gov {
+        Some(g) => semantic_minimize_governed(problem, pre_unr.model, g),
+        None => Ok(semantic_minimize_profiled(problem, pre_unr.model)),
+    };
+    let (model, merge_map, minimize_profile) = match minimize_result {
+        Ok(ok) => ok,
+        Err(a) => {
+            stats.minimize_profile = a.profile;
+            stats.minimize_time = t_min.elapsed();
+            return aborted(Phase::Minimize, a.reason, stats, start);
+        }
+    };
     stats.minimize_profile = minimize_profile;
     // Re-tag the minimized states: each final state keeps the tableau
     // node of the first pre-minimization state merged into it. (Labels

@@ -11,8 +11,13 @@
 use crate::fragment::build_ffrag_mode;
 use ftsyn_ctl::{Closure, LabelSet, PropTable};
 use ftsyn_kripke::{FtKripke, State, StateId, TransKind};
-use ftsyn_tableau::{valuation_of, CertMode, EdgeKind, NodeId, Tableau};
+use ftsyn_tableau::{valuation_of, AbortReason, CertMode, EdgeKind, Governor, NodeId, Tableau};
 use std::collections::{HashMap, VecDeque};
+
+/// Frontier pops between governor deadline polls. Unraveling has no
+/// dedicated work cap (it is polynomial in the pruned tableau, which is
+/// already capped), so only the deadline and the cancel flag apply.
+const REALTIME_POLL_INTERVAL: usize = 256;
 
 /// The unraveled model, with bookkeeping connecting model states back to
 /// tableau AND-nodes (needed for verification and extraction).
@@ -55,6 +60,31 @@ pub fn unravel_mode(
     c0: NodeId,
     mode: CertMode,
 ) -> Unraveled {
+    unravel_core(t, closure, props, c0, mode, None)
+        .unwrap_or_else(|reason| panic!("ungoverned unravel aborted: {reason}"))
+}
+
+/// [`unravel_mode`] under a [`Governor`]: polls the deadline and cancel
+/// flag every [`REALTIME_POLL_INTERVAL`] frontier pops.
+pub fn unravel_governed(
+    t: &Tableau,
+    closure: &Closure,
+    props: &PropTable,
+    c0: NodeId,
+    mode: CertMode,
+    gov: &Governor,
+) -> Result<Unraveled, AbortReason> {
+    unravel_core(t, closure, props, c0, mode, Some(gov))
+}
+
+fn unravel_core(
+    t: &Tableau,
+    closure: &Closure,
+    props: &PropTable,
+    c0: NodeId,
+    mode: CertMode,
+    gov: Option<&Governor>,
+) -> Result<Unraveled, AbortReason> {
     let mut nodes: Vec<MNode> = Vec::new();
     let mut root_of: HashMap<NodeId, usize> = HashMap::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
@@ -115,7 +145,14 @@ pub fn unravel_mode(
 
     let r0 = embed(c0, &mut nodes, &mut root_of, &mut queue);
 
+    let mut pops = 0usize;
     while let Some(s) = queue.pop_front() {
+        pops += 1;
+        if let Some(g) = gov {
+            if pops.is_multiple_of(REALTIME_POLL_INTERVAL) {
+                g.check_realtime()?;
+            }
+        }
         if nodes[s].redirect.is_some() || !nodes[s].frontier {
             continue;
         }
@@ -164,10 +201,10 @@ pub fn unravel_mode(
     }
     model.add_init(state_at(r0, &state_of));
 
-    Unraveled {
+    Ok(Unraveled {
         model,
         state_tableau,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -26,15 +26,20 @@ pub enum FailureKind {
     /// A state violates a formula of its tableau label
     /// (Theorem 7.1.9).
     LabelSoundness,
+    /// An expansion worker thread panicked; the scheduler contained the
+    /// panic and the run aborted with partial diagnostics instead of
+    /// taking the process down.
+    WorkerPanic,
 }
 
 impl FailureKind {
     /// Every kind, in reporting order.
-    pub const ALL: [FailureKind; 4] = [
+    pub const ALL: [FailureKind; 5] = [
         FailureKind::Spec,
         FailureKind::Tolerance,
         FailureKind::FaultClosure,
         FailureKind::LabelSoundness,
+        FailureKind::WorkerPanic,
     ];
 
     /// Stable machine-readable name (used as a JSON key by `bench_json`
@@ -45,6 +50,7 @@ impl FailureKind {
             FailureKind::Tolerance => "tolerance",
             FailureKind::FaultClosure => "fault_closure",
             FailureKind::LabelSoundness => "label_soundness",
+            FailureKind::WorkerPanic => "worker_panic",
         }
     }
 }
@@ -57,6 +63,9 @@ pub enum FailureStage {
     /// The pre-minimization unraveled model — the structure the
     /// soundness theorems directly speak about.
     PreMinimization,
+    /// No model at all: the failure was raised by the synthesis pipeline
+    /// itself (e.g. a contained worker panic during tableau build).
+    Pipeline,
 }
 
 /// One verification failure: a structured kind and stage plus the
@@ -82,6 +91,16 @@ impl Failure {
             message,
         }
     }
+
+    /// A failure raised by the synthesis pipeline itself rather than by
+    /// checking a model (stage [`FailureStage::Pipeline`]).
+    pub(crate) fn pipeline(kind: FailureKind, message: String) -> Failure {
+        Failure {
+            kind,
+            stage: FailureStage::Pipeline,
+            message,
+        }
+    }
 }
 
 impl fmt::Display for Failure {
@@ -91,6 +110,7 @@ impl fmt::Display for Failure {
             FailureStage::PreMinimization => {
                 write!(f, "[pre-minimization] {}", self.message)
             }
+            FailureStage::Pipeline => write!(f, "[pipeline] {}", self.message),
         }
     }
 }
@@ -158,7 +178,7 @@ impl Verification {
     /// Failure counts aggregated by kind, in [`FailureKind::ALL`] order
     /// (including kinds with zero failures, so consumers get a fixed
     /// schema).
-    pub fn failures_by_kind(&self) -> [(FailureKind, usize); 4] {
+    pub fn failures_by_kind(&self) -> [(FailureKind, usize); 5] {
         FailureKind::ALL.map(|k| (k, self.failures.iter().filter(|f| f.kind == k).count()))
     }
 
@@ -417,6 +437,18 @@ mod aggregation_tests {
         let v = with_failures(&[FailureKind::LabelSoundness; 3]);
         assert_eq!(count_of(&v, FailureKind::LabelSoundness), 3);
         assert_eq!(v.failure_summary(), "label_soundness:3");
+    }
+
+    #[test]
+    fn aggregates_worker_panic_failures() {
+        let mut v = Verification::default();
+        v.failures.push(Failure::pipeline(
+            FailureKind::WorkerPanic,
+            "injected".into(),
+        ));
+        assert_eq!(count_of(&v, FailureKind::WorkerPanic), 1);
+        assert_eq!(v.failure_summary(), "worker_panic:1");
+        assert_eq!(v.failures[0].to_string(), "[pipeline] injected");
     }
 
     #[test]

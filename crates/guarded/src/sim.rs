@@ -97,6 +97,65 @@ impl Trace {
     }
 }
 
+/// Parameters of a seeded fault-injection *campaign*: `runs`
+/// simulations whose per-run parameters (RNG seed, fault probability,
+/// fault budget) are derived deterministically from `base_seed`, so a
+/// campaign explores many distinct interleavings and fault patterns
+/// while remaining exactly reproducible.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of simulations to run.
+    pub runs: usize,
+    /// Steps attempted per simulation.
+    pub steps: usize,
+    /// Master seed every per-run [`SimConfig`] is derived from.
+    pub base_seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            runs: 16,
+            steps: 400,
+            base_seed: 0xCA_4F,
+        }
+    }
+}
+
+/// Derives the per-run simulation parameters of a campaign: run `i`
+/// gets its own seed, a fault probability in `[0.05, 0.45)`, and a
+/// fault budget in `1..=4` — all drawn from a generator seeded with
+/// `base_seed`, so the whole schedule is a pure function of the config.
+pub fn campaign_configs(cfg: &CampaignConfig) -> Vec<SimConfig> {
+    let mut rng = XorShift64::new(cfg.base_seed);
+    (0..cfg.runs)
+        .map(|_| SimConfig {
+            steps: cfg.steps,
+            fault_prob: 0.05 + 0.4 * rng.next_f64(),
+            max_faults: rng.range(1, 5),
+            seed: rng.next_u64(),
+        })
+        .collect()
+}
+
+/// Runs a full campaign: one [`simulate`] call per derived config,
+/// returning each run's parameters alongside its trace (so a failing
+/// assertion downstream can name the exact `SimConfig` to replay).
+pub fn campaign(
+    program: &Program,
+    faults: &[FaultAction],
+    props: &PropTable,
+    cfg: &CampaignConfig,
+) -> Vec<(SimConfig, Trace)> {
+    campaign_configs(cfg)
+        .into_iter()
+        .map(|c| {
+            let trace = simulate(program, faults, props, &c);
+            (c, trace)
+        })
+        .collect()
+}
+
 /// Runs a randomized simulation of `program` under `faults`.
 ///
 /// Fault outcomes are resolved to local states exactly as in
@@ -291,6 +350,42 @@ mod tests {
         prog.processes[0].arcs.clear();
         let trace = simulate(&prog, &[], &t, &SimConfig::default());
         assert_eq!(trace.steps, vec![SimStep::Deadlock]);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible_and_varied() {
+        let cfg = CampaignConfig::default();
+        let (c1, c2) = (campaign_configs(&cfg), campaign_configs(&cfg));
+        assert_eq!(c1.len(), cfg.runs);
+        for (a, b) in c1.iter().zip(&c2) {
+            assert_eq!(a.seed, b.seed, "campaign schedule must be deterministic");
+            assert_eq!(a.max_faults, b.max_faults);
+            assert!((a.fault_prob - b.fault_prob).abs() < f64::EPSILON);
+            assert!((0.05..0.45).contains(&a.fault_prob));
+            assert!((1..=4).contains(&a.max_faults));
+        }
+        // Seeds must differ run to run (distinct interleavings).
+        let distinct: std::collections::HashSet<u64> = c1.iter().map(|c| c.seed).collect();
+        assert_eq!(distinct.len(), cfg.runs);
+    }
+
+    #[test]
+    fn campaign_runs_every_config() {
+        let (prog, t, a, b) = toggler();
+        let f = crate::faults::general_state("P1", &[("a".to_owned(), a), ("b".to_owned(), b)]);
+        let cfg = CampaignConfig {
+            runs: 4,
+            steps: 60,
+            base_seed: 9,
+        };
+        let results = campaign(&prog, &f, &t, &cfg);
+        assert_eq!(results.len(), 4);
+        for (sc, trace) in &results {
+            assert!(trace.fault_count() <= sc.max_faults);
+            // Replaying the returned config reproduces the trace.
+            let replay = simulate(&prog, &f, &t, sc);
+            assert_eq!(replay.steps, trace.steps);
+        }
     }
 
     #[test]

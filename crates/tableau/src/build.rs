@@ -39,13 +39,65 @@
 
 use crate::cache::{CacheFill, ExpansionCache};
 use crate::expand::{blocks, tiles, Tile};
+use crate::governor::{AbortReason, Governor};
 use crate::graph::{EdgeKind, NodeId, NodeKind, Tableau};
 use ftsyn_ctl::{Closure, EntryKind, LabelSet, PropTable};
 use ftsyn_guarded::FaultAction;
 use ftsyn_kripke::PropSet;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// A tableau construction stopped by its [`Governor`]: the reason plus
+/// the partial [`BuildProfile`] and node count accumulated so far.
+#[derive(Debug)]
+pub struct BuildAbort {
+    /// Which budget tripped (or which worker panicked).
+    pub reason: AbortReason,
+    /// Scheduler/frontier statistics up to the abort point.
+    pub profile: BuildProfile,
+    /// Tableau nodes interned when the build stopped.
+    pub nodes: usize,
+}
+
+/// Locks a mutex, recovering the guarded data if a panicking thread
+/// poisoned it. The scheduler state is either consistent (workers
+/// update it transactionally under the lock) or discarded wholesale on
+/// the abort path, so poison recovery is always sound here — and it
+/// keeps one worker panic from cascading into secondary panics in every
+/// other thread touching the scheduler.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recover`].
+fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Renders a panic payload for [`AbortReason::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_owned()
+    }
+}
+
+/// One governor poll on the build's deterministic counter (tableau
+/// nodes after an in-order commit) plus the realtime triggers.
+fn poll_build(gov: Option<&Governor>, states: usize) -> Result<(), AbortReason> {
+    match gov {
+        None => Ok(()),
+        Some(g) => {
+            g.check_states(states)?;
+            g.check_realtime()
+        }
+    }
+}
 
 /// The fault side of a synthesis problem, ready for tableau construction:
 /// the actions plus, for each action, the set of closure formulae that
@@ -375,7 +427,36 @@ pub fn build_with_threads(
     faults: &FaultSpec,
     threads: usize,
 ) -> (Tableau, BuildProfile) {
-    build_ws_core(closure, props, root_label, faults, threads, None, Kernel::Fast)
+    build_ws_core(
+        closure, props, root_label, faults, threads, None, Kernel::Fast, None,
+    )
+    .unwrap_or_else(|a| panic!("ungoverned tableau build aborted: {}", a.reason))
+}
+
+/// [`build_with_threads`] under a [`Governor`]: the committer polls the
+/// state cap and the realtime triggers after every in-order batch
+/// commit, and a worker panic is contained (`catch_unwind`) instead of
+/// taking the process down. On abort the workers are drained and shut
+/// down cleanly and the partial profile is returned. With an unlimited
+/// governor the result is identical to [`build_with_threads`].
+pub fn build_governed(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+    threads: usize,
+    gov: &Governor,
+) -> Result<(Tableau, BuildProfile), Box<BuildAbort>> {
+    build_ws_core(
+        closure,
+        props,
+        root_label,
+        faults,
+        threads,
+        None,
+        Kernel::Fast,
+        Some(gov),
+    )
 }
 
 /// [`build_with_threads`] with a cross-build `Blocks`/`Tiles` memo
@@ -398,7 +479,9 @@ pub fn build_with_cache(
         threads,
         Some(cache),
         Kernel::Fast,
+        None,
     )
+    .unwrap_or_else(|a| panic!("ungoverned tableau build aborted: {}", a.reason))
 }
 
 /// The retained previous-generation engine: level-synchronized parallel
@@ -421,6 +504,31 @@ pub fn build_level_sync(
         threads,
         None,
         Kernel::Classic,
+        None,
+    )
+    .unwrap_or_else(|a| panic!("ungoverned tableau build aborted: {}", a.reason))
+}
+
+/// [`build_level_sync`] under a [`Governor`]: polls after every level
+/// barrier and contains worker panics, like [`build_governed`] does for
+/// the work-stealing engine.
+pub fn build_level_sync_governed(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+    threads: usize,
+    gov: &Governor,
+) -> Result<(Tableau, BuildProfile), Box<BuildAbort>> {
+    build_level_core(
+        closure,
+        props,
+        root_label,
+        faults,
+        threads,
+        None,
+        Kernel::Classic,
+        Some(gov),
     )
 }
 
@@ -444,7 +552,9 @@ pub fn build_reference(
         threads,
         None,
         Kernel::Reference,
+        None,
     )
+    .unwrap_or_else(|a| panic!("ungoverned tableau build aborted: {}", a.reason))
 }
 
 /// The planned materialization of one [`Step`] after interning: which
@@ -462,8 +572,14 @@ enum Planned {
     DummyPair { dummy: NodeId },
 }
 
+/// One level's pure-expansion output — per frontier node its [`Step`]s
+/// plus an optional deferred cache fill — or the first panicking
+/// worker's message.
+type LevelExpansions = Result<Vec<(Vec<Step>, Option<CacheFill>)>, String>;
+
 /// The retained level-synchronized engine (kept byte-for-byte as the
 /// previous generation; see [`build_level_sync`]).
+#[allow(clippy::too_many_arguments)] // internal core shared by four public entry points
 fn build_level_core(
     closure: &Closure,
     props: &PropTable,
@@ -472,7 +588,8 @@ fn build_level_core(
     threads: usize,
     mut cache: Option<&mut ExpansionCache>,
     kernel: Kernel,
-) -> (Tableau, BuildProfile) {
+    gov: Option<&Governor>,
+) -> Result<(Tableau, BuildProfile), Box<BuildAbort>> {
     let threads = threads.max(1);
     let mut profile = BuildProfile {
         threads,
@@ -481,6 +598,7 @@ fn build_level_core(
     let counters_before = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
     let mut t = Tableau::with_root(root_label);
     let mut frontier = vec![t.root()];
+    let mut abort: Option<AbortReason> = None;
 
     while !frontier.is_empty() {
         profile.levels += 1;
@@ -488,9 +606,11 @@ fn build_level_core(
         profile.nodes_expanded += frontier.len();
 
         // Pure expansion of the whole level, possibly on worker threads.
+        // Worker bodies are wrapped in `catch_unwind`: a panicking
+        // worker becomes a structured abort instead of a process abort.
         let t0 = Instant::now();
         let shared_cache: Option<&ExpansionCache> = cache.as_deref();
-        let expansions: Vec<(Vec<Step>, Option<CacheFill>)> =
+        let expansions: LevelExpansions =
             if threads > 1 && frontier.len() >= MIN_PARALLEL_FRONTIER {
                 profile.parallel_levels += 1;
                 let chunk = frontier.len().div_ceil(threads);
@@ -500,36 +620,57 @@ fn build_level_core(
                         .map(|ids| {
                             let t = &t;
                             scope.spawn(move || {
-                                ids.iter()
-                                    .map(|&id| {
-                                        expand_node(
-                                            t,
-                                            closure,
-                                            props,
-                                            faults,
-                                            id,
-                                            shared_cache,
-                                            kernel,
-                                        )
-                                    })
-                                    .collect::<Vec<_>>()
+                                catch_unwind(AssertUnwindSafe(|| {
+                                    ids.iter()
+                                        .map(|&id| {
+                                            expand_node(
+                                                t,
+                                                closure,
+                                                props,
+                                                faults,
+                                                id,
+                                                shared_cache,
+                                                kernel,
+                                            )
+                                        })
+                                        .collect::<Vec<_>>()
+                                }))
                             })
                         })
                         .collect();
                     // Joining in spawn order keeps results in frontier
                     // order, so the apply phase is deterministic.
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("expansion workers do not panic"))
-                        .collect()
+                    let mut out = Vec::new();
+                    let mut panicked: Option<String> = None;
+                    for h in handles {
+                        match h.join().unwrap_or_else(Err) {
+                            Ok(v) => out.extend(v),
+                            Err(payload) => {
+                                if panicked.is_none() {
+                                    panicked = Some(panic_message(payload));
+                                }
+                            }
+                        }
+                    }
+                    match panicked {
+                        Some(message) => Err(message),
+                        None => Ok(out),
+                    }
                 })
             } else {
-                frontier
+                Ok(frontier
                     .iter()
                     .map(|&id| expand_node(&t, closure, props, faults, id, shared_cache, kernel))
-                    .collect()
+                    .collect())
             };
         profile.expand_time += t0.elapsed();
+        let expansions = match expansions {
+            Ok(e) => e,
+            Err(message) => {
+                abort = Some(AbortReason::WorkerPanic { message });
+                break;
+            }
+        };
 
         // Sequential application in frontier order. Two passes, both in
         // frontier/step order so node numbering matches the historic
@@ -609,11 +750,22 @@ fn build_level_core(
         }
         profile.apply_time += t0.elapsed();
         frontier = next;
+        if let Err(reason) = poll_build(gov, t.len()) {
+            abort = Some(reason);
+            break;
+        }
     }
     let counters_after = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
     profile.cache_hits = counters_after.0 - counters_before.0;
     profile.cache_misses = counters_after.1 - counters_before.1;
-    (t, profile)
+    match abort {
+        Some(reason) => Err(Box::new(BuildAbort {
+            reason,
+            nodes: t.len(),
+            profile,
+        })),
+        None => Ok((t, profile)),
+    }
 }
 
 /// One node to expand, snapshotted at discovery time (kind and label
@@ -646,8 +798,12 @@ struct SchedState {
     /// Completed batches, indexed by sequence id. The committer
     /// consumes them strictly in sequence order.
     results: Vec<Option<(Batch, BatchOutput)>>,
-    /// Set by the committer once every injected batch is committed.
+    /// Set by the committer once every injected batch is committed (or
+    /// the build aborts).
     shutdown: bool,
+    /// Set by a worker whose batch body panicked (first panic wins);
+    /// the committer converts it into [`AbortReason::WorkerPanic`].
+    panic: Option<String>,
     steals: usize,
     worker_batches: Vec<usize>,
     worker_idle: Vec<Duration>,
@@ -670,6 +826,7 @@ impl Scheduler {
                 queues: (0..workers).map(|_| VecDeque::new()).collect(),
                 results: Vec::new(),
                 shutdown: false,
+                panic: None,
                 steals: 0,
                 worker_batches: vec![0; workers],
                 worker_idle: vec![Duration::ZERO; workers],
@@ -700,7 +857,10 @@ fn make_batch(t: &Tableau, seq: usize, level: usize, chunk: &[NodeId]) -> Batch 
 /// An expansion worker: pop from the own queue, steal when dry, park
 /// when every queue is empty, exit on shutdown. Batch order is
 /// irrelevant here — determinism lives entirely in the sequence-ordered
-/// commit.
+/// commit. The batch body runs under `catch_unwind`: a panic is
+/// recorded in the scheduler state (first panic wins) and the worker
+/// exits; the committer turns it into a structured abort.
+#[allow(clippy::too_many_arguments)] // internal scheduler plumbing
 fn worker_loop(
     sched: &Scheduler,
     w: usize,
@@ -709,10 +869,11 @@ fn worker_loop(
     faults: &FaultSpec,
     cache: Option<&ExpansionCache>,
     kernel: Kernel,
+    gov: Option<&Governor>,
 ) {
     loop {
         let batch = {
-            let mut st = sched.state.lock().expect("scheduler mutex");
+            let mut st = lock_recover(&sched.state);
             loop {
                 if let Some(b) = st.queues[w].pop_front() {
                     break Some(b);
@@ -728,27 +889,50 @@ fn worker_loop(
                     break None;
                 }
                 let idle = Instant::now();
-                st = sched.work.wait(st).expect("scheduler mutex");
+                st = wait_recover(&sched.work, st);
                 st.worker_idle[w] += idle.elapsed();
             }
         };
         let Some(batch) = batch else { return };
         let t0 = Instant::now();
-        let output: BatchOutput = batch
-            .tasks
-            .iter()
-            .map(|task| {
-                let view = NodeView {
-                    kind: task.kind,
-                    dummy: false,
-                    label: &task.label,
-                };
-                expand_task(closure, props, faults, view, cache, kernel)
-            })
-            .collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(g) = gov {
+                if g.should_panic_at_batch(batch.seq) {
+                    panic!("injected worker panic at batch {}", batch.seq);
+                }
+            }
+            batch
+                .tasks
+                .iter()
+                .map(|task| {
+                    let view = NodeView {
+                        kind: task.kind,
+                        dummy: false,
+                        label: &task.label,
+                    };
+                    expand_task(closure, props, faults, view, cache, kernel)
+                })
+                .collect::<BatchOutput>()
+        }));
         let spent = t0.elapsed();
+        let output = match result {
+            Ok(o) => o,
+            Err(payload) => {
+                let message = panic_message(payload);
+                let mut st = lock_recover(&sched.state);
+                if st.panic.is_none() {
+                    st.panic = Some(message);
+                }
+                drop(st);
+                // Wake the committer (which may be parked waiting for
+                // this very batch) and any parked workers.
+                sched.done.notify_all();
+                sched.work.notify_all();
+                return;
+            }
+        };
         let seq = batch.seq;
-        let mut st = sched.state.lock().expect("scheduler mutex");
+        let mut st = lock_recover(&sched.state);
         st.expand_time += spent;
         st.worker_batches[w] += 1;
         if st.results.len() <= seq {
@@ -865,6 +1049,7 @@ fn commit_batch(
 /// frontier order of a sequential build — which is what makes the
 /// output bit-identical at every thread count (and to the
 /// level-synchronized engine).
+#[allow(clippy::too_many_arguments)] // internal core shared by four public entry points
 fn build_ws_core(
     closure: &Closure,
     props: &PropTable,
@@ -873,7 +1058,8 @@ fn build_ws_core(
     threads: usize,
     mut cache: Option<&mut ExpansionCache>,
     kernel: Kernel,
-) -> (Tableau, BuildProfile) {
+    gov: Option<&Governor>,
+) -> Result<(Tableau, BuildProfile), Box<BuildAbort>> {
     let threads = threads.max(1);
     let mut profile = BuildProfile {
         threads,
@@ -891,28 +1077,51 @@ fn build_ws_core(
 
     let root_batch = make_batch(&t, 0, 0, &[t.root()]);
     let mut injected = 1usize;
+    let mut abort: Option<AbortReason> = None;
 
     if threads == 1 {
         // Inline scheduler: same batching and commit order, no workers.
+        // The batch body still runs under `catch_unwind`, so a panic
+        // (injected or genuine) aborts identically to the worker path.
         let mut queue: VecDeque<Batch> = VecDeque::new();
         queue.push_back(root_batch);
         while let Some(batch) = queue.pop_front() {
             let t0 = Instant::now();
             let shared_cache: Option<&ExpansionCache> = cache.as_deref();
-            let output: BatchOutput = batch
-                .tasks
-                .iter()
-                .map(|task| {
-                    let view = NodeView {
-                        kind: task.kind,
-                        dummy: false,
-                        label: &task.label,
-                    };
-                    expand_task(closure, props, faults, view, shared_cache, kernel)
-                })
-                .collect();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(g) = gov {
+                    if g.should_panic_at_batch(batch.seq) {
+                        panic!("injected worker panic at batch {}", batch.seq);
+                    }
+                }
+                batch
+                    .tasks
+                    .iter()
+                    .map(|task| {
+                        let view = NodeView {
+                            kind: task.kind,
+                            dummy: false,
+                            label: &task.label,
+                        };
+                        expand_task(closure, props, faults, view, shared_cache, kernel)
+                    })
+                    .collect::<BatchOutput>()
+            }));
             profile.expand_time += t0.elapsed();
+            let output = match result {
+                Ok(o) => o,
+                Err(payload) => {
+                    abort = Some(AbortReason::WorkerPanic {
+                        message: panic_message(payload),
+                    });
+                    break;
+                }
+            };
             let fresh = commit_batch(&mut t, &batch, output, &mut profile, &mut fills, &mut level_widths);
+            if let Err(reason) = poll_build(gov, t.len()) {
+                abort = Some(reason);
+                break;
+            }
             for chunk in fresh.chunks(BATCH_SIZE) {
                 queue.push_back(make_batch(&t, injected, batch.level + 1, chunk));
                 injected += 1;
@@ -920,40 +1129,43 @@ fn build_ws_core(
         }
     } else {
         let sched = Scheduler::new(threads);
-        sched
-            .state
-            .lock()
-            .expect("scheduler mutex")
-            .queues[0]
-            .push_back(root_batch);
+        lock_recover(&sched.state).queues[0].push_back(root_batch);
         let shared_cache: Option<&ExpansionCache> = cache.as_deref();
         std::thread::scope(|scope| {
             for w in 0..threads {
                 let sched = &sched;
                 scope.spawn(move || {
-                    worker_loop(sched, w, closure, props, faults, shared_cache, kernel)
+                    worker_loop(sched, w, closure, props, faults, shared_cache, kernel, gov)
                 });
             }
             // The committer: consume results strictly in sequence
             // order, inject fresh batches round-robin across workers.
             let mut next_commit = 0usize;
             let mut rr = 0usize;
-            while next_commit < injected {
+            'commit: while next_commit < injected {
                 let (batch, output) = {
-                    let mut st = sched.state.lock().expect("scheduler mutex");
+                    let mut st = lock_recover(&sched.state);
                     loop {
+                        if let Some(message) = st.panic.take() {
+                            abort = Some(AbortReason::WorkerPanic { message });
+                            break 'commit;
+                        }
                         if let Some(done) =
                             st.results.get_mut(next_commit).and_then(Option::take)
                         {
                             break done;
                         }
-                        st = sched.done.wait(st).expect("scheduler mutex");
+                        st = wait_recover(&sched.done, st);
                     }
                 };
                 let fresh =
                     commit_batch(&mut t, &batch, output, &mut profile, &mut fills, &mut level_widths);
+                if let Err(reason) = poll_build(gov, t.len()) {
+                    abort = Some(reason);
+                    break 'commit;
+                }
                 if !fresh.is_empty() {
-                    let mut st = sched.state.lock().expect("scheduler mutex");
+                    let mut st = lock_recover(&sched.state);
                     for chunk in fresh.chunks(BATCH_SIZE) {
                         st.queues[rr % threads]
                             .push_back(make_batch(&t, injected, batch.level + 1, chunk));
@@ -965,10 +1177,23 @@ fn build_ws_core(
                 }
                 next_commit += 1;
             }
-            sched.state.lock().expect("scheduler mutex").shutdown = true;
+            // Drain/shutdown: on the abort path, clear every queue so
+            // workers stop as soon as their current batch finishes; the
+            // scoped join below then reaps them all cleanly.
+            let mut st = lock_recover(&sched.state);
+            st.shutdown = true;
+            if abort.is_some() {
+                for q in &mut st.queues {
+                    q.clear();
+                }
+            }
+            drop(st);
             sched.work.notify_all();
         });
-        let st = sched.state.into_inner().expect("scheduler mutex");
+        let st = sched
+            .state
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
         profile.steals = st.steals;
         profile.worker_batches = st.worker_batches;
         profile.worker_idle = st.worker_idle;
@@ -994,7 +1219,14 @@ fn build_ws_core(
     let counters_after = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
     profile.cache_hits = counters_after.0 - counters_before.0;
     profile.cache_misses = counters_after.1 - counters_before.1;
-    (t, profile)
+    match abort {
+        Some(reason) => Err(Box::new(BuildAbort {
+            reason,
+            nodes: t.len(),
+            profile,
+        })),
+        None => Ok((t, profile)),
+    }
 }
 
 #[cfg(test)]

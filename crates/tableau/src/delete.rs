@@ -28,9 +28,15 @@
 //! visit the same rule phases in the same order, so they produce
 //! identical alive sets *and* identical per-rule [`DeletionStats`].
 
+use crate::governor::{AbortReason, Governor};
 use crate::graph::{EdgeKind, NodeId, NodeKind, Tableau};
 use ftsyn_ctl::{Closure, ClosureIdx, EntryKind, LabelSet};
 use std::time::{Duration, Instant};
+
+/// How many structural worklist pops between wall-clock deadline polls
+/// (the deterministic work-cap check happens on every pop — it is two
+/// branch instructions — but `Instant::now` is not free).
+const REALTIME_POLL_INTERVAL: usize = 1024;
 
 /// Which paths certify the fulfillment of eventualities (and hence which
 /// correctness statement the synthesized program enjoys).
@@ -404,12 +410,27 @@ pub fn apply_deletion_rules_mode(
 /// Drains the deletion log from `cursor`, cascading `DeleteAND` (any
 /// deleted successor, faults included — Section 5.2) and `DeleteOR`
 /// (alive-successor counter at zero) to predecessors until quiescent.
-fn structural_cascade(t: &mut Tableau, cursor: &mut usize, stats: &mut DeletionStats) -> usize {
-    let mut pops = 0;
+///
+/// Updates `profile.worklist_pops` in place and, when governed, checks
+/// the deterministic work cap (pops + certificate builds) on every pop
+/// and the wall-clock deadline every [`REALTIME_POLL_INTERVAL`] pops.
+fn structural_cascade(
+    t: &mut Tableau,
+    cursor: &mut usize,
+    stats: &mut DeletionStats,
+    profile: &mut DeletionProfile,
+    gov: Option<&Governor>,
+) -> Result<(), AbortReason> {
     while *cursor < t.deletion_log().len() {
         let d = t.deletion_log()[*cursor];
         *cursor += 1;
-        pops += 1;
+        profile.worklist_pops += 1;
+        if let Some(g) = gov {
+            g.check_deletion_work(profile.worklist_pops + profile.cert_builds)?;
+            if profile.worklist_pops.is_multiple_of(REALTIME_POLL_INTERVAL) {
+                g.check_realtime()?;
+            }
+        }
         let np = t.node(d).pred.len();
         for pi in 0..np {
             let (_, p) = t.node(d).pred[pi];
@@ -431,7 +452,7 @@ fn structural_cascade(t: &mut Tableau, cursor: &mut usize, stats: &mut DeletionS
             }
         }
     }
-    pops
+    Ok(())
 }
 
 /// [`apply_deletion_rules_mode`] returning per-rule timings and
@@ -443,7 +464,58 @@ pub fn apply_deletion_rules_profiled(
 ) -> (DeletionStats, DeletionProfile) {
     let mut stats = DeletionStats::default();
     let mut profile = DeletionProfile::default();
+    deletion_core(t, closure, mode, None, &mut stats, &mut profile)
+        .unwrap_or_else(|reason| panic!("ungoverned deletion aborted: {reason}"));
+    (stats, profile)
+}
 
+/// Partial results of a governed deletion run that exceeded its budget:
+/// the [`AbortReason`] plus the statistics and profile accumulated up to
+/// the abort point.
+#[derive(Clone, Debug)]
+pub struct DeletionAbort {
+    /// Which limit tripped.
+    pub reason: AbortReason,
+    /// Per-rule deletion counts up to the abort point.
+    pub stats: DeletionStats,
+    /// Timings and worklist counters up to the abort point.
+    pub profile: DeletionProfile,
+}
+
+/// [`apply_deletion_rules_profiled`] under a [`Governor`]: the work cap
+/// is checked against `worklist_pops + cert_builds` (both deterministic
+/// — the deletion engine is single-threaded), the deadline/cancel flag
+/// at bounded intervals. On abort the tableau is left mid-deletion and
+/// should be discarded.
+pub fn apply_deletion_rules_governed(
+    t: &mut Tableau,
+    closure: &Closure,
+    mode: CertMode,
+    gov: &Governor,
+) -> Result<(DeletionStats, DeletionProfile), Box<DeletionAbort>> {
+    let mut stats = DeletionStats::default();
+    let mut profile = DeletionProfile::default();
+    match deletion_core(t, closure, mode, Some(gov), &mut stats, &mut profile) {
+        Ok(()) => Ok((stats, profile)),
+        Err(reason) => Err(Box::new(DeletionAbort {
+            reason,
+            stats,
+            profile,
+        })),
+    }
+}
+
+/// Shared deletion engine: the worklist implementation, optionally
+/// governed. `stats`/`profile` are out-parameters so an abort still
+/// surfaces the partial counters.
+fn deletion_core(
+    t: &mut Tableau,
+    closure: &Closure,
+    mode: CertMode,
+    gov: Option<&Governor>,
+    stats: &mut DeletionStats,
+    profile: &mut DeletionProfile,
+) -> Result<(), AbortReason> {
     // Cursor into the deletion log for structural propagation, and one
     // per eventuality for certificate staleness checks.
     let mut cursor = t.deletion_log().len();
@@ -481,8 +553,9 @@ pub fn apply_deletion_rules_profiled(
 
         // Structural propagation (DeleteOR / DeleteAND) to quiescence.
         let t0 = Instant::now();
-        profile.worklist_pops += structural_cascade(t, &mut cursor, &mut stats);
+        let cascaded = structural_cascade(t, &mut cursor, stats, profile, gov);
         profile.structural_time += t0.elapsed();
+        cascaded?;
 
         // Eventuality rules. Deletions here are *not* cascaded until the
         // next round, mirroring the reference engine's phase order so
@@ -501,6 +574,18 @@ pub fn apply_deletion_rules_profiled(
             if cert_cursor.get(&idx) == Some(&t.deletion_log().len()) {
                 profile.cert_reuses += 1;
                 continue;
+            }
+            // Certificate builds are the expensive unit of eventuality
+            // work: poll before each one (the skip above is counted as a
+            // reuse, not as work, so the abort point stays deterministic).
+            if let Some(gv) = gov {
+                if let Err(reason) = gv
+                    .check_deletion_work(profile.worklist_pops + profile.cert_builds)
+                    .and_then(|()| gv.check_realtime())
+                {
+                    profile.eventuality_time += t0.elapsed();
+                    return Err(reason);
+                }
             }
             let f = if is_au {
                 au_fulfillment(t, closure, g, h, mode)
@@ -533,7 +618,7 @@ pub fn apply_deletion_rules_profiled(
     let t0 = Instant::now();
     stats.unreachable = t.restrict_to_reachable();
     profile.reachability_time = t0.elapsed();
-    (stats, profile)
+    Ok(())
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,360 @@
+//! Resource governor for synthesis runs: budgets, cooperative
+//! cancellation, and structured abort reasons.
+//!
+//! The decision procedure is complete but exponential in the worst case
+//! (Theorem 4.2), so a production caller needs a way to bound a run
+//! without killing the process: a [`Budget`] declares the limits, a
+//! [`Governor`] is the shared, cheaply-pollable handle every hot loop
+//! checks at bounded intervals, and an [`AbortReason`] says exactly
+//! which limit tripped.
+//!
+//! Determinism contract: the *capped* budgets (`max_states`,
+//! `max_deletion_work`, `max_minimize_attempts`) are checked against
+//! deterministic work counters — tableau nodes after each in-order
+//! batch commit, deletion worklist pops plus certificate builds,
+//! minimization attempts — so a cap abort happens at the identical
+//! point with the identical counters at every worker-thread count.
+//! Only the wall-clock deadline and the external cancel flag are
+//! allowed to fire nondeterministically.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Resource limits for one synthesis run. `None` means unlimited; the
+/// default budget is fully unlimited, under which a governed run is
+/// byte-identical to an ungoverned one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline, measured from [`Governor`] creation. The
+    /// only nondeterministic budget (besides external cancellation).
+    pub deadline: Option<Duration>,
+    /// Maximum tableau nodes. Checked after each in-order batch commit,
+    /// so the abort point is bit-identical across thread counts.
+    pub max_states: Option<usize>,
+    /// Maximum deletion work: worklist pops plus fulfillment-certificate
+    /// builds (the deletion engine is single-threaded, so the counter is
+    /// trivially deterministic).
+    pub max_deletion_work: Option<usize>,
+    /// Maximum candidate merges the semantic minimizer may verify.
+    pub max_minimize_attempts: Option<usize>,
+}
+
+impl Budget {
+    /// A budget with no limits at all.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Whether every limit is off.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_states.is_none()
+            && self.max_deletion_work.is_none()
+            && self.max_minimize_attempts.is_none()
+    }
+}
+
+/// Why a governed run stopped early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded {
+        /// The configured deadline.
+        limit: Duration,
+        /// Time elapsed when the deadline check fired.
+        elapsed: Duration,
+    },
+    /// The tableau reached the state cap.
+    StateCapExceeded {
+        /// The configured cap.
+        cap: usize,
+        /// Node count at the (deterministic) abort point.
+        reached: usize,
+    },
+    /// The deletion engine reached its work cap.
+    DeletionWorkCapExceeded {
+        /// The configured cap.
+        cap: usize,
+        /// Worklist pops + certificate builds at the abort point.
+        reached: usize,
+    },
+    /// The semantic minimizer reached its attempt cap.
+    MinimizeAttemptCapExceeded {
+        /// The configured cap.
+        cap: usize,
+        /// Candidate merges verified at the abort point.
+        reached: usize,
+    },
+    /// An external caller flipped the cancel flag.
+    Cancelled,
+    /// A worker thread panicked; the scheduler contained the panic and
+    /// shut the remaining workers down cleanly.
+    WorkerPanic {
+        /// The panic payload, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::DeadlineExceeded { limit, elapsed } => {
+                write!(f, "deadline of {limit:?} exceeded after {elapsed:?}")
+            }
+            AbortReason::StateCapExceeded { cap, reached } => {
+                write!(f, "state cap of {cap} exceeded ({reached} tableau nodes)")
+            }
+            AbortReason::DeletionWorkCapExceeded { cap, reached } => {
+                write!(f, "deletion work cap of {cap} exceeded ({reached} work units)")
+            }
+            AbortReason::MinimizeAttemptCapExceeded { cap, reached } => {
+                write!(
+                    f,
+                    "minimize attempt cap of {cap} exceeded ({reached} attempts)"
+                )
+            }
+            AbortReason::Cancelled => write!(f, "cancelled by the caller"),
+            AbortReason::WorkerPanic { message } => {
+                write!(f, "worker panic: {message}")
+            }
+        }
+    }
+}
+
+/// The pipeline phase a governed run was in when it aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Tableau construction (step 1).
+    Build,
+    /// Deletion rules (step 2).
+    Deletion,
+    /// Fragments + unraveling (steps 3–4).
+    Unravel,
+    /// Semantic minimization.
+    Minimize,
+}
+
+impl Phase {
+    /// Stable machine-readable name (used as a JSON value by
+    /// `bench_json` and in CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Build => "build",
+            Phase::Deletion => "deletion",
+            Phase::Unravel => "unravel",
+            Phase::Minimize => "minimize",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The shared governor handle: a [`Budget`] plus the run's start
+/// instant and an external cancel flag. Shared by reference across the
+/// pipeline (and across expansion worker threads); every check is a
+/// couple of branch instructions when the corresponding limit is off.
+///
+/// A capped budget trips as soon as its deterministic counter *reaches*
+/// the cap (`counter >= cap`), so `max_minimize_attempts: Some(n)`
+/// permits exactly `n` verified candidates.
+#[derive(Debug)]
+pub struct Governor {
+    budget: Budget,
+    start: Instant,
+    cancel: AtomicBool,
+    /// Test hook: the expansion worker executing the batch with this
+    /// sequence id panics deterministically (batch numbering is
+    /// identical at every thread count).
+    panic_batch: Option<usize>,
+}
+
+impl Governor {
+    /// A governor that never aborts (unless a worker genuinely panics).
+    pub fn unlimited() -> Governor {
+        Governor::with_budget(Budget::unlimited())
+    }
+
+    /// A governor enforcing `budget`, with the deadline clock starting
+    /// now.
+    pub fn with_budget(budget: Budget) -> Governor {
+        Governor {
+            budget,
+            start: Instant::now(),
+            cancel: AtomicBool::new(false),
+            panic_batch: None,
+        }
+    }
+
+    /// The budget this governor enforces.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Wall-clock time since the governor was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Requests cooperative cancellation: the next realtime poll in any
+    /// phase aborts with [`AbortReason::Cancelled`]. Safe to call from
+    /// another thread through a shared reference.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Governor::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Polls the nondeterministic triggers: the cancel flag and the
+    /// wall-clock deadline.
+    pub fn check_realtime(&self) -> Result<(), AbortReason> {
+        if self.is_cancelled() {
+            return Err(AbortReason::Cancelled);
+        }
+        if let Some(limit) = self.budget.deadline {
+            let elapsed = self.start.elapsed();
+            if elapsed >= limit {
+                return Err(AbortReason::DeadlineExceeded { limit, elapsed });
+            }
+        }
+        Ok(())
+    }
+
+    /// Polls the tableau state cap against the current node count.
+    #[inline]
+    pub fn check_states(&self, states: usize) -> Result<(), AbortReason> {
+        match self.budget.max_states {
+            Some(cap) if states >= cap => Err(AbortReason::StateCapExceeded {
+                cap,
+                reached: states,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Polls the deletion work cap against worklist pops + cert builds.
+    #[inline]
+    pub fn check_deletion_work(&self, work: usize) -> Result<(), AbortReason> {
+        match self.budget.max_deletion_work {
+            Some(cap) if work >= cap => Err(AbortReason::DeletionWorkCapExceeded {
+                cap,
+                reached: work,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Polls the minimize attempt cap against attempts performed so far.
+    #[inline]
+    pub fn check_minimize_attempts(&self, attempts: usize) -> Result<(), AbortReason> {
+        match self.budget.max_minimize_attempts {
+            Some(cap) if attempts >= cap => Err(AbortReason::MinimizeAttemptCapExceeded {
+                cap,
+                reached: attempts,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Test hook: arranges for the expansion worker that executes the
+    /// batch with sequence id `seq` to panic. Batch numbering is
+    /// deterministic across thread counts, so panic-containment tests
+    /// reproduce exactly at 1, 2, and 8 workers.
+    pub fn inject_worker_panic_at_batch(mut self, seq: usize) -> Governor {
+        self.panic_batch = Some(seq);
+        self
+    }
+
+    /// Whether the injection hook targets batch `seq`.
+    pub(crate) fn should_panic_at_batch(&self, seq: usize) -> bool {
+        self.panic_batch == Some(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let g = Governor::unlimited();
+        assert!(g.budget().is_unlimited());
+        assert!(g.check_realtime().is_ok());
+        assert!(g.check_states(usize::MAX).is_ok());
+        assert!(g.check_deletion_work(usize::MAX).is_ok());
+        assert!(g.check_minimize_attempts(usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn caps_trip_on_reaching_the_cap() {
+        let g = Governor::with_budget(Budget {
+            max_states: Some(10),
+            max_deletion_work: Some(20),
+            max_minimize_attempts: Some(30),
+            ..Budget::default()
+        });
+        assert!(g.check_states(9).is_ok());
+        assert_eq!(
+            g.check_states(10),
+            Err(AbortReason::StateCapExceeded {
+                cap: 10,
+                reached: 10
+            })
+        );
+        assert!(g.check_deletion_work(19).is_ok());
+        assert_eq!(
+            g.check_deletion_work(25),
+            Err(AbortReason::DeletionWorkCapExceeded {
+                cap: 20,
+                reached: 25
+            })
+        );
+        assert!(g.check_minimize_attempts(29).is_ok());
+        assert_eq!(
+            g.check_minimize_attempts(30),
+            Err(AbortReason::MinimizeAttemptCapExceeded {
+                cap: 30,
+                reached: 30
+            })
+        );
+    }
+
+    #[test]
+    fn cancel_flag_trips_realtime_poll() {
+        let g = Governor::unlimited();
+        assert!(g.check_realtime().is_ok());
+        g.cancel();
+        assert!(g.is_cancelled());
+        assert_eq!(g.check_realtime(), Err(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let g = Governor::with_budget(Budget {
+            deadline: Some(Duration::ZERO),
+            ..Budget::default()
+        });
+        assert!(matches!(
+            g.check_realtime(),
+            Err(AbortReason::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn abort_reasons_render() {
+        let r = AbortReason::StateCapExceeded {
+            cap: 5,
+            reached: 7,
+        };
+        assert_eq!(r.to_string(), "state cap of 5 exceeded (7 tableau nodes)");
+        assert_eq!(AbortReason::Cancelled.to_string(), "cancelled by the caller");
+        assert_eq!(Phase::Minimize.to_string(), "minimize");
+    }
+}

@@ -23,6 +23,7 @@ mod build;
 mod cache;
 mod delete;
 mod expand;
+mod governor;
 #[cfg(any(test, feature = "slow-reference"))]
 mod expand_naive;
 mod graph;
@@ -32,16 +33,18 @@ mod prop_tests;
 #[cfg(any(test, feature = "slow-reference"))]
 pub use build::build_reference;
 pub use build::{
-    build, build_level_sync, build_with_cache, build_with_threads, valuation_of, BuildProfile,
-    FaultSpec,
+    build, build_governed, build_level_sync, build_level_sync_governed, build_with_cache,
+    build_with_threads, valuation_of, BuildAbort, BuildProfile, FaultSpec,
 };
 pub use cache::{CacheFill, ExpansionCache};
 #[cfg(any(test, feature = "slow-reference"))]
 pub use delete::{apply_deletion_rules_naive_mode, au_fulfillment_naive, eu_fulfillment_naive};
 pub use delete::{
-    apply_deletion_rules, apply_deletion_rules_mode, apply_deletion_rules_profiled, au_fulfillment,
-    eu_fulfillment, CertMode, DeletionProfile, DeletionStats, Fulfillment,
+    apply_deletion_rules, apply_deletion_rules_governed, apply_deletion_rules_mode,
+    apply_deletion_rules_profiled, au_fulfillment, eu_fulfillment, CertMode, DeletionAbort,
+    DeletionProfile, DeletionStats, Fulfillment,
 };
+pub use governor::{AbortReason, Budget, Governor, Phase};
 #[cfg(any(test, feature = "slow-reference"))]
 pub use expand_naive::{blocks_naive, naive_is_prop_consistent, tiles_naive};
 pub use expand::{blocks, tiles, Tile};

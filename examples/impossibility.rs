@@ -35,6 +35,7 @@ fn main() {
         SynthesisOutcome::Solved(_) => {
             println!("RESULT: solved?! (this contradicts Section 6.3 — a bug)");
         }
+        SynthesisOutcome::Aborted(_) => unreachable!("ungoverned synthesis cannot abort"),
     }
 
     // Contrast: the same problem under general state faults is solvable.
@@ -47,5 +48,6 @@ fn main() {
             if s.verification.ok() { "PASS" } else { "FAIL" }
         ),
         SynthesisOutcome::Impossible(_) => println!("impossible?! (bug)"),
+        SynthesisOutcome::Aborted(_) => unreachable!("ungoverned synthesis cannot abort"),
     }
 }

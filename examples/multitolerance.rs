@@ -44,6 +44,7 @@ fn main() {
     match synthesize(&mut uniform) {
         SynthesisOutcome::Impossible(_) => println!("impossible (as expected)"),
         SynthesisOutcome::Solved(_) => println!("solved?! (bug)"),
+        SynthesisOutcome::Aborted(_) => unreachable!("ungoverned synthesis cannot abort"),
     }
 
     // Multitolerance: per-fault-action tolerance assignment.
@@ -89,5 +90,6 @@ fn main() {
             );
         }
         SynthesisOutcome::Impossible(_) => println!("impossible?! (bug)"),
+        SynthesisOutcome::Aborted(_) => unreachable!("ungoverned synthesis cannot abort"),
     }
 }

@@ -21,6 +21,9 @@ fn barrier_with_fail_stop_and_nonmasking_is_impossible() {
         ftsyn::SynthesisOutcome::Solved(_) => {
             panic!("Section 6.3 requires an impossibility result")
         }
+        ftsyn::SynthesisOutcome::Aborted(_) => {
+            unreachable!("ungoverned synthesis cannot abort")
+        }
     }
 }
 
