@@ -10,9 +10,11 @@
 //! fault-prone instances, head-to-head timings of the worklist deletion
 //! engine against the sweep-based reference, of the optimized build
 //! kernel (cold and warm through the `Blocks`/`Tiles` memo cache)
-//! against the pre-optimization reference kernel, and of the
+//! against the pre-optimization reference kernel, of the
 //! work-stealing expansion scheduler against the retained
-//! level-synchronized engine at 8 worker threads.
+//! level-synchronized engine at 8 worker threads, and of the
+//! incremental semantic minimizer against the preserved per-attempt
+//! greedy reference engine.
 //!
 //! ```text
 //! cargo run --release -p ftsyn-bench --bin bench_json
@@ -28,8 +30,8 @@ use ftsyn::tableau::{
     Tableau,
 };
 use ftsyn::{
-    synthesize, Budget, Governor, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance,
-    Verification,
+    semantic_minimize_reference, semantic_minimize_with_threads, synthesize, unravel_mode, Budget,
+    Governor, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance, Verification,
 };
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -177,6 +179,14 @@ fn stats_json(stats: &SynthesisStats, solved: bool) -> String {
             &Obj::default()
                 .num("attempts", stats.minimize_profile.attempts)
                 .num("merges", stats.minimize_profile.merges)
+                .num("base_labelings", stats.minimize_profile.base_labelings)
+                .num("full_checks", stats.minimize_profile.full_checks)
+                .num("incremental_relabels", stats.minimize_profile.incremental_relabels)
+                .num("pruned_candidates", stats.minimize_profile.pruned_candidates)
+                .num("parallel_batches", stats.minimize_profile.parallel_batches)
+                .num("parallel_steals", stats.minimize_profile.parallel_steals)
+                .num("speculative_attempts", stats.minimize_profile.speculative_attempts)
+                .num("threads", stats.minimize_profile.threads)
                 .build(),
         )
         .raw(
@@ -500,6 +510,84 @@ fn compare_scheduler(
         .build()
 }
 
+/// Head-to-head minimization-engine timing on one problem: the
+/// incremental engine (labeling cache + transfer calculus + candidate
+/// pruning, single-threaded so the ratio measures the algorithm, not
+/// parallelism) against the preserved per-attempt greedy reference, on
+/// the identical pre-minimization pipeline model, best of `runs`. The
+/// minimized models and state mappings must agree byte-for-byte, and
+/// the engines must commit the same merge sequence (same attempt and
+/// merge counts).
+fn compare_minimize(name: &str, procs: usize, mut problem: SynthesisProblem, runs: usize) -> String {
+    eprintln!("comparing minimization engines on {name} ...");
+    let mode = problem.mode;
+    let (closure, mut tableau) = tableau_of(&mut problem);
+    apply_deletion_rules_mode(&mut tableau, &closure, mode);
+    assert!(tableau.alive(tableau.root()), "{name} is synthesizable");
+    let c0 = tableau
+        .alive_succ(tableau.root(), |_| true)
+        .map(|(_, c)| c)
+        .next()
+        .expect("alive root has an alive AND child");
+    let unraveled = unravel_mode(&tableau, &closure, &problem.props, c0, mode).model;
+    // The pipeline quotients by bisimulation before minimizing.
+    let model = ftsyn::kripke::bisimulation_quotient(&unraveled).model;
+
+    let mut best = |f: &mut dyn FnMut(&mut SynthesisProblem) -> _| {
+        let mut best = Duration::MAX;
+        let mut out = None;
+        for _ in 0..runs {
+            let tick = Instant::now();
+            let r = f(&mut problem);
+            best = best.min(tick.elapsed());
+            out = Some(r);
+        }
+        (out.expect("runs >= 1"), best)
+    };
+    let ((ref_model, ref_map, ref_prof), reference) =
+        best(&mut |p| semantic_minimize_reference(p, model.clone()));
+    let ((fast_model, fast_map, fast_prof), fast) =
+        best(&mut |p| semantic_minimize_with_threads(p, model.clone(), 1));
+
+    // `FtKripke` has no `PartialEq`; its `Debug` form renders every
+    // state, valuation, role and edge deterministically, so string
+    // equality is byte-identity.
+    assert_eq!(
+        format!("{fast_model:?}"),
+        format!("{ref_model:?}"),
+        "{name}: minimized models diverged"
+    );
+    assert_eq!(fast_map, ref_map, "{name}: state mappings diverged");
+    assert_eq!(fast_prof.attempts, ref_prof.attempts, "{name}: attempts diverged");
+    assert_eq!(fast_prof.merges, ref_prof.merges, "{name}: merges diverged");
+
+    let speedup = reference.as_secs_f64() / fast.as_secs_f64();
+    eprintln!(
+        "  {name}: reference {reference:.2?}, incremental {fast:.2?} ({speedup:.2}x, \
+         {} merges of {} tried, {} -> {} states)",
+        fast_prof.merges,
+        fast_prof.attempts,
+        model.len(),
+        fast_model.len()
+    );
+    Obj::default()
+        .str("name", name)
+        .num("procs", procs)
+        .num("model_states", model.len())
+        .num("minimized_states", fast_model.len())
+        .num("runs", runs)
+        .ns("reference_ns", reference)
+        .ns("fast_ns", fast)
+        .float("speedup", speedup)
+        .num("attempts", fast_prof.attempts)
+        .num("merges", fast_prof.merges)
+        .num("full_checks", fast_prof.full_checks)
+        .num("incremental_relabels", fast_prof.incremental_relabels)
+        .num("pruned_candidates", fast_prof.pruned_candidates)
+        .bool("identical_models", true)
+        .build()
+}
+
 /// Explores and simulates the (non-synthesis) wire system of
 /// Section 2.3 — state-space size plus a deterministic fault-injection
 /// trace summary.
@@ -533,7 +621,10 @@ fn main() {
             mutex::fault_free(n),
         ));
     }
-    for n in 2..=3 {
+    // mutex4-failstop is the build-phase stress case: ~26k tableau
+    // nodes. It entered the trajectory once incremental minimization
+    // brought the end-to-end run down from ~35 s to seconds.
+    for n in 2..=4 {
         problems.push(run_problem(
             &format!("mutex{n}-failstop-masking"),
             n,
@@ -716,17 +807,46 @@ fn main() {
         ),
     ];
 
+    // Minimization-engine head-to-head: the incremental engine against
+    // the preserved per-attempt greedy reference, byte-identical
+    // outputs asserted. The two largest rows are exactly the
+    // minimization-bound instances the incremental engine was built
+    // for; the reference takes tens of seconds there, so they run once.
+    let minimize_comparisons = vec![
+        compare_minimize(
+            "mutex2-failstop-masking",
+            2,
+            mutex::with_fail_stop(2, Tolerance::Masking),
+            3,
+        ),
+        compare_minimize(
+            "mutex3-failstop-masking",
+            3,
+            mutex::with_fail_stop(3, Tolerance::Masking),
+            3,
+        ),
+        compare_minimize("philosophers3", 3, mutex::dining_philosophers(3), 3),
+        compare_minimize(
+            "mutex4-failstop-masking",
+            4,
+            mutex::with_fail_stop(4, Tolerance::Masking),
+            1,
+        ),
+        compare_minimize("philosophers5", 5, mutex::dining_philosophers(5), 1),
+    ];
+
     let doc = Obj::default()
         .str(
             "generated_by",
             "cargo run --release -p ftsyn-bench --bin bench_json",
         )
-        .str("schema_version", "5")
+        .str("schema_version", "6")
         .raw("problems", &arr(problems))
         .raw("budgeted", &arr(budgeted))
         .raw("wire", &arr(wires))
         .raw("deletion_engine_comparison", &arr(comparisons))
         .raw("build_kernel_comparison", &arr(build_comparisons))
+        .raw("minimize_kernel_comparison", &arr(minimize_comparisons))
         .build();
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");

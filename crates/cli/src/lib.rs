@@ -48,6 +48,7 @@ use std::time::Duration;
 pub const USAGE: &str = "\
 USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
              [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
+             [--minimize-threads <n>]
 
   --dot <out.dot>   write the synthesized model as Graphviz DOT
   --quiet           suppress statistics and verification output
@@ -57,6 +58,11 @@ USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
   --max-minimize-attempts <n>
                     abort after n candidate-merge verifications during
                     semantic minimization
+  --minimize-threads <n>
+                    worker threads for semantic-minimization candidate
+                    scans (default: the build thread count). The
+                    minimized model is byte-identical for every value;
+                    the flag only redistributes verification work
 
 Budget aborts are structured: the run stops at the next poll point and
 reports the phase, the limit that tripped, and the partial statistics.
@@ -85,6 +91,9 @@ pub struct CliArgs {
     /// Resource budget from `--timeout` / `--max-states` /
     /// `--max-minimize-attempts` (unlimited when none given).
     pub budget: Budget,
+    /// `--minimize-threads <n>`: worker threads for the minimization
+    /// candidate scan (`None` = follow the build thread count).
+    pub minimize_threads: Option<usize>,
 }
 
 /// What the command line asks for: a synthesis run, or just the usage
@@ -111,6 +120,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut quiet = false;
     let mut show_program = true;
     let mut budget = Budget::default();
+    let mut minimize_threads = None;
     // Fetches the value of a value-taking flag, rejecting a following
     // flag so `--max-states --quiet` errors instead of parsing garbage.
     let value_of = |flag: &str, i: &mut usize, args: &[String]| -> Result<String, String> {
@@ -165,6 +175,16 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 })?;
                 budget.max_minimize_attempts = Some(n);
             }
+            "--minimize-threads" => {
+                let v = value_of("--minimize-threads", &mut i, args)?;
+                let n: usize = v.parse().map_err(|_| {
+                    format!("--minimize-threads expects a thread count, got `{v}`")
+                })?;
+                if n == 0 {
+                    return Err("--minimize-threads expects at least 1 thread".into());
+                }
+                minimize_threads = Some(n);
+            }
             "--help" | "-h" => return Ok(CliCommand::Help),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
@@ -183,6 +203,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
         quiet,
         show_program,
         budget,
+        minimize_threads,
     }))
 }
 
@@ -522,6 +543,7 @@ tolerance nonmasking
                 quiet: true,
                 show_program: true,
                 budget: Budget::default(),
+                minimize_threads: None,
             })
         );
         assert_eq!(parse_args(&argv(&["--help"])).unwrap(), CliCommand::Help);
@@ -549,6 +571,28 @@ tolerance nonmasking
         let cmd = parse_args(&argv(&["p.ftsyn"])).unwrap();
         let CliCommand::Run(a) = cmd else { panic!() };
         assert!(a.budget.is_unlimited());
+    }
+
+    #[test]
+    fn minimize_threads_flag_parses_and_validates() {
+        let cmd = parse_args(&argv(&["p.ftsyn", "--minimize-threads", "8"])).unwrap();
+        let CliCommand::Run(a) = cmd else { panic!() };
+        assert_eq!(a.minimize_threads, Some(8));
+        // Absent → follow the build thread count.
+        let cmd = parse_args(&argv(&["p.ftsyn"])).unwrap();
+        let CliCommand::Run(a) = cmd else { panic!() };
+        assert_eq!(a.minimize_threads, None);
+        // Zero threads cannot scan anything.
+        let e = parse_args(&argv(&["p.ftsyn", "--minimize-threads", "0"])).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        for bad in [
+            vec!["p.ftsyn", "--minimize-threads"],
+            vec!["p.ftsyn", "--minimize-threads", "some"],
+            vec!["p.ftsyn", "--minimize-threads", "--quiet"],
+            vec!["p.ftsyn", "--minimize-threads", "1.5"],
+        ] {
+            assert!(parse_args(&argv(&bad)).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

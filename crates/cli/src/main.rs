@@ -4,10 +4,11 @@
 //! ```text
 //! USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
 //!              [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
+//!              [--minimize-threads <n>]
 //! ```
 
 use ftsyn::kripke::StateRole;
-use ftsyn::{Governor, SynthesisOutcome};
+use ftsyn::{Governor, SynthesisOutcome, ThreadPlan};
 use ftsyn_cli::{parse_args, CliArgs, CliCommand, USAGE};
 use std::process::ExitCode;
 
@@ -19,6 +20,7 @@ fn main() -> ExitCode {
         quiet,
         show_program,
         budget,
+        minimize_threads,
     } = match parse_args(&args) {
         Ok(CliCommand::Run(a)) => a,
         Ok(CliCommand::Help) => {
@@ -47,12 +49,18 @@ fn main() -> ExitCode {
     };
 
     // An unlimited budget takes the ungoverned (byte-identical) path;
-    // any budget flag switches to the governed pipeline.
+    // any budget flag switches to the governed pipeline. Either way the
+    // minimization scan gets its own thread budget when asked for one.
+    let build_threads = ftsyn::default_threads();
+    let plan = ThreadPlan {
+        build: build_threads,
+        minimize: minimize_threads.unwrap_or(build_threads),
+    };
     let outcome = if budget.is_unlimited() {
-        ftsyn::synthesize(&mut problem)
+        ftsyn::synthesize_planned(&mut problem, plan, None)
     } else {
         let gov = Governor::with_budget(budget);
-        ftsyn::synthesize_governed(&mut problem, ftsyn::default_threads(), &gov)
+        ftsyn::synthesize_planned(&mut problem, plan, Some(&gov))
     };
     match outcome {
         SynthesisOutcome::Solved(s) => {
@@ -78,7 +86,9 @@ fn main() -> ExitCode {
                      {} batches, {} steals, idle {:.1?}, \
                      {} intern probes in {:.1?}, cache {}/{} hits), \
                      delete {:.1?} ({} rounds, {} worklist pops, {} certs built, {} reused), \
-                     unravel {:.1?}, minimize {:.1?} ({} merges of {} tried), \
+                     unravel {:.1?}, minimize {:.1?} ({} merges of {} tried, \
+                     {} pruned, {} incremental / {} full checks, \
+                     {} base labelings, {} threads), \
                      extract {:.1?}, verify {:.1?}, other {:.1?}",
                     st.build_time,
                     st.build_profile.levels,
@@ -100,6 +110,11 @@ fn main() -> ExitCode {
                     st.minimize_time,
                     st.minimize_profile.merges,
                     st.minimize_profile.attempts,
+                    st.minimize_profile.pruned_candidates,
+                    st.minimize_profile.incremental_relabels,
+                    st.minimize_profile.full_checks,
+                    st.minimize_profile.base_labelings,
+                    st.minimize_profile.threads,
                     st.extract_time,
                     st.verify_time,
                     st.residual_time

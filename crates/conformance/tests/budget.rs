@@ -9,8 +9,8 @@
 
 use ftsyn::problems::mutex;
 use ftsyn::{
-    synthesize, synthesize_governed, AbortReason, Budget, FailureKind, Governor, Phase,
-    SynthesisOutcome, Tolerance,
+    synthesize, synthesize_governed, synthesize_planned, AbortReason, Budget, FailureKind,
+    Governor, Phase, SynthesisOutcome, ThreadPlan, Tolerance,
 };
 use ftsyn_conformance::differential::THREAD_MATRIX;
 use ftsyn_conformance::render::render_solved;
@@ -121,6 +121,47 @@ fn minimize_attempt_cap_abort_is_identical_across_thread_counts() {
         assert_eq!(
             first.stats.minimize_profile.attempts, a.stats.minimize_profile.attempts,
             "minimize attempts diverged at {threads} threads"
+        );
+    }
+}
+
+/// The minimize-attempt cap must trip at the identical counter no
+/// matter how many workers the *minimization scan itself* runs on: the
+/// scan commits the lowest-index verified candidate and charges
+/// attempts up to that index only, so speculative work on extra
+/// workers never reaches the governor's ledger.
+#[test]
+fn minimize_attempt_cap_abort_is_identical_across_minimize_thread_plans() {
+    let budget = Budget {
+        max_minimize_attempts: Some(5),
+        ..Budget::default()
+    };
+    let abort_at = |minimize: usize| -> ftsyn::AbortedSynthesis {
+        let mut p = mutex::with_fail_stop(3, Tolerance::Masking);
+        let gov = Governor::with_budget(budget.clone());
+        let plan = ThreadPlan { build: 2, minimize };
+        match synthesize_planned(&mut p, plan, Some(&gov)) {
+            SynthesisOutcome::Aborted(a) => *a,
+            _ => panic!("expected an abort at {minimize} minimize threads"),
+        }
+    };
+    let first = abort_at(THREAD_MATRIX[0]);
+    assert_eq!(first.phase, Phase::Minimize);
+    assert_eq!(
+        first.reason,
+        AbortReason::MinimizeAttemptCapExceeded { cap: 5, reached: 5 }
+    );
+    for &minimize in &THREAD_MATRIX[1..] {
+        let a = abort_at(minimize);
+        assert_eq!(first.phase, a.phase, "phase diverged at {minimize} minimize threads");
+        assert_eq!(
+            first.reason, a.reason,
+            "reason diverged at {minimize} minimize threads"
+        );
+        assert_eq!(
+            first.stats.minimize_profile.deterministic_counters(),
+            a.stats.minimize_profile.deterministic_counters(),
+            "deterministic minimize counters diverged at {minimize} minimize threads"
         );
     }
 }

@@ -9,8 +9,19 @@
 //! node (step 3(c)) — these fault successors join the fragment frontier.
 
 use ftsyn_ctl::{Closure, ClosureIdx, EntryKind, LabelSet};
-use ftsyn_tableau::{au_fulfillment, eu_fulfillment, CertMode, EdgeKind, NodeId, Tableau};
+use ftsyn_tableau::{au_fulfillment, eu_fulfillment, CertMode, EdgeKind, Fulfillment, NodeId, Tableau};
 use std::collections::HashMap;
+
+/// Cache of fulfillment certificates, keyed by eventuality closure
+/// index. A certificate is a whole-tableau rank computation that
+/// depends only on the pruned tableau, the eventuality, and the
+/// certificate mode — never on the fragment being built — so one
+/// unraveling shares certificates across every embedded fragment
+/// instead of recomputing them per fragment per eventuality.
+#[derive(Default)]
+pub(crate) struct FulfillmentCache {
+    by_ev: HashMap<ClosureIdx, Fulfillment>,
+}
 
 /// A node of a fragment: a copy of a tableau AND-node.
 #[derive(Clone, Debug)]
@@ -247,6 +258,18 @@ pub fn build_ffrag(t: &Tableau, closure: &Closure, c: NodeId) -> Fragment {
 /// alternative method uses [`CertMode::FaultProne`], whose certificates
 /// already include fault successors).
 pub fn build_ffrag_mode(t: &Tableau, closure: &Closure, c: NodeId, mode: CertMode) -> Fragment {
+    build_ffrag_cached(t, closure, c, mode, &mut FulfillmentCache::default())
+}
+
+/// [`build_ffrag_mode`] sharing fulfillment certificates across calls
+/// (the unraveling embeds hundreds of fragments against one tableau).
+pub(crate) fn build_ffrag_cached(
+    t: &Tableau,
+    closure: &Closure,
+    c: NodeId,
+    mode: CertMode,
+    cache: &mut FulfillmentCache,
+) -> Fragment {
     assert!(t.alive(c), "fragments are built for alive nodes only");
     let mut b = Builder {
         t,
@@ -263,7 +286,7 @@ pub fn build_ffrag_mode(t: &Tableau, closure: &Closure, c: NodeId, mode: CertMod
     let evs = eventualities_in(closure, &t.node(c).label);
 
     if let Some(&first) = evs.first() {
-        apply_ev(&mut b, root, first);
+        apply_ev(&mut b, root, first, cache);
         for &ev in &evs[1..] {
             merge_frontier(&mut b.nodes);
             let frontier: Vec<usize> = b
@@ -274,7 +297,7 @@ pub fn build_ffrag_mode(t: &Tableau, closure: &Closure, c: NodeId, mode: CertMod
                 .map(|(i, _)| i)
                 .collect();
             for s in frontier {
-                apply_ev(&mut b, s, ev);
+                apply_ev(&mut b, s, ev, cache);
             }
         }
         merge_frontier(&mut b.nodes);
@@ -322,10 +345,13 @@ pub fn build_ffrag_mode(t: &Tableau, closure: &Closure, c: NodeId, mode: CertMod
     }
 }
 
-fn apply_ev(b: &mut Builder<'_>, at: usize, ev: ClosureIdx) {
+fn apply_ev(b: &mut Builder<'_>, at: usize, ev: ClosureIdx, cache: &mut FulfillmentCache) {
     match b.closure.entry(ev).kind {
         EntryKind::Au { g, h, .. } => {
-            let f = au_fulfillment(b.t, b.closure, g, h, b.mode);
+            let f = cache
+                .by_ev
+                .entry(ev)
+                .or_insert_with(|| au_fulfillment(b.t, b.closure, g, h, b.mode));
             assert!(
                 f.is_fulfilled(b.nodes[at].tableau_id),
                 "DeleteAU guarantees fulfillment of alive labels"
@@ -335,7 +361,10 @@ fn apply_ev(b: &mut Builder<'_>, at: usize, ev: ClosureIdx) {
             b.expand_au(at, &mut memo, g, h, &f.rank);
         }
         EntryKind::Eu { g, h, .. } => {
-            let f = eu_fulfillment(b.t, b.closure, g, h, b.mode);
+            let f = cache
+                .by_ev
+                .entry(ev)
+                .or_insert_with(|| eu_fulfillment(b.t, b.closure, g, h, b.mode));
             assert!(
                 f.is_fulfilled(b.nodes[at].tableau_id),
                 "DeleteEU guarantees fulfillment of alive labels"

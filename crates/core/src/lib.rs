@@ -66,13 +66,15 @@ pub use check::{check_program, CheckError, CheckReport};
 pub use extract::{extract_program, introduce_shared_variables};
 pub use fragment::{build_ffrag, build_ffrag_mode, eventualities_in, FragNode, Fragment};
 pub use minimize::{
-    semantic_minimize, semantic_minimize_governed, semantic_minimize_profiled, MinimizeAbort,
-    MinimizeProfile,
+    semantic_minimize, semantic_minimize_governed, semantic_minimize_profiled,
+    semantic_minimize_with_threads, MinimizeAbort, MinimizeProfile,
 };
+#[cfg(any(test, feature = "slow-reference"))]
+pub use minimize::{semantic_minimize_reference, semantic_minimize_reference_governed};
 pub use problem::{SynthesisProblem, Tolerance, ToleranceAssignment};
 pub use synthesize::{
-    default_threads, synthesize, synthesize_governed, synthesize_with_threads, AbortedSynthesis,
-    Impossibility, SynthesisOutcome, SynthesisStats, Synthesized,
+    default_threads, synthesize, synthesize_governed, synthesize_planned, synthesize_with_threads,
+    AbortedSynthesis, Impossibility, SynthesisOutcome, SynthesisStats, Synthesized, ThreadPlan,
 };
 pub use ftsyn_tableau::{AbortReason, Budget, CertMode, Governor, Phase};
 pub use unravel::{unravel, unravel_governed, unravel_mode, Unraveled};

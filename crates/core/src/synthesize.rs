@@ -1,7 +1,9 @@
 //! The end-to-end synthesis pipeline (Section 5.2, steps 1–5).
 
 use crate::extract::{extract_program, introduce_shared_variables};
-use crate::minimize::{semantic_minimize_governed, semantic_minimize_profiled, MinimizeProfile};
+use crate::minimize::{
+    semantic_minimize_governed, semantic_minimize_with_threads, MinimizeProfile,
+};
 use crate::problem::SynthesisProblem;
 use crate::unravel::{unravel_governed, unravel_mode, Unraveled};
 use crate::verify::{verify, verify_semantic, Failure, FailureKind, Verification};
@@ -189,6 +191,32 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Worker-thread budgets for the parallel pipeline phases. The two hot
+/// phases scale differently — tableau expansion fans out over frontier
+/// nodes, minimization over candidate merges — so their budgets are
+/// separate knobs (the CLI exposes `--minimize-threads` for the
+/// latter). Every combination produces a bit-identical outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadPlan {
+    /// Worker threads for tableau construction (1 = sequential).
+    pub build: usize,
+    /// Worker threads for semantic-minimization candidate scans
+    /// (1 = sequential).
+    pub minimize: usize,
+}
+
+impl ThreadPlan {
+    /// The same budget for every phase — the default: minimization
+    /// candidates are at least as plentiful as frontier nodes.
+    pub fn uniform(threads: usize) -> ThreadPlan {
+        let threads = threads.max(1);
+        ThreadPlan {
+            build: threads,
+            minimize: threads,
+        }
+    }
+}
+
 /// Runs the synthesis method on `problem`.
 ///
 /// Implements steps 1–5 of Section 5.2: tableau construction, deletion,
@@ -198,14 +226,14 @@ pub fn synthesize(problem: &mut SynthesisProblem) -> SynthesisOutcome {
     synthesize_with_threads(problem, default_threads())
 }
 
-/// [`synthesize`] with an explicit tableau worker-thread budget
-/// (1 = fully sequential build). The outcome is bit-identical for
-/// every thread count; the stats record how the work was scheduled.
+/// [`synthesize`] with an explicit worker-thread budget shared by all
+/// parallel phases (1 = fully sequential). The outcome is bit-identical
+/// for every thread count; the stats record how the work was scheduled.
 pub fn synthesize_with_threads(
     problem: &mut SynthesisProblem,
     threads: usize,
 ) -> SynthesisOutcome {
-    synthesize_impl(problem, threads, None)
+    synthesize_impl(problem, ThreadPlan::uniform(threads), None)
 }
 
 /// [`synthesize_with_threads`] under a [`Governor`]: every hot loop
@@ -224,7 +252,17 @@ pub fn synthesize_governed(
     threads: usize,
     gov: &Governor,
 ) -> SynthesisOutcome {
-    synthesize_impl(problem, threads, Some(gov))
+    synthesize_impl(problem, ThreadPlan::uniform(threads), Some(gov))
+}
+
+/// [`synthesize`] with per-phase thread budgets and an optional
+/// governor — the fully general entry point the other variants wrap.
+pub fn synthesize_planned(
+    problem: &mut SynthesisProblem,
+    plan: ThreadPlan,
+    gov: Option<&Governor>,
+) -> SynthesisOutcome {
+    synthesize_impl(problem, plan, gov)
 }
 
 /// Packages an abort with final timing bookkeeping (mirrors the
@@ -255,7 +293,7 @@ fn aborted(
 
 fn synthesize_impl(
     problem: &mut SynthesisProblem,
-    threads: usize,
+    plan: ThreadPlan,
     gov: Option<&Governor>,
 ) -> SynthesisOutcome {
     let start = Instant::now();
@@ -284,7 +322,7 @@ fn synthesize_impl(
             .expect("spec is a closure root"),
     );
     let t_build = Instant::now();
-    let threads = threads.max(1);
+    let threads = plan.build.max(1);
     let build_result = match gov {
         Some(g) => build_governed(&closure, &problem.props, root_label, &fault_spec, threads, g),
         None => Ok(build_with_threads(
@@ -395,8 +433,12 @@ fn synthesize_impl(
     // model keeps satisfying the synthesis problem's requirements.
     let t_min = Instant::now();
     let minimize_result = match gov {
-        Some(g) => semantic_minimize_governed(problem, pre_unr.model, g),
-        None => Ok(semantic_minimize_profiled(problem, pre_unr.model)),
+        Some(g) => semantic_minimize_governed(problem, pre_unr.model, plan.minimize, g),
+        None => Ok(semantic_minimize_with_threads(
+            problem,
+            pre_unr.model,
+            plan.minimize,
+        )),
     };
     let (model, merge_map, minimize_profile) = match minimize_result {
         Ok(ok) => ok,

@@ -8,7 +8,7 @@
 //! "directly embedded" test as a hash lookup, and the process terminates
 //! with an empty frontier (Proposition 7.1.8, step 4).
 
-use crate::fragment::build_ffrag_mode;
+use crate::fragment::{build_ffrag_cached, FulfillmentCache};
 use ftsyn_ctl::{Closure, LabelSet, PropTable};
 use ftsyn_kripke::{FtKripke, State, StateId, TransKind};
 use ftsyn_tableau::{valuation_of, AbortReason, CertMode, EdgeKind, Governor, NodeId, Tableau};
@@ -88,14 +88,18 @@ fn unravel_core(
     let mut nodes: Vec<MNode> = Vec::new();
     let mut root_of: HashMap<NodeId, usize> = HashMap::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
+    // Fulfillment certificates are whole-tableau computations shared by
+    // every fragment this unraveling embeds.
+    let mut certs = FulfillmentCache::default();
 
     // Embeds FFRAG[c]; returns the index of its root.
     let embed = |c: NodeId,
                      nodes: &mut Vec<MNode>,
                      root_of: &mut HashMap<NodeId, usize>,
-                     queue: &mut VecDeque<usize>|
+                     queue: &mut VecDeque<usize>,
+                     certs: &mut FulfillmentCache|
      -> usize {
-        let frag = build_ffrag_mode(t, closure, c, mode);
+        let frag = build_ffrag_cached(t, closure, c, mode, certs);
         // Copy only the nodes reachable from the fragment root (frontier
         // merging can orphan duplicates). Fragment node indices are
         // dense, so a plain vec keeps the mapping — and, crucially, lets
@@ -143,7 +147,7 @@ fn unravel_core(
         r
     };
 
-    let r0 = embed(c0, &mut nodes, &mut root_of, &mut queue);
+    let r0 = embed(c0, &mut nodes, &mut root_of, &mut queue, &mut certs);
 
     let mut pops = 0usize;
     while let Some(s) = queue.pop_front() {
@@ -159,7 +163,7 @@ fn unravel_core(
         let c = nodes[s].tableau_id;
         let target = match root_of.get(&c) {
             Some(&r) => r,
-            None => embed(c, &mut nodes, &mut root_of, &mut queue),
+            None => embed(c, &mut nodes, &mut root_of, &mut queue, &mut certs),
         };
         nodes[s].redirect = Some(target);
         nodes[s].frontier = false;

@@ -117,7 +117,7 @@ impl fmt::Display for Failure {
 
 /// The satisfaction relation matching a synthesis mode: `⊨ₙ` for the
 /// main method, plain `⊨` for Section 8.3's alternative method.
-fn semantics_of(mode: CertMode) -> Semantics {
+pub(crate) fn semantics_of(mode: CertMode) -> Semantics {
     match mode {
         CertMode::FaultFree => Semantics::FaultFree,
         CertMode::FaultProne => Semantics::IncludeFaults,

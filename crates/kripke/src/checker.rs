@@ -192,6 +192,53 @@ impl<'m> Checker<'m> {
         }
     }
 
+    /// Consumes the checker and returns its accumulated per-state
+    /// labeling as a [`LabelCache`]. Evaluate every formula of interest
+    /// with [`Checker::eval`] first; the cache then holds the exact
+    /// satisfaction vector of each evaluated formula *and all of its
+    /// subformulae* (evaluation is bottom-up and memoized).
+    pub fn into_cache(self) -> LabelCache {
+        LabelCache { labels: self.memo }
+    }
+
+    /// Whether every state has at least one path-successor under this
+    /// checker's semantics (i.e. the structure has no dead ends, so
+    /// every fullpath is infinite).
+    pub fn dead_end_free(&self) -> bool {
+        self.model
+            .state_ids()
+            .all(|s| self.path_succ(s).next().is_some())
+    }
+
+    /// `E[gUh]` over explicit satisfaction vectors (no arena needed):
+    /// the least-fixpoint machinery of [`Checker::eval`], exposed so
+    /// callers holding precomputed vectors can run one modality without
+    /// mutating a formula arena.
+    pub fn eu_of(&self, g: &[bool], h: &[bool]) -> Vec<bool> {
+        self.eu_set(g, h)
+    }
+
+    /// `A[gUh]` over explicit satisfaction vectors.
+    pub fn au_of(&self, g: &[bool], h: &[bool]) -> Vec<bool> {
+        self.au_set(g, h)
+    }
+
+    /// `EF h` over an explicit satisfaction vector.
+    pub fn ef_of(&self, h: &[bool]) -> Vec<bool> {
+        self.eu_set(&vec![true; self.model.len()], h)
+    }
+
+    /// `AF h` over an explicit satisfaction vector.
+    pub fn af_of(&self, h: &[bool]) -> Vec<bool> {
+        self.au_set(&vec![true; self.model.len()], h)
+    }
+
+    /// `AG h` over an explicit satisfaction vector (`¬EF¬h`).
+    pub fn ag_of(&self, h: &[bool]) -> Vec<bool> {
+        let nh: Vec<bool> = h.iter().map(|x| !x).collect();
+        self.ef_of(&nh).iter().map(|x| !x).collect()
+    }
+
     fn path_succ(&self, s: StateId) -> impl Iterator<Item = StateId> + '_ {
         let include_faults = self.semantics == Semantics::IncludeFaults;
         self.model
@@ -255,6 +302,50 @@ impl<'m> Checker<'m> {
             }
         }
         x
+    }
+}
+
+/// A frozen per-state CTL labeling captured from a [`Checker`] run:
+/// formula id → satisfaction vector over the model the checker was
+/// built on. The cache owns plain data (no borrow of the model), so it
+/// can outlive the checker and be shared across worker threads; the
+/// semantic minimizer uses one cache per accepted model to transfer
+/// base-model truths onto merge candidates instead of re-checking them.
+#[derive(Clone, Debug, Default)]
+pub struct LabelCache {
+    labels: HashMap<FormulaId, Vec<bool>>,
+}
+
+impl LabelCache {
+    /// The satisfaction vector of `f`, if `f` was evaluated (directly
+    /// or as a subformula) before the cache was captured.
+    pub fn get(&self, f: FormulaId) -> Option<&[bool]> {
+        self.labels.get(&f).map(|v| v.as_slice())
+    }
+
+    /// Whether `f` holds at `s`, if `f` is cached.
+    pub fn holds(&self, f: FormulaId, s: StateId) -> Option<bool> {
+        self.labels.get(&f).map(|v| v[s.index()])
+    }
+
+    /// Whether `f` is cached and holds at *every* state of the model.
+    pub fn all_true(&self, f: FormulaId) -> bool {
+        self.labels.get(&f).is_some_and(|v| v.iter().all(|&x| x))
+    }
+
+    /// Ids of all cached formulae (arbitrary order).
+    pub fn formulas(&self) -> impl Iterator<Item = FormulaId> + '_ {
+        self.labels.keys().copied()
+    }
+
+    /// Number of cached formulae.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether nothing was cached.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
     }
 }
 
@@ -394,6 +485,71 @@ mod tests {
         let t = fx.arena.tru();
         let eg = fx.arena.eg(t);
         assert!(ck.holds(&fx.arena, eg, fx.ids[0]));
+    }
+
+    #[test]
+    fn vector_fixpoints_match_formula_evaluation() {
+        let mut fx = fixture();
+        let n = prop(&mut fx, "n");
+        let c = prop(&mut fx, "c");
+        for semantics in [Semantics::FaultFree, Semantics::IncludeFaults] {
+            let mut ck = Checker::new(&fx.m, semantics);
+            let vn = ck.eval(&fx.arena, n).clone();
+            let vc = ck.eval(&fx.arena, c).clone();
+            let ef = fx.arena.ef(c);
+            let af = fx.arena.af(c);
+            let ag = fx.arena.ag(n);
+            let eu = fx.arena.eu(n, c);
+            let au = fx.arena.au(n, c);
+            assert_eq!(&ck.ef_of(&vc), ck.eval(&fx.arena, ef));
+            assert_eq!(&ck.af_of(&vc), ck.eval(&fx.arena, af));
+            assert_eq!(&ck.ag_of(&vn), ck.eval(&fx.arena, ag));
+            assert_eq!(&ck.eu_of(&vn, &vc), ck.eval(&fx.arena, eu));
+            assert_eq!(&ck.au_of(&vn, &vc), ck.eval(&fx.arena, au));
+        }
+    }
+
+    #[test]
+    fn label_cache_captures_subformulae_and_all_true() {
+        let mut fx = fixture();
+        let n = prop(&mut fx, "n");
+        let c = prop(&mut fx, "c");
+        let nc = fx.arena.or(n, c);
+        let ef = fx.arena.ef(nc);
+        let mut ck = Checker::new(&fx.m, Semantics::FaultFree);
+        ck.eval(&fx.arena, ef);
+        let cache = ck.into_cache();
+        // The root and its subformulae are all cached.
+        assert!(cache.get(ef).is_some());
+        assert!(cache.get(nc).is_some());
+        assert_eq!(cache.holds(n, fx.ids[0]), Some(true));
+        assert_eq!(cache.holds(n, fx.ids[1]), Some(false));
+        // EF(n|c) holds everywhere except the dead-end-free ring… it
+        // holds at every state of this fixture.
+        assert!(cache.all_true(ef));
+        assert!(!cache.all_true(n));
+        // Unevaluated formulae are absent, and absent means not all-true.
+        let bad = prop(&mut fx, "bad");
+        assert!(cache.get(bad).is_none());
+        assert!(!cache.all_true(bad));
+        assert!(!cache.is_empty());
+        assert!(cache.len() >= 4);
+    }
+
+    #[test]
+    fn dead_end_detection_respects_semantics() {
+        let fx = fixture();
+        // Every state of the fixture has a successor under both
+        // semantics (s3 has a Proc edge back to s0).
+        assert!(Checker::new(&fx.m, Semantics::FaultFree).dead_end_free());
+        assert!(Checker::new(&fx.m, Semantics::IncludeFaults).dead_end_free());
+        // A state whose only successor is a fault edge is a dead end
+        // under fault-free semantics but not under include-faults.
+        let mut m = fx.m.clone();
+        let lone = m.push_state(State::new(PropSet::with_capacity(4)));
+        m.add_edge(lone, TransKind::Fault(0), fx.ids[0]);
+        assert!(!Checker::new(&m, Semantics::FaultFree).dead_end_free());
+        assert!(Checker::new(&m, Semantics::IncludeFaults).dead_end_free());
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod minimize;
 mod state;
 mod structure;
 
-pub use checker::{Checker, Semantics};
+pub use checker::{Checker, LabelCache, Semantics};
 pub use evidence::EvidencePath;
 pub use minimize::{bisimulation_quotient, Quotient};
 pub use state::{PropSet, State};

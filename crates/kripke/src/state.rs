@@ -6,10 +6,25 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A set of atomic propositions, as a bitset over [`PropId`]s.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PropSet {
     bits: Vec<u64>,
+}
+
+// Manual impl so `clone_from` reuses the destination's buffer — the
+// semantic minimizer rebuilds candidate models tens of thousands of
+// times into the same scratch structure.
+impl Clone for PropSet {
+    fn clone(&self) -> PropSet {
+        PropSet {
+            bits: self.bits.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &PropSet) {
+        self.bits.clone_from(&source.bits);
+    }
 }
 
 impl PropSet {
@@ -105,13 +120,28 @@ impl fmt::Debug for PropSet {
 /// A global state: a valuation of the atomic propositions plus the values
 /// of any shared synchronization variables (empty until the extraction
 /// step of the synthesis method introduces them).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(PartialEq, Eq, Hash, Debug)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct State {
     /// Propositions true in this state (closed world: absent = false).
     pub props: PropSet,
     /// Values of the shared synchronization variables, by variable index.
     pub shared: Vec<u32>,
+}
+
+// Manual impl for a buffer-reusing `clone_from` (see [`PropSet`]).
+impl Clone for State {
+    fn clone(&self) -> State {
+        State {
+            props: self.props.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &State) {
+        self.props.clone_from(&source.props);
+        self.shared.clone_from(&source.shared);
+    }
 }
 
 impl State {

@@ -131,6 +131,107 @@ impl FtKripke {
         }
     }
 
+    /// Returns a copy of this structure with state `from` merged into
+    /// state `into` (edges redirected, `from` removed), plus the old→new
+    /// state mapping. See [`FtKripke::merge_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == into`.
+    pub fn merged(&self, from: StateId, into: StateId) -> (FtKripke, Vec<StateId>) {
+        let mut out = FtKripke::new();
+        let mut mapping = Vec::new();
+        self.merge_into(from, into, &mut out, &mut mapping);
+        (out, mapping)
+    }
+
+    /// [`FtKripke::merged`] writing into caller-owned buffers, reusing
+    /// their allocations. The semantic minimizer builds one candidate
+    /// structure per candidate merge — tens of thousands per run — so
+    /// candidate construction must not pay per-state allocations.
+    ///
+    /// The output is element-identical to rebuilding from scratch with
+    /// [`FtKripke::push_state`] / [`FtKripke::add_edge`] /
+    /// [`FtKripke::add_init`] over the remapped states, sources in id
+    /// order: state ids are dense, so the mapping is pure arithmetic
+    /// (states above `from` shift down by one), and the `add_edge`
+    /// duplicate scan is only needed for edges touching the merged state
+    /// — a merge cannot collapse any other pair of edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == into`.
+    pub fn merge_into(
+        &self,
+        from: StateId,
+        into: StateId,
+        out: &mut FtKripke,
+        mapping: &mut Vec<StateId>,
+    ) {
+        assert_ne!(from, into, "cannot merge a state with itself");
+        let q = |s: StateId| -> StateId {
+            let s = if s == from { into } else { s };
+            StateId(s.0 - u32::from(s.0 > from.0))
+        };
+        let merged_id = q(into);
+        let n = self.states.len() - 1;
+
+        out.index.clear();
+        out.init.clear();
+        // States: element-wise clone_from reuses each slot's buffers.
+        out.states.truncate(n);
+        let mut src = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != from.index())
+            .map(|(_, s)| s);
+        for dst in out.states.iter_mut() {
+            dst.clone_from(src.next().expect("n surviving states"));
+        }
+        out.states.extend(src.cloned());
+        // Edge lists: clear in place to keep the inner capacities.
+        out.succ.truncate(n);
+        out.pred.truncate(n);
+        for l in out.succ.iter_mut().chain(out.pred.iter_mut()) {
+            l.clear();
+        }
+        out.succ.resize_with(n, Vec::new);
+        out.pred.resize_with(n, Vec::new);
+
+        for s in self.state_ids() {
+            let ns = q(s);
+            for e in &self.succ[s.index()] {
+                let ne = Edge {
+                    kind: e.kind,
+                    to: q(e.to),
+                };
+                // Duplicates only arise where the two merged preimages
+                // meet: at the merged source (its list combines `into`'s
+                // and `from`'s edges) or on edges into the merged state
+                // (a source pointing at both `from` and `into`).
+                if (ns == merged_id || ne.to == merged_id)
+                    && out.succ[ns.index()].contains(&ne)
+                {
+                    continue;
+                }
+                out.succ[ns.index()].push(ne);
+                out.pred[ne.to.index()].push(Edge {
+                    kind: e.kind,
+                    to: ns,
+                });
+            }
+        }
+        for &i in &self.init {
+            let ni = q(i);
+            if !out.init.contains(&ni) {
+                out.init.push(ni);
+            }
+        }
+        mapping.clear();
+        mapping.extend(self.state_ids().map(q));
+    }
+
     /// The state content for an id.
     ///
     /// # Panics

@@ -242,6 +242,10 @@ fn blocks_with(closure: &Closure, label: &LabelSet, filter: FilterKind) -> Vec<L
             .collect(),
         FilterKind::Accepted => {
             let mut keep = vec![false; out.len()];
+            // Monotone one-word summaries: a failing fingerprint test
+            // refutes `out[j] ⊆ out[i]` without touching the words, and
+            // a passing one changes nothing — the kept set is identical.
+            let fps: Vec<u64> = out.iter().map(LabelSet::fingerprint).collect();
             // Indices of accepted minimal labels, in ascending size
             // order (the processing order).
             let mut accepted: Vec<usize> = Vec::new();
@@ -249,7 +253,7 @@ fn blocks_with(closure: &Closure, label: &LabelSet, filter: FilterKind) -> Vec<L
                 let shadowed = accepted
                     .iter()
                     .take_while(|&&j| sizes[j] < sizes[i])
-                    .any(|&j| out[j].is_subset(&out[i]));
+                    .any(|&j| fps[j] & !fps[i] == 0 && out[j].is_subset(&out[i]));
                 if !shadowed {
                     keep[i] = true;
                     accepted.push(i);

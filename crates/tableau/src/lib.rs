@@ -29,6 +29,7 @@ mod expand_naive;
 mod graph;
 #[cfg(test)]
 mod prop_tests;
+mod scan;
 
 #[cfg(any(test, feature = "slow-reference"))]
 pub use build::build_reference;
@@ -49,3 +50,4 @@ pub use governor::{AbortReason, Budget, Governor, Phase};
 pub use expand_naive::{blocks_naive, naive_is_prop_consistent, tiles_naive};
 pub use expand::{blocks, tiles, Tile};
 pub use graph::{EdgeKind, Node, NodeId, NodeKind, Tableau};
+pub use scan::{earliest_success, ScanStats, SCAN_CHUNK};

@@ -1,0 +1,267 @@
+//! Deterministic earliest-success parallel scan.
+//!
+//! The semantic minimizer tries an ordered list of candidate merges per
+//! round and must commit exactly the one the sequential greedy engine
+//! would: the *lowest-index* candidate that passes verification.
+//! [`earliest_success`] fans the tests out over worker threads with
+//! chunked work claiming (the same claim-and-steal shape as the tableau
+//! expansion scheduler) while keeping that commit rule exact:
+//!
+//! * workers claim fixed-size index chunks from a shared atomic cursor;
+//! * a passing test publishes its index with `fetch_min`, so the best
+//!   known index only decreases;
+//! * workers skip indices above the current best, but *every* index
+//!   below the final best is guaranteed to have been tested — the
+//!   cursor hands chunks out in order and a worker only abandons a
+//!   claimed index when it exceeds the current best.
+//!
+//! Hence the returned index is the minimal passing one — bit-identical
+//! to a sequential left-to-right scan at every thread count. Tests above
+//! the committed index may or may not have run (speculation); their
+//! results are reported but carry no decision weight, and callers must
+//! not fold them into determinism-sensitive counters.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Indices per claimed chunk. Small enough to keep workers near the
+/// front of the index order (little speculation past a success), large
+/// enough to amortize the claim.
+pub const SCAN_CHUNK: usize = 8;
+
+/// Work accounting of one [`earliest_success`] scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Chunks of indices claimed (sequential scans count chunks of
+    /// [`SCAN_CHUNK`] too, so the number is comparable across modes).
+    pub batches: usize,
+    /// Chunks executed by a worker other than the one the chunk's
+    /// position maps to round-robin — claim-order drift, the scan
+    /// analogue of a steal. Zero when sequential.
+    pub steals: usize,
+    /// Tests actually executed. With more than one worker this may
+    /// exceed `committed index + 1` (speculation) and is therefore not
+    /// deterministic across thread counts.
+    pub tested: usize,
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Result of a scan: the committed (lowest passing) index if any, the
+/// per-index test values that are guaranteed to have been produced, and
+/// the work accounting.
+pub type ScanOutcome<T> = (Option<usize>, Vec<Option<T>>, ScanStats);
+
+/// Runs `test` over `0..n` and returns the lowest index whose test
+/// reports a hit, together with the per-index results that are
+/// guaranteed to have been produced (every index up to and including
+/// the returned one; all of `0..n` when there is no hit and no
+/// speculation was cut short) and the scan's work accounting.
+///
+/// `test(i)` returns `Ok((hit, value))` or an error; the first error
+/// observed cancels the scan and is returned (which error wins is
+/// nondeterministic under parallelism — callers use errors only for
+/// realtime aborts, which are allowed to be nondeterministic).
+///
+/// With `threads <= 1` the scan is a plain left-to-right loop that
+/// stops at the first hit, so indices beyond the hit are untested.
+pub fn earliest_success<T, E, F>(
+    n: usize,
+    threads: usize,
+    test: F,
+) -> Result<ScanOutcome<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<(bool, T), E> + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut stats = ScanStats::default();
+    if n == 0 {
+        return Ok((None, out, stats));
+    }
+    // A chunk of SCAN_CHUNK indices never pays for thread coordination;
+    // nor does a single worker.
+    if threads <= 1 || n <= SCAN_CHUNK {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let (hit, value) = test(i)?;
+            stats.tested += 1;
+            stats.batches = i / SCAN_CHUNK + 1;
+            *slot = Some(value);
+            if hit {
+                return Ok((Some(i), out, stats));
+            }
+        }
+        return Ok((None, out, stats));
+    }
+
+    let workers = threads.min(n.div_ceil(SCAN_CHUNK));
+    let next = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    let stop = AtomicBool::new(false);
+    let error: Mutex<Option<E>> = Mutex::new(None);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    let run_worker = |wid: usize| -> ScanStats {
+        let mut local = ScanStats::default();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let start = next.fetch_add(SCAN_CHUNK, Ordering::Relaxed);
+            if start >= n || start > best.load(Ordering::Acquire) {
+                break;
+            }
+            local.batches += 1;
+            if (start / SCAN_CHUNK) % workers != wid {
+                local.steals += 1;
+            }
+            let end = (start + SCAN_CHUNK).min(n);
+            for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
+                if i > best.load(Ordering::Acquire) {
+                    break;
+                }
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                match test(i) {
+                    Ok((hit, value)) => {
+                        local.tested += 1;
+                        *lock_recover(slot) = Some(value);
+                        if hit {
+                            best.fetch_min(i, Ordering::AcqRel);
+                        }
+                    }
+                    Err(e) => {
+                        let mut guard = lock_recover(&error);
+                        if guard.is_none() {
+                            *guard = Some(e);
+                        }
+                        stop.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+            }
+        }
+        local
+    };
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|wid| scope.spawn(move || run_worker(wid)))
+            .collect();
+        for h in handles {
+            // A panicking test propagates out of the scope, matching the
+            // behavior of an inline call.
+            let local = h.join().unwrap_or_else(|payload| {
+                stop.store(true, Ordering::Release);
+                std::panic::resume_unwind(payload)
+            });
+            stats.batches += local.batches;
+            stats.steals += local.steals;
+            stats.tested += local.tested;
+        }
+    });
+
+    if let Some(e) = lock_recover(&error).take() {
+        return Err(e);
+    }
+    for (slot, out_slot) in slots.into_iter().zip(out.iter_mut()) {
+        *out_slot = lock_recover(&slot).take();
+    }
+    let committed = best.load(Ordering::Acquire);
+    let committed = (committed != usize::MAX).then_some(committed);
+    // Every index at or below the committed one was tested (see module
+    // docs), so the caller can fold those results deterministically.
+    debug_assert!(committed
+        .map(|j| out.iter().take(j + 1).all(|s| s.is_some()))
+        .unwrap_or(true));
+    Ok((committed, out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_scan_finds_nothing() {
+        let (found, out, stats) =
+            earliest_success::<(), (), _>(0, 4, |_| unreachable!()).unwrap();
+        assert_eq!(found, None);
+        assert!(out.is_empty());
+        assert_eq!(stats, ScanStats::default());
+    }
+
+    #[test]
+    fn sequential_scan_stops_at_first_hit() {
+        let calls = AtomicUsize::new(0);
+        let (found, out, stats) = earliest_success::<usize, (), _>(100, 1, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok((i == 5, i))
+        })
+        .unwrap();
+        assert_eq!(found, Some(5));
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        assert_eq!(stats.tested, 6);
+        assert_eq!(stats.steals, 0);
+        assert!(out[5] == Some(5) && out[6].is_none());
+    }
+
+    #[test]
+    fn parallel_scan_commits_the_lowest_index_at_every_thread_count() {
+        // Hits at 40 and 11; 11 must win regardless of scheduling, and
+        // everything at or below it must be reported.
+        for threads in [1, 2, 4, 8] {
+            let (found, out, stats) = earliest_success::<usize, (), _>(64, threads, |i| {
+                Ok((i == 40 || i == 11, i * 2))
+            })
+            .unwrap();
+            assert_eq!(found, Some(11), "threads={threads}");
+            for (i, slot) in out.iter().take(12).enumerate() {
+                assert_eq!(*slot, Some(i * 2), "threads={threads} i={i}");
+            }
+            assert!(stats.tested >= 12);
+        }
+    }
+
+    #[test]
+    fn parallel_scan_without_hit_tests_everything() {
+        for threads in [2, 8] {
+            let (found, out, stats) =
+                earliest_success::<usize, (), _>(50, threads, |i| Ok((false, i))).unwrap();
+            assert_eq!(found, None);
+            assert!(out.iter().all(|s| s.is_some()));
+            assert_eq!(stats.tested, 50);
+            assert_eq!(stats.batches, 50usize.div_ceil(SCAN_CHUNK));
+        }
+    }
+
+    #[test]
+    fn errors_cancel_the_scan() {
+        for threads in [1, 4] {
+            let r = earliest_success::<(), &'static str, _>(100, threads, |i| {
+                if i == 20 {
+                    Err("deadline")
+                } else {
+                    Ok((false, ()))
+                }
+            });
+            assert_eq!(r.err(), Some("deadline"), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn steals_are_counted_only_for_off_home_chunks() {
+        // With one worker per chunk-home the accounting is stable: a
+        // single worker claiming everything registers n-1 steals at 2
+        // workers only if the other worker never claims; either way the
+        // invariant batches >= steals holds.
+        let (_, _, stats) =
+            earliest_success::<(), (), _>(64, 2, |_| Ok((false, ()))).unwrap();
+        assert!(stats.batches >= stats.steals);
+        assert_eq!(stats.batches, 8);
+    }
+}
