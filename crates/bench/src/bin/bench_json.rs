@@ -190,6 +190,18 @@ fn stats_json(stats: &SynthesisStats, solved: bool) -> String {
                 .build(),
         )
         .raw(
+            "extract_profile",
+            &Obj::default()
+                .num("model_states", stats.extract_profile.model_states)
+                .num("shared_vars", stats.extract_profile.shared_vars)
+                .num("explored_states", stats.extract_profile.explored_states)
+                .num("off_model_states", stats.extract_profile.off_model_states)
+                .num("refined_arcs", stats.extract_profile.refined_arcs)
+                .num("refinement_rounds", stats.extract_profile.refinement_rounds)
+                .bool("verified", stats.extract_profile.verified)
+                .build(),
+        )
+        .raw(
             "deletion_profile",
             &Obj::default()
                 .num("rounds", dp.rounds)
@@ -632,9 +644,12 @@ fn main() {
         ));
     }
 
-    // Multitolerance at three processes (Section 8.2 scaled up): P1's
-    // fail-stop/repair actions only need nonmasking tolerance, the
-    // other processes' faults stay masking.
+    // Multitolerance at three and four processes (Section 8.2 scaled
+    // up): P1's fail-stop/repair actions only need nonmasking
+    // tolerance, the other processes' faults stay masking. The
+    // four-process row — formerly blocked by the extraction gap — runs
+    // under deterministic governor caps and exercises the guard
+    // refinement loop (see `extract_profile.refined_arcs`).
     problems.push(run_problem(
         "mutex3-failstop-multitolerance",
         3,
@@ -645,6 +660,22 @@ fn main() {
                 Tolerance::Masking
             }
         }),
+    ));
+    problems.push(run_budgeted(
+        "mutex4-failstop-multitolerance",
+        4,
+        mutex::with_fail_stop_multitolerance(4, |f| {
+            if f.name().contains("P1") {
+                Tolerance::Nonmasking
+            } else {
+                Tolerance::Masking
+            }
+        }),
+        Budget {
+            max_states: Some(60_000),
+            max_extract_refine_rounds: Some(4),
+            ..Budget::default()
+        },
     ));
 
     // Dining philosophers (fault-free), scaled to five processes. The
@@ -840,7 +871,7 @@ fn main() {
             "generated_by",
             "cargo run --release -p ftsyn-bench --bin bench_json",
         )
-        .str("schema_version", "6")
+        .str("schema_version", "7")
         .raw("problems", &arr(problems))
         .raw("budgeted", &arr(budgeted))
         .raw("wire", &arr(wires))

@@ -89,7 +89,9 @@ fn main() -> ExitCode {
                      unravel {:.1?}, minimize {:.1?} ({} merges of {} tried, \
                      {} pruned, {} incremental / {} full checks, \
                      {} base labelings, {} threads), \
-                     extract {:.1?}, verify {:.1?}, other {:.1?}",
+                     extract {:.1?} ({} shared vars, {} explored vs {} model states, \
+                     {} off-model, {} arcs refined in {} rounds, extraction {}), \
+                     verify {:.1?}, other {:.1?}",
                     st.build_time,
                     st.build_profile.levels,
                     st.build_profile.max_frontier,
@@ -116,6 +118,17 @@ fn main() -> ExitCode {
                     st.minimize_profile.base_labelings,
                     st.minimize_profile.threads,
                     st.extract_time,
+                    st.extract_profile.shared_vars,
+                    st.extract_profile.explored_states,
+                    st.extract_profile.model_states,
+                    st.extract_profile.off_model_states,
+                    st.extract_profile.refined_arcs,
+                    st.extract_profile.refinement_rounds,
+                    if st.extract_profile.verified {
+                        "VERIFIED"
+                    } else {
+                        "REJECTED"
+                    },
                     st.verify_time,
                     st.residual_time
                 );

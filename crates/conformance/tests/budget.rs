@@ -258,3 +258,39 @@ fn injected_worker_panic_yields_a_clean_abort_at_every_thread_count() {
         );
     }
 }
+
+/// A refinement cap of zero must degrade to a *structured* extraction
+/// gap (a `FailureKind::ExtractionGap` verification failure — the CLI's
+/// exit-3 path), never a silently-wrong program: the three-process
+/// multitolerance case needs one refinement round, so forbidding
+/// refinement leaves the extracted program rejected by the model
+/// checker at its fault-displaced configurations.
+#[test]
+fn zero_refine_round_cap_degrades_to_a_structured_extraction_gap() {
+    let mut p = mutex::with_fail_stop_multitolerance(3, |f| {
+        if f.name().contains("P1") {
+            Tolerance::Nonmasking
+        } else {
+            Tolerance::Masking
+        }
+    });
+    let gov = Governor::with_budget(Budget {
+        max_extract_refine_rounds: Some(0),
+        ..Budget::default()
+    });
+    let SynthesisOutcome::Solved(s) = synthesize_governed(&mut p, 1, &gov) else {
+        panic!("expected a solved-but-rejected outcome")
+    };
+    assert!(!s.stats.extract_profile.verified);
+    assert_eq!(s.stats.extract_profile.refinement_rounds, 0);
+    assert!(!s.verification.extraction_ok);
+    assert!(!s.verification.ok());
+    assert!(
+        s.verification
+            .failures
+            .iter()
+            .any(|f| f.kind == FailureKind::ExtractionGap),
+        "expected an ExtractionGap failure, got: {}",
+        s.verification.failure_summary()
+    );
+}

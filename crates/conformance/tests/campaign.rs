@@ -8,7 +8,10 @@
 use ftsyn::guarded::sim::CampaignConfig;
 use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
 use ftsyn::problems::{barrier, mutex, readers_writers};
-use ftsyn::{synthesize, SynthesisProblem, Tolerance, ToleranceAssignment};
+use ftsyn::{
+    synthesize, synthesize_governed, Budget, Governor, SynthesisProblem, Tolerance,
+    ToleranceAssignment,
+};
 use ftsyn_conformance::campaign::assert_campaign;
 
 fn run(name: &str, mut problem: SynthesisProblem) {
@@ -16,8 +19,9 @@ fn run(name: &str, mut problem: SynthesisProblem) {
     assert!(s.verification.ok(), "{name}: {:?}", s.verification.failures);
     // The campaign judges traces against the program's own explored
     // structure, so that structure must itself pass the model checker
-    // (it can over-approximate the synthesized model — see the pinned
-    // multitolerance-mutex3 gap below).
+    // (fault-displaced configurations make it a strict superset of the
+    // synthesized model; the in-pipeline refinement loop guarantees the
+    // superset still satisfies every tolerance label).
     let checked = ftsyn::check_program(&mut problem, &s.program)
         .unwrap_or_else(|e| panic!("{name}: not executable: {e}"));
     assert!(
@@ -71,32 +75,14 @@ fn readers_writers_writer_failstop_holds_at_runtime() {
     );
 }
 
-/// Known gap, surfaced by this suite: for *per-fault multitolerance*
-/// assignments the extracted program reaches more global states than
-/// the synthesized model it came from (e.g. 1944 explored vs 138 model
-/// states for multitolerance-mutex3), and the `ftsyn-kripke` model
-/// checker rejects the extra perturbed states' tolerance labels — so
-/// the runtime campaign assertions cannot be expected to hold either.
-/// The synthesized *model* verifies; the shared-variable extraction
-/// over-approximates. Pinned so an extraction fix flips these tests;
-/// tracked in ROADMAP.md.
-fn extraction_gap_pin(name: &str, mut problem: SynthesisProblem) {
-    let s = synthesize(&mut problem).unwrap_solved();
-    assert!(
-        s.verification.ok(),
-        "{name}: the synthesized model itself verifies"
-    );
-    let checked = ftsyn::check_program(&mut problem, &s.program).expect("executable");
-    assert!(
-        !checked.tolerant(),
-        "{name}: extraction gap fixed — move this case into the campaign \
-         suite (use `run`) and delete its pin"
-    );
-}
-
+/// Formerly the pinned extraction gap: per-fault multitolerance
+/// assignments used to explore more global states than the model and
+/// fail their tolerance labels there. The counterexample-guided guard
+/// refinement in the pipeline now strengthens the implicated guards, so
+/// these cases run the full campaign like every other.
 #[test]
-fn multitolerance_mutex3_extraction_gap_is_pinned() {
-    extraction_gap_pin(
+fn multitolerance_mutex3_holds_at_runtime() {
+    run(
         "multitolerance-mutex3-P1-nonmasking",
         mutex::with_fail_stop_multitolerance(3, |f| {
             if f.name().contains("P1") {
@@ -108,11 +94,42 @@ fn multitolerance_mutex3_extraction_gap_is_pinned() {
     );
 }
 
+/// The 4-process scaling axis under the governor: synthesized with
+/// deterministic caps, then put through the same campaign as every
+/// other case. Shares its model/program shape with the pinned golden
+/// (`multitolerance-mutex4-P1-nonmasking`).
 #[test]
-fn multitolerance_mixed_extraction_gap_is_pinned() {
+fn multitolerance_mutex4_holds_at_runtime() {
+    let name = "multitolerance-mutex4-P1-nonmasking";
+    let mut problem = mutex::with_fail_stop_multitolerance(4, |f| {
+        if f.name().contains("P1") {
+            Tolerance::Nonmasking
+        } else {
+            Tolerance::Masking
+        }
+    });
+    let gov = Governor::with_budget(Budget {
+        max_states: Some(60_000),
+        max_extract_refine_rounds: Some(4),
+        ..Budget::default()
+    });
+    let s = synthesize_governed(&mut problem, ftsyn::default_threads(), &gov).unwrap_solved();
+    assert!(s.verification.ok(), "{name}: {:?}", s.verification.failures);
+    let checked = ftsyn::check_program(&mut problem, &s.program)
+        .unwrap_or_else(|e| panic!("{name}: not executable: {e}"));
+    assert!(
+        checked.tolerant(),
+        "{name}: model checker rejects the extracted program: {}",
+        checked.verification.failure_summary()
+    );
+    let report = assert_campaign(name, &mut problem, &s.program, &CampaignConfig::default());
+    assert!(report.faulted_runs > 0, "{name}: no faults injected");
+}
+
+#[test]
+fn multitolerance_mixed_holds_at_runtime() {
     // The E9 instance: fail-stop masked, an undetectable corruption of
-    // P1 ridden out nonmasking. Subject to the same extraction gap as
-    // multitolerance-mutex3 above.
+    // P1 ridden out nonmasking.
     let mut problem = mutex::with_fail_stop(2, Tolerance::Masking);
     let (n1, t1, c1, d1) = (
         problem.props.id("N1").unwrap(),
@@ -144,7 +161,7 @@ fn multitolerance_mixed_extraction_gap_is_pinned() {
         })
         .collect();
     problem.tolerance = ToleranceAssignment::PerFault(tols);
-    extraction_gap_pin("multitolerance-mutex2-mixed", problem);
+    run("multitolerance-mutex2-mixed", problem);
 }
 
 /// Fault-free sanity: the campaign machinery still applies (pure

@@ -110,3 +110,20 @@ fn mutex4_failstop_is_deterministic_across_thread_counts() {
         &[1, 8],
     );
 }
+
+/// The guard-refinement loop (counterexample-driven strengthening in
+/// the extraction stage) must be as deterministic as every other
+/// phase: two full syntheses of the 4-process multitolerance instance
+/// — the case with the largest refined-arc count — byte-compared.
+#[test]
+fn multitolerance4_refinement_is_run_to_run_deterministic() {
+    assert_two_runs_identical("multitolerance-mutex4-P1-nonmasking", || {
+        mutex::with_fail_stop_multitolerance(4, |f| {
+            if f.name().contains("P1") {
+                Tolerance::Nonmasking
+            } else {
+                Tolerance::Masking
+            }
+        })
+    });
+}

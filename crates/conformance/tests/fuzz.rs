@@ -50,6 +50,39 @@ fn seeds_51_to_60() {
     run_range(51, 60);
 }
 
+/// The extraction-gap class must actually be exercised: at least one
+/// seed in the matrix must carry a per-fault multitolerance assignment
+/// *and* synthesize, so the model-checker re-check inside [`run_seed`]
+/// judges an extracted multitolerant program — the class the fuzzer
+/// was historically blind to because its per-fault seeds all proved
+/// impossible or were never asserted against `check_program`.
+#[test]
+fn per_fault_multitolerance_seeds_are_exercised() {
+    use ftsyn::ToleranceAssignment;
+    use ftsyn_conformance::generate::random_problem;
+    use ftsyn_prng::XorShift64;
+
+    let per_fault: Vec<u64> = (1..=60)
+        .filter(|&seed| {
+            matches!(
+                random_problem(&mut XorShift64::new(seed)).problem.tolerance,
+                ToleranceAssignment::PerFault(_)
+            )
+        })
+        .collect();
+    assert!(
+        !per_fault.is_empty(),
+        "no per-fault multitolerance seed in the 1..=60 matrix"
+    );
+    // Lazy: stops at the first per-fault seed that synthesizes (each
+    // run_seed already asserts check_program accepts the program).
+    assert!(
+        per_fault.iter().map(|&seed| run_seed(seed)).any(|r| r.solved),
+        "no per-fault multitolerance seed synthesizes — the extraction \
+         refinement path is never fuzzed: {per_fault:?}"
+    );
+}
+
 /// The generator must produce both synthesizable and impossible
 /// instances — a fuzzer that only ever sees one branch tests nothing.
 #[test]

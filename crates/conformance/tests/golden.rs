@@ -6,7 +6,10 @@
 
 use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
 use ftsyn::problems::{barrier, mutex, readers_writers, wire};
-use ftsyn::{synthesize, SynthesisProblem, Tolerance, ToleranceAssignment};
+use ftsyn::{
+    synthesize, synthesize_governed, Budget, Governor, SynthesisProblem, Tolerance,
+    ToleranceAssignment,
+};
 use ftsyn_conformance::golden::assert_golden;
 use ftsyn_conformance::render::{render_program, render_solved};
 use std::path::PathBuf;
@@ -42,6 +45,38 @@ fn mutex4_fail_stop() {
 /// nonmasking while every other fault (including repairs) stays
 /// masked. Extends the pinned multitolerance coverage beyond the
 /// two-process E9 instance below.
+#[test]
+fn multitolerance_mutex4() {
+    // The §8.2 scaling axis the extraction gap used to block: four
+    // processes under a per-fault assignment, synthesized under
+    // deterministic governor caps (the tableau runs ~45k nodes and the
+    // refinement loop is bounded) so a regression that blows up either
+    // aborts instead of hanging the suite.
+    let mut problem = mutex::with_fail_stop_multitolerance(4, |f| {
+        if f.name().contains("P1") {
+            Tolerance::Nonmasking
+        } else {
+            Tolerance::Masking
+        }
+    });
+    let gov = Governor::with_budget(Budget {
+        max_states: Some(60_000),
+        max_extract_refine_rounds: Some(4),
+        ..Budget::default()
+    });
+    let s = synthesize_governed(&mut problem, ftsyn::default_threads(), &gov).unwrap_solved();
+    assert!(
+        s.verification.ok(),
+        "multitolerance-mutex4: {:?}",
+        s.verification.failures
+    );
+    assert!(s.stats.extract_profile.verified);
+    assert_golden(
+        "multitolerance-mutex4-P1-nonmasking",
+        &ftsyn_conformance::render::render_solved(&problem, &s),
+    );
+}
+
 #[test]
 fn multitolerance_mutex3() {
     check(

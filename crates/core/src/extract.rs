@@ -10,15 +10,59 @@
 //! by disjoining their guards (this is how Figure 9's `N2 ∨ C2` guards
 //! arise).
 
-use ftsyn_ctl::{Owner, PropTable};
+use crate::problem::{SynthesisProblem, Tolerance};
+use crate::verify::semantics_of;
+use ftsyn_ctl::{FormulaId, Owner, PropTable};
+use ftsyn_guarded::interp::corrupt_branches;
 use ftsyn_guarded::{BoolExpr, LocalState, ProcArc, Process, Program, SharedVar};
-use ftsyn_kripke::{FtKripke, PropSet, StateId, TransKind};
-use std::collections::HashMap;
+use ftsyn_kripke::{Checker, FtKripke, PropSet, StateId, TransKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Default cap on guard-refinement rounds in the in-pipeline
+/// extraction-verification stage, used when the governor's budget does
+/// not set `max_extract_refine_rounds`.
+pub const DEFAULT_EXTRACT_REFINE_ROUNDS: usize = 4;
+
+/// The disambiguating shared variables of a model, together with the
+/// valuation-group variable of each state. Returned by
+/// [`introduce_shared_variables`] so extraction and refinement can never
+/// re-derive (and drift from) the valuation→variable numbering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SharedIntroduction {
+    /// The shared-variable declarations, in introduction order.
+    pub vars: Vec<SharedVar>,
+    /// For each state (by index), the variable disambiguating its
+    /// valuation group — `None` when its valuation is unique.
+    pub group_var: Vec<Option<usize>>,
+}
+
+/// Counters for the extraction + in-pipeline verification stage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtractProfile {
+    /// States in the synthesized model the program was read off from.
+    pub model_states: usize,
+    /// Disambiguating shared variables introduced.
+    pub shared_vars: usize,
+    /// Global states reached by interpreting the extracted program under
+    /// faults (last verification round).
+    pub explored_states: usize,
+    /// Explored states outside the model: fault-displaced configurations
+    /// carrying a stale shared vector (faults preserve the running
+    /// shared values while the model's fault edge re-pins them).
+    pub off_model_states: usize,
+    /// Arcs whose guards were strengthened by counterexample refinement.
+    pub refined_arcs: usize,
+    /// Refinement rounds performed.
+    pub refinement_rounds: usize,
+    /// Whether the extracted program's explored structure passed
+    /// semantic verification.
+    pub verified: bool,
+}
 
 /// Introduces the disambiguating shared variables into `model` (mutating
 /// each state's `shared` vector) and returns their declarations plus,
-/// for each state, its group memberships `(var, value)`.
-pub fn introduce_shared_variables(model: &mut FtKripke) -> Vec<SharedVar> {
+/// for each state, its group variable.
+pub fn introduce_shared_variables(model: &mut FtKripke) -> SharedIntroduction {
     // Group states by valuation, in state order.
     let mut groups: Vec<(PropSet, Vec<StateId>)> = Vec::new();
     let mut index: HashMap<PropSet, usize> = HashMap::new();
@@ -52,40 +96,17 @@ pub fn introduce_shared_variables(model: &mut FtKripke) -> Vec<SharedVar> {
 
     // Default every state's shared vector, then pin group members.
     let nvars = vars.len();
+    let mut group_var: Vec<Option<usize>> = vec![None; model.len()];
     for s in model.state_ids().collect::<Vec<_>>() {
         model.state_mut(s).shared = vec![1; nvars];
     }
     for (vi, members) in &assignments {
         for (k, &s) in members.iter().enumerate() {
             model.state_mut(s).shared[*vi] = (k + 1) as u32;
+            group_var[s.index()] = Some(*vi);
         }
     }
-    vars
-}
-
-/// For each state, the disambiguation variable of its valuation group
-/// (if its valuation is shared with another state).
-fn group_vars(model: &FtKripke) -> Vec<Option<usize>> {
-    let mut counts: HashMap<PropSet, usize> = HashMap::new();
-    for s in model.state_ids() {
-        *counts.entry(model.state(s).props.clone()).or_default() += 1;
-    }
-    // Variables were numbered by first occurrence of each duplicated
-    // valuation in `introduce_shared_variables`; reproduce that order.
-    let mut var_of: HashMap<PropSet, usize> = HashMap::new();
-    let mut seen: HashMap<PropSet, ()> = HashMap::new();
-    let mut next = 0usize;
-    for s in model.state_ids() {
-        let v = model.state(s).props.clone();
-        if seen.insert(v.clone(), ()).is_none() && counts[&v] > 1 {
-            var_of.insert(v, next);
-            next += 1;
-        }
-    }
-    model
-        .state_ids()
-        .map(|s| var_of.get(&model.state(s).props).copied())
-        .collect()
+    SharedIntroduction { vars, group_var }
 }
 
 /// One disjunct of a merged guard: the other processes' local states
@@ -111,16 +132,9 @@ pub fn extract_program(
     model: &FtKripke,
     props: &PropTable,
     num_procs: usize,
-    shared: Vec<SharedVar>,
+    shared: &SharedIntroduction,
 ) -> Program {
-    let proc_masks: Vec<PropSet> = (0..num_procs)
-        .map(|i| {
-            PropSet::from_iter_with_capacity(
-                props.len(),
-                props.iter().filter(|&p| props.owner(p) == Owner::Process(i)),
-            )
-        })
-        .collect();
+    let proc_masks = proc_prop_masks(props, num_procs);
 
     // Discover local states per process.
     let mut processes: Vec<Process> = (0..num_procs)
@@ -158,7 +172,7 @@ pub fn extract_program(
     }
 
     // Collect arcs: (proc, from, to, assigns) → guard blocks.
-    let group_var = group_vars(model);
+    let group_var = &shared.group_var;
     type ArcKey = (usize, usize, usize, Vec<(usize, u32)>);
     let mut arcs: HashMap<ArcKey, Vec<GuardBlock>> = HashMap::new();
     let mut arc_order: Vec<ArcKey> = Vec::new();
@@ -226,22 +240,390 @@ pub fn extract_program(
 
     Program {
         processes,
-        shared,
+        shared: shared.vars.clone(),
         init_locals,
         init_shared,
         num_props: props.len(),
     }
 }
 
-/// Converts a local state into the positive-proposition guard expression
-/// identifying it (one-hot local states are identified by their positive
-/// propositions under the global specification's exactly-one clauses).
+/// Per-process proposition masks (the partition of the vocabulary).
+fn proc_prop_masks(props: &PropTable, num_procs: usize) -> Vec<PropSet> {
+    (0..num_procs)
+        .map(|i| {
+            PropSet::from_iter_with_capacity(
+                props.len(),
+                props.iter().filter(|&p| props.owner(p) == Owner::Process(i)),
+            )
+        })
+        .collect()
+}
+
+/// Strengthens the guards of arcs whose valuation groups contain
+/// mis-owned runtime configurations, and returns how many guards
+/// changed.
+///
+/// Program arcs assign the full canonical shared vector of their target,
+/// but runtime faults preserve the running shared values while changing
+/// locals — so a model fault edge `t →F u` with `shared(t) ≠ shared(u)`
+/// displaces the run to the off-model configuration `(locals(u),
+/// shared(t))`, and a repair fault can land its tolerance obligation on
+/// the *canonical* configuration of a different valuation-group member
+/// than the model's fault-edge target. The weak guards extracted from
+/// canonical states fire the group-variable-matching member there, which
+/// may violate a stricter tolerance label.
+///
+/// The refinement computes the configuration-level displacement fixpoint
+/// — every `(locals, carried shared vector)` pair reachable when faults
+/// carry the running shared values along model fault edges — together
+/// with each configuration's *obligations*: the tolerance labels of the
+/// fault actions that can reach it. Every configuration is then owned by
+/// exactly one state of its valuation group: the *weak* owner (the
+/// member whose guards already fire at this vector) when its model
+/// truths satisfy all obligation labels, otherwise the first group
+/// member, in state order, that does (decided with the CTL model checker
+/// on the model itself). Ownership matters because firing the *union* of
+/// several members' arcs at a shared configuration splices their
+/// behaviours into composite paths that no model state has — which is
+/// exactly what breaks `AF`-liveness inside the tolerance labels. An
+/// owned configuration fires the owner's arcs only, and since every arc
+/// writes the full canonical target vector, its program-path behaviour
+/// is exactly the owner's, so it inherits the owner's tolerance truths
+/// under the fault-free satisfaction relation.
+///
+/// Guards of arcs in re-owned groups are rebuilt as one block per
+/// `(source state, owned vector)`, with shared-variable equalities
+/// greedily minimized against the vectors owned by same-locals rivals
+/// (canonical blocks typically minimize back to the readable
+/// single-variable test the weak extraction produced). Groups in which
+/// every configuration stays with its weak owner keep their original
+/// guards, which is what keeps fault-free programs byte-identical.
+pub fn refine_guards(
+    problem: &mut SynthesisProblem,
+    model: &FtKripke,
+    intro: &SharedIntroduction,
+    program: &mut Program,
+) -> usize {
+    let num_procs = program.processes.len();
+    let masks = proc_prop_masks(&problem.props, num_procs);
+    let n = model.len();
+
+    // Locals of every model state, in the program's local indexing.
+    let state_locals: Vec<Vec<usize>> = model
+        .state_ids()
+        .map(|s| {
+            (0..num_procs)
+                .map(|i| {
+                    let lv = model.state(s).props.intersect(&masks[i]);
+                    program.processes[i]
+                        .state_by_props(&lv)
+                        .expect("model state projects onto extracted local states")
+                })
+                .collect()
+        })
+        .collect();
+
+    let canonical: Vec<&[u32]> = model
+        .state_ids()
+        .map(|s| model.state(s).shared.as_slice())
+        .collect();
+    let mut fault_succ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    let mut proc_edges: Vec<(usize, usize, usize)> = Vec::new();
+    for s in model.state_ids() {
+        for e in model.succ(s) {
+            match e.kind {
+                TransKind::Fault(a) => fault_succ[s.index()].push((a, e.to.index())),
+                TransKind::Proc(i) => proc_edges.push((s.index(), i, e.to.index())),
+            }
+        }
+    }
+
+    // Same-locals groups (same locals ⟺ same valuation ⟺ one
+    // disambiguation group), in state order.
+    let mut by_locals: HashMap<&[usize], Vec<usize>> = HashMap::new();
+    for (u, l) in state_locals.iter().enumerate() {
+        by_locals.entry(l.as_slice()).or_default().push(u);
+    }
+
+    // Configuration-level displacement fixpoint: every (locals, carried
+    // shared vector) pair reachable when fault edges preserve the
+    // carried values (modulo the action's own corruption branches), each
+    // with its accumulated obligations — the tolerance labels of the
+    // fault actions that can reach it. Seeding in state order and BFS
+    // keep the entry list, and hence every guard built from it,
+    // deterministic.
+    struct Entry {
+        locals: Vec<usize>,
+        vector: Vec<u32>,
+        obligations: Vec<Tolerance>,
+    }
+    let mut entry_index: HashMap<(Vec<usize>, Vec<u32>), usize> = HashMap::new();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut work: VecDeque<usize> = VecDeque::new();
+    for u in 0..n {
+        let key = (state_locals[u].clone(), canonical[u].to_vec());
+        if !entry_index.contains_key(&key) {
+            entry_index.insert(key.clone(), entries.len());
+            work.push_back(entries.len());
+            entries.push(Entry {
+                locals: key.0,
+                vector: key.1,
+                obligations: Vec::new(),
+            });
+        }
+    }
+    while let Some(ei) = work.pop_front() {
+        let locals = entries[ei].locals.clone();
+        let v = entries[ei].vector.clone();
+        let group = by_locals[locals.as_slice()].clone();
+        for u in group {
+            for &(a, w) in &fault_succ[u] {
+                let tol = problem.tolerance.of(a);
+                for v2 in corrupt_branches(program, &v, &problem.faults[a]) {
+                    let key = (state_locals[w].clone(), v2);
+                    let idx = match entry_index.get(&key) {
+                        Some(&i) => i,
+                        None => {
+                            let i = entries.len();
+                            entry_index.insert(key.clone(), i);
+                            work.push_back(i);
+                            entries.push(Entry {
+                                locals: key.0,
+                                vector: key.1,
+                                obligations: Vec::new(),
+                            });
+                            i
+                        }
+                    };
+                    if !entries[idx].obligations.contains(&tol) {
+                        entries[idx].obligations.push(tol);
+                    }
+                }
+            }
+        }
+    }
+
+    // Which model states satisfy which tolerance labels, decided by the
+    // CTL checker on the model itself.
+    let mut needed: Vec<Tolerance> = Vec::new();
+    for e in &entries {
+        for &t in &e.obligations {
+            if !needed.contains(&t) {
+                needed.push(t);
+            }
+        }
+    }
+    let tol_formulas: Vec<Vec<FormulaId>> = needed
+        .iter()
+        .map(|&t| problem.label_tol_formulas(t))
+        .collect();
+    let state_ids: Vec<StateId> = model.state_ids().collect();
+    let mut ck = Checker::new(model, semantics_of(problem.mode));
+    let mut sat: Vec<Vec<bool>> = Vec::with_capacity(n);
+    for &s in &state_ids {
+        let mut row = Vec::with_capacity(needed.len());
+        for fs in &tol_formulas {
+            row.push(fs.iter().all(|&f| ck.holds(&problem.arena, f, s)));
+        }
+        sat.push(row);
+    }
+
+    // Assign every configuration exactly one owner, collecting each
+    // state's owned vectors. The *weak* owner — the member the original
+    // guards fire at this vector (the group-variable match; for a
+    // canonical configuration that is its own state) — keeps ownership
+    // whenever its model truths satisfy every obligation label; this is
+    // what keeps untouched groups, and hence fault-free programs,
+    // byte-identical. Otherwise ownership moves to the first group
+    // member, in state order, that satisfies all obligations (decided
+    // with the CTL model checker on the model itself) — canonical
+    // configurations included: a runtime repair fault carries the
+    // running shared vector, so it can land a *Masking* obligation on
+    // the canonical configuration of a copy that only certifies
+    // Nonmasking, while its all-satisfying sibling is the model's actual
+    // repair target. When no member satisfies everything the weak owner
+    // stays (the remaining verification failure then surfaces as an
+    // extraction gap).
+    let weak_owner = |e: &Entry, group: &[usize]| -> usize {
+        match intro.group_var[group[0]] {
+            Some(g) => group
+                .iter()
+                .copied()
+                .find(|&u| canonical[u][g] == e.vector[g])
+                .unwrap_or(group[0]),
+            None => group[0],
+        }
+    };
+    let mut accepted: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
+    let mut reowned_groups: HashSet<&[usize]> = HashSet::new();
+    for e in &entries {
+        let group = &by_locals[e.locals.as_slice()];
+        let satisfies = |u: usize| {
+            e.obligations
+                .iter()
+                .all(|t| sat[u][needed.iter().position(|x| x == t).expect("collected above")])
+        };
+        let weak = weak_owner(e, group);
+        let owner = if satisfies(weak) {
+            weak
+        } else {
+            group.iter().copied().find(|&u| satisfies(u)).unwrap_or(weak)
+        };
+        if owner != weak {
+            reowned_groups.insert(e.locals.as_slice());
+        }
+        accepted[owner].push(e.vector.clone());
+    }
+
+    // The merged program arc of each model edge, keyed by
+    // (process, from-local, to-local, shared assignment vector).
+    type ArcKey = (usize, usize, usize, Vec<(usize, u32)>);
+    let mut arc_index: HashMap<ArcKey, usize> = HashMap::new();
+    for (pi, proc) in program.processes.iter().enumerate() {
+        for (ai, arc) in proc.arcs.iter().enumerate() {
+            arc_index.insert((pi, arc.from, arc.to, arc.assigns.clone()), ai);
+        }
+    }
+    let mut arc_sources: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    let mut state_arcs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for &(src, pi, dst) in &proc_edges {
+        let assigns: Vec<(usize, u32)> = canonical[dst]
+            .iter()
+            .enumerate()
+            .map(|(vi, &k)| (vi, k))
+            .collect();
+        let ai = arc_index[&(pi, state_locals[src][pi], state_locals[dst][pi], assigns)];
+        let key = (pi, ai);
+        let sources = arc_sources.entry(key).or_default();
+        if !sources.contains(&src) {
+            sources.push(src);
+        }
+        if !state_arcs[src].contains(&key) {
+            state_arcs[src].push(key);
+        }
+    }
+
+    // Implicate whole valuation groups in which some configuration was
+    // re-owned: only there do the weak guards fire the wrong member.
+    // (Displaced configurations whose weak owner satisfies all
+    // obligations already behave correctly under the weak guards — no
+    // rebuild, no churn.) Group-atomic implication is required for
+    // consistency — a guard block only fires where the other processes'
+    // locals match its source exactly, so only same-group arcs can fire
+    // at a configuration, and mixing ownership-partitioned guards with
+    // weak ones inside a group would re-introduce double firing.
+    let mut implicated: Vec<(usize, usize)> = Vec::new();
+    let mut implicated_set: HashSet<(usize, usize)> = HashSet::new();
+    for u in 0..n {
+        if !reowned_groups.contains(state_locals[u].as_slice()) {
+            continue;
+        }
+        for &key in &state_arcs[u] {
+            if implicated_set.insert(key) {
+                implicated.push(key);
+            }
+        }
+    }
+
+    let mut new_guards: Vec<(usize, usize, BoolExpr)> = Vec::new();
+    for &(pi, ai) in &implicated {
+        let mut blocks: Vec<GuardBlock> = Vec::new();
+        for &u in &arc_sources[&(pi, ai)] {
+            // Rival vectors the blocks must exclude: everything owned by
+            // a same-locals rival (ownership partitions the group's
+            // vectors, so no rival equals an owned vector).
+            let mut rival_vecs: Vec<Vec<u32>> = Vec::new();
+            for &u2 in &by_locals[state_locals[u].as_slice()] {
+                if u2 == u {
+                    continue;
+                }
+                for v in &accepted[u2] {
+                    if !rival_vecs.contains(v) {
+                        rival_vecs.push(v.clone());
+                    }
+                }
+            }
+            let other_locals: Vec<(usize, usize)> = state_locals[u]
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != pi)
+                .map(|(j, &l)| (j, l))
+                .collect();
+            for v in &accepted[u] {
+                let block = GuardBlock {
+                    other_locals: other_locals.clone(),
+                    var_eqs: minimize_var_eqs(v, &rival_vecs, intro.group_var[u]),
+                };
+                if !blocks.contains(&block) {
+                    blocks.push(block);
+                }
+            }
+        }
+        let guard = blocks_to_guard(&program.processes, &blocks);
+        if program.processes[pi].arcs[ai].guard != guard {
+            new_guards.push((pi, ai, guard));
+        }
+    }
+    let changed = new_guards.len();
+    for (pi, ai, g) in new_guards {
+        program.processes[pi].arcs[ai].guard = g;
+    }
+    changed
+}
+
+/// The shortest prefix of shared-variable equalities (group variable
+/// first, then ascending index) distinguishing `v` from every rival
+/// vector; each kept equality excludes at least one remaining rival.
+fn minimize_var_eqs(
+    v: &[u32],
+    rivals: &[Vec<u32>],
+    group_var: Option<usize>,
+) -> Vec<(usize, u32)> {
+    let mut remaining: Vec<&Vec<u32>> = rivals.iter().collect();
+    let mut eqs: Vec<(usize, u32)> = Vec::new();
+    let order = group_var
+        .into_iter()
+        .chain((0..v.len()).filter(move |&i| Some(i) != group_var));
+    for var in order {
+        if remaining.is_empty() {
+            break;
+        }
+        let before = remaining.len();
+        remaining.retain(|c| c[var] == v[var]);
+        if remaining.len() < before {
+            eqs.push((var, v[var]));
+        }
+    }
+    debug_assert!(remaining.is_empty(), "a rival vector equals the block's");
+    eqs
+}
+
+/// Converts a local state into the guard expression identifying it: its
+/// positive propositions, plus the negated propositions needed to
+/// exclude every sibling local state whose propositions subsume this
+/// one's (a purely positive conjunction would also fire there). One-hot
+/// local states — the common case under the global specification's
+/// exactly-one clauses — never subsume each other, so their expressions
+/// stay purely positive.
 fn local_expr(proc: &Process, li: usize) -> BoolExpr {
-    let ps: Vec<BoolExpr> = proc.states[li].props.iter().map(BoolExpr::Prop).collect();
-    match ps.len() {
+    let props = &proc.states[li].props;
+    let mut conj: Vec<BoolExpr> = props.iter().map(BoolExpr::Prop).collect();
+    let mut confusable: Vec<usize> = (0..proc.states.len())
+        .filter(|&l| l != li && props.iter().all(|p| proc.states[l].props.contains(p)))
+        .collect();
+    while let Some(&l) = confusable.first() {
+        let p = proc.states[l]
+            .props
+            .iter()
+            .find(|&p| !props.contains(p))
+            .expect("a distinct superset has an extra proposition");
+        conj.push(BoolExpr::Not(Box::new(BoolExpr::Prop(p))));
+        confusable.retain(|&l2| !proc.states[l2].props.contains(p));
+    }
+    match conj.len() {
         0 => BoolExpr::Const(true),
-        1 => ps.into_iter().next().expect("len checked"),
-        _ => BoolExpr::And(ps),
+        1 => conj.into_iter().next().expect("len checked"),
+        _ => BoolExpr::And(conj),
     }
 }
 
@@ -360,12 +742,68 @@ mod tests {
         m.add_edge(s0, TransKind::Proc(0), s1);
         m.add_edge(s1, TransKind::Proc(1), s2);
         m.add_edge(s2, TransKind::Proc(0), s0);
-        let vars = introduce_shared_variables(&mut m);
-        assert_eq!(vars.len(), 1);
-        assert_eq!(vars[0].domain, 2);
+        let intro = introduce_shared_variables(&mut m);
+        assert_eq!(intro.vars.len(), 1);
+        assert_eq!(intro.vars[0].domain, 2);
         assert_eq!(m.state(s1).shared, vec![1]);
         assert_eq!(m.state(s2).shared, vec![2]);
         assert_eq!(m.state(s0).shared, vec![1]);
+        assert_eq!(intro.group_var, vec![None, Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn group_vars_follow_introduction_order_with_interleaved_duplicates() {
+        // Two valuation groups whose members interleave in state order:
+        // the group-variable numbering must come straight from
+        // `introduce_shared_variables` (it used to be re-derived by a
+        // separate scan that could drift).
+        let props = two_proc_props();
+        let mut m = FtKripke::new();
+        let a0 = m.push_state(st(&props, &["a1", "a2"]));
+        let b0 = m.push_state(st(&props, &["b1", "a2"]));
+        let a1 = m.push_state(st(&props, &["a1", "a2"])); // dup of a0
+        let b1 = m.push_state(st(&props, &["b1", "a2"])); // dup of b0
+        m.add_init(a0);
+        m.add_edge(a0, TransKind::Proc(0), b0);
+        m.add_edge(b0, TransKind::Proc(0), a1);
+        m.add_edge(a1, TransKind::Proc(0), b1);
+        m.add_edge(b1, TransKind::Proc(0), a0);
+        let intro = introduce_shared_variables(&mut m);
+        assert_eq!(intro.vars.len(), 2);
+        assert_eq!(
+            intro.group_var,
+            vec![Some(0), Some(1), Some(0), Some(1)],
+            "x0 belongs to the first-seen duplicated valuation, x1 to the second"
+        );
+        assert_eq!(m.state(a0).shared, vec![1, 1]);
+        assert_eq!(m.state(b0).shared, vec![1, 1]);
+        assert_eq!(m.state(a1).shared, vec![2, 1]);
+        assert_eq!(m.state(b1).shared, vec![1, 2]);
+        let prog = extract_program(&m, &props, 2, &intro);
+        // Every guard block built from state s must test s's own group
+        // variable at s's value: a1→b1 from a0 (x0=1) and a1 (x0=2),
+        // b1→a1 from b0 (x1=1) and b1 (x1=2).
+        for (from_name, var, vals) in [("a1", 0usize, [1u32, 2]), ("b1", 1, [1, 2])] {
+            let arcs: Vec<_> = prog.processes[0]
+                .arcs
+                .iter()
+                .filter(|a| prog.processes[0].states[a.from].name == from_name)
+                .collect();
+            assert!(!arcs.is_empty());
+            for (arc, val) in arcs.iter().zip(vals) {
+                fn eqs(e: &BoolExpr, out: &mut Vec<(usize, u32)>) {
+                    match e {
+                        BoolExpr::VarEq(v, k) => out.push((*v, *k)),
+                        BoolExpr::And(v) | BoolExpr::Or(v) => v.iter().for_each(|e| eqs(e, out)),
+                        BoolExpr::Not(i) => eqs(i, out),
+                        _ => {}
+                    }
+                }
+                let mut found = Vec::new();
+                eqs(&arc.guard, &mut found);
+                assert_eq!(found, vec![(var, val)], "arc {from_name} #{val}");
+            }
+        }
     }
 
     #[test]
@@ -377,8 +815,9 @@ mod tests {
         m.add_init(s0);
         m.add_edge(s0, TransKind::Proc(0), s1);
         m.add_edge(s1, TransKind::Proc(0), s0);
-        let vars = introduce_shared_variables(&mut m);
-        assert!(vars.is_empty());
+        let intro = introduce_shared_variables(&mut m);
+        assert!(intro.vars.is_empty());
+        assert_eq!(intro.group_var, vec![None, None]);
     }
 
     #[test]
@@ -397,8 +836,8 @@ mod tests {
         m.add_edge(s3, TransKind::Proc(0), s2);
         m.add_edge(s1, TransKind::Proc(1), s3);
         m.add_edge(s3, TransKind::Proc(1), s1);
-        let vars = introduce_shared_variables(&mut m);
-        let prog = extract_program(&m, &props, 2, vars);
+        let intro = introduce_shared_variables(&mut m);
+        let prog = extract_program(&m, &props, 2, &intro);
         assert_eq!(prog.processes[0].states.len(), 2);
         assert_eq!(prog.processes[1].states.len(), 2);
         // P1's a1→b1 arc merged across P2 states: guard a2 ∨ b2 → covers
@@ -440,9 +879,9 @@ mod tests {
         m.add_edge(dup1, TransKind::Proc(0), dup2);
         m.add_edge(dup2, TransKind::Proc(1), s3);
         m.add_edge(s3, TransKind::Proc(0), s0);
-        let vars = introduce_shared_variables(&mut m);
-        assert_eq!(vars.len(), 1);
-        let prog = extract_program(&m, &props, 2, vars);
+        let intro = introduce_shared_variables(&mut m);
+        assert_eq!(intro.vars.len(), 1);
+        let prog = extract_program(&m, &props, 2, &intro);
         let arc = prog.processes[1]
             .arcs
             .iter()

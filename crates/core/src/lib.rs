@@ -63,7 +63,10 @@ mod verify;
 pub mod problems;
 
 pub use check::{check_program, CheckError, CheckReport};
-pub use extract::{extract_program, introduce_shared_variables};
+pub use extract::{
+    extract_program, introduce_shared_variables, refine_guards, ExtractProfile,
+    SharedIntroduction, DEFAULT_EXTRACT_REFINE_ROUNDS,
+};
 pub use fragment::{build_ffrag, build_ffrag_mode, eventualities_in, FragNode, Fragment};
 pub use minimize::{
     semantic_minimize, semantic_minimize_governed, semantic_minimize_profiled,

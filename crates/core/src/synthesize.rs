@@ -1,13 +1,17 @@
 //! The end-to-end synthesis pipeline (Section 5.2, steps 1–5).
 
-use crate::extract::{extract_program, introduce_shared_variables};
+use crate::extract::{
+    extract_program, introduce_shared_variables, refine_guards, ExtractProfile,
+    DEFAULT_EXTRACT_REFINE_ROUNDS,
+};
 use crate::minimize::{
     semantic_minimize_governed, semantic_minimize_with_threads, MinimizeProfile,
 };
 use crate::problem::SynthesisProblem;
 use crate::unravel::{unravel_governed, unravel_mode, Unraveled};
-use crate::verify::{verify, verify_semantic, Failure, FailureKind, Verification};
+use crate::verify::{verify, verify_semantic, verify_semantic_ok, Failure, FailureKind, Verification};
 use ftsyn_ctl::Closure;
+use ftsyn_guarded::interp::{explore, Config};
 use ftsyn_guarded::{fault_set_size, Program};
 use ftsyn_kripke::{bisimulation_quotient, FtKripke};
 use ftsyn_tableau::{
@@ -68,6 +72,9 @@ pub struct SynthesisStats {
     /// Candidate-merge counters of semantic minimization (the phase
     /// that dominates wall-clock on the larger instances).
     pub minimize_profile: MinimizeProfile,
+    /// Counters of the extraction + in-pipeline verification stage
+    /// (explored vs model states, guard-refinement rounds).
+    pub extract_profile: ExtractProfile,
 }
 
 impl SynthesisStats {
@@ -470,16 +477,85 @@ fn synthesize_impl(
     stats.program_transitions = model.edge_count() - stats.fault_transitions;
     let mut model = model;
 
-    // Step 5: shared variables and program extraction.
+    // Step 5: shared variables and program extraction, followed by the
+    // in-pipeline extraction-verification loop. The interpreter
+    // regenerates the extracted program's global structure under faults
+    // and the semantic checks run on it (Corollary 7.1's "execution of
+    // P generates M_F", now established mechanically instead of
+    // assumed). On rejection, the guards of the arcs implicated by the
+    // off-model counterexample configurations are strengthened from the
+    // displacement fixpoint and the check repeats, up to a
+    // governor-visible round cap; a non-converging loop degrades the
+    // verification with a structured `ExtractionGap` failure instead of
+    // returning a silently-wrong program.
     let t_ext = Instant::now();
-    let shared = introduce_shared_variables(&mut model);
-    let program = extract_program(
-        &model,
-        &problem.props,
-        problem.arena.num_procs(),
-        shared,
-    );
-
+    let intro = introduce_shared_variables(&mut model);
+    let mut program = extract_program(&model, &problem.props, problem.arena.num_procs(), &intro);
+    let mut extract_profile = ExtractProfile {
+        model_states: model.len(),
+        shared_vars: intro.vars.len(),
+        ..ExtractProfile::default()
+    };
+    let refine_cap = gov
+        .and_then(|g| g.budget().max_extract_refine_rounds)
+        .unwrap_or(DEFAULT_EXTRACT_REFINE_ROUNDS);
+    let model_contents: std::collections::HashSet<&ftsyn_kripke::State> =
+        model.state_ids().map(|s| model.state(s)).collect();
+    let mut extraction_failure: Option<String> = None;
+    loop {
+        if let Some(g) = gov {
+            if let Err(reason) = g.check_realtime() {
+                stats.extract_time = t_ext.elapsed();
+                stats.extract_profile = extract_profile;
+                return aborted(Phase::Extract, reason, stats, start);
+            }
+        }
+        let ex = match explore(&program, &problem.faults, &problem.props) {
+            Ok(ex) => ex,
+            Err(e) => {
+                extraction_failure = Some(format!("extracted program is not executable: {e}"));
+                break;
+            }
+        };
+        extract_profile.explored_states = ex.kripke.len();
+        let off_configs: Vec<Config> = ex
+            .kripke
+            .state_ids()
+            .filter(|&s| !model_contents.contains(ex.kripke.state(s)))
+            .map(|s| ex.configs[s.index()].clone())
+            .collect();
+        extract_profile.off_model_states = off_configs.len();
+        if verify_semantic_ok(problem, &ex.kripke) {
+            extract_profile.verified = true;
+            break;
+        }
+        if extract_profile.refinement_rounds >= refine_cap {
+            let summary = verify_semantic(problem, &ex.kripke).failure_summary();
+            extraction_failure = Some(format!(
+                "extraction verification still rejects after {} refinement round(s): \
+                 {summary} ({} explored vs {} model states)",
+                extract_profile.refinement_rounds,
+                ex.kripke.len(),
+                model.len(),
+            ));
+            break;
+        }
+        let changed = refine_guards(problem, &model, &intro, &mut program);
+        extract_profile.refinement_rounds += 1;
+        extract_profile.refined_arcs += changed;
+        if changed == 0 {
+            let summary = verify_semantic(problem, &ex.kripke).failure_summary();
+            extraction_failure = Some(format!(
+                "extraction refinement made no progress: {summary} \
+                 ({} explored vs {} model states)",
+                ex.kripke.len(),
+                model.len(),
+            ));
+            break;
+        }
+    }
+    drop(model_contents);
+    stats.extract_profile = extract_profile;
     stats.extract_time = t_ext.elapsed();
 
     // Final verification of the minimized model: the three semantic
@@ -491,6 +567,12 @@ fn synthesize_impl(
     let t_ver = Instant::now();
     let mut verification = verify_semantic(problem, &model);
     verification.merge_pre_minimization(full_verification);
+    if let Some(msg) = extraction_failure {
+        verification.extraction_ok = false;
+        verification
+            .failures
+            .push(Failure::pipeline(FailureKind::ExtractionGap, msg));
+    }
     stats.verify_time += t_ver.elapsed();
     stats.elapsed = start.elapsed();
     stats.residual_time = stats.elapsed.saturating_sub(stats.phase_total());

@@ -30,16 +30,22 @@ pub enum FailureKind {
     /// panic and the run aborted with partial diagnostics instead of
     /// taking the process down.
     WorkerPanic,
+    /// The extracted program's explored structure failed verification
+    /// and the bounded guard-refinement loop did not close the gap
+    /// (Corollary 7.1's "execution of P generates M_F" could not be
+    /// established).
+    ExtractionGap,
 }
 
 impl FailureKind {
     /// Every kind, in reporting order.
-    pub const ALL: [FailureKind; 5] = [
+    pub const ALL: [FailureKind; 6] = [
         FailureKind::Spec,
         FailureKind::Tolerance,
         FailureKind::FaultClosure,
         FailureKind::LabelSoundness,
         FailureKind::WorkerPanic,
+        FailureKind::ExtractionGap,
     ];
 
     /// Stable machine-readable name (used as a JSON key by `bench_json`
@@ -51,6 +57,7 @@ impl FailureKind {
             FailureKind::FaultClosure => "fault_closure",
             FailureKind::LabelSoundness => "label_soundness",
             FailureKind::WorkerPanic => "worker_panic",
+            FailureKind::ExtractionGap => "extraction_gap",
         }
     }
 }
@@ -139,6 +146,12 @@ pub struct Verification {
     /// Every formula in every state's tableau label holds at that state
     /// under `⊨ₙ` (Theorem 7.1.9).
     pub labels_sound: bool,
+    /// The extracted program regenerates a structure that passes the
+    /// semantic checks under faults — Corollary 7.1's "execution of P
+    /// generates M_F", established by the in-pipeline
+    /// extraction-verification stage (false when the guard-refinement
+    /// loop gave up with a [`FailureKind::ExtractionGap`] failure).
+    pub extraction_ok: bool,
     /// Number of perturbed states found.
     pub perturbed_count: usize,
     /// Structured descriptions of any violations.
@@ -152,6 +165,7 @@ impl Verification {
             && self.perturbed_satisfy_tolerance
             && self.fault_closed
             && self.labels_sound
+            && self.extraction_ok
     }
 
     /// Folds a full pre-minimization verification into this (final,
@@ -168,6 +182,7 @@ impl Verification {
         self.init_satisfies_spec &= pre.init_satisfies_spec;
         self.perturbed_satisfy_tolerance &= pre.perturbed_satisfy_tolerance;
         self.fault_closed &= pre.fault_closed;
+        self.extraction_ok &= pre.extraction_ok;
         self.labels_sound = pre.labels_sound;
         self.failures.extend(pre.failures.into_iter().map(|mut f| {
             f.stage = FailureStage::PreMinimization;
@@ -178,7 +193,7 @@ impl Verification {
     /// Failure counts aggregated by kind, in [`FailureKind::ALL`] order
     /// (including kinds with zero failures, so consumers get a fixed
     /// schema).
-    pub fn failures_by_kind(&self) -> [(FailureKind, usize); 5] {
+    pub fn failures_by_kind(&self) -> [(FailureKind, usize); 6] {
         FailureKind::ALL.map(|k| (k, self.failures.iter().filter(|f| f.kind == k).count()))
     }
 
@@ -238,6 +253,7 @@ fn verify_semantic_impl(
         perturbed_satisfy_tolerance: true,
         fault_closed: true,
         labels_sound: true,
+        extraction_ok: true,
         ..Verification::default()
     };
     let spec_formula = problem.spec.formula(&mut problem.arena);
@@ -452,6 +468,18 @@ mod aggregation_tests {
     }
 
     #[test]
+    fn aggregates_extraction_gap_failures() {
+        let mut v = Verification::default();
+        v.failures.push(Failure::pipeline(
+            FailureKind::ExtractionGap,
+            "injected".into(),
+        ));
+        assert_eq!(count_of(&v, FailureKind::ExtractionGap), 1);
+        assert_eq!(v.failure_summary(), "extraction_gap:1");
+        assert_eq!(v.failures[0].to_string(), "[pipeline] injected");
+    }
+
+    #[test]
     fn clean_verification_has_empty_summary() {
         let v = Verification::default();
         assert!(v.failure_summary().is_empty());
@@ -531,6 +559,7 @@ mod tests {
             perturbed_satisfy_tolerance: true,
             fault_closed: true,
             labels_sound: true,
+            extraction_ok: true,
             ..Verification::default()
         };
         final_v.merge_pre_minimization(v);

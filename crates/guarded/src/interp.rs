@@ -206,7 +206,11 @@ pub fn explore(
 
 /// All shared-value vectors resulting from an action's corruption list,
 /// with out-of-domain writes reinterpreted as the default value `1`.
-fn corrupt_branches(program: &Program, shared: &[u32], action: &FaultAction) -> Vec<Vec<u32>> {
+///
+/// Public because extraction's displacement analysis (core
+/// `extract::refine_guards`) must predict exactly the shared vectors
+/// this interpreter can produce under faults.
+pub fn corrupt_branches(program: &Program, shared: &[u32], action: &FaultAction) -> Vec<Vec<u32>> {
     let mut branches = vec![shared.to_vec()];
     for &(var, ref how) in action.corrupt_shared() {
         if var >= shared.len() {

@@ -313,7 +313,7 @@ fn expand_task(
             let ts = match cache.and_then(|c| c.lookup_tiles(label)) {
                 Some(cached) => cached.clone(),
                 None => {
-                    let computed = run_tiles(closure, label, kernel);
+                    let computed = run_tiles(closure, props, label, kernel);
                     if cache.is_some() {
                         fill = Some(CacheFill::Tiles(label.clone(), computed.clone()));
                     }
@@ -385,12 +385,12 @@ fn run_blocks(closure: &Closure, label: &LabelSet, kernel: Kernel) -> Vec<LabelS
     }
 }
 
-fn run_tiles(closure: &Closure, label: &LabelSet, kernel: Kernel) -> Vec<Tile> {
+fn run_tiles(closure: &Closure, props: &PropTable, label: &LabelSet, kernel: Kernel) -> Vec<Tile> {
     match kernel {
         // `Tiles` never grew a second filter; Fast and Classic share it.
-        Kernel::Fast | Kernel::Classic => tiles(closure, label),
+        Kernel::Fast | Kernel::Classic => tiles(closure, props, label),
         #[cfg(any(test, feature = "slow-reference"))]
-        Kernel::Reference => crate::expand_naive::tiles_naive(closure, label),
+        Kernel::Reference => crate::expand_naive::tiles_naive(closure, props, label),
     }
 }
 

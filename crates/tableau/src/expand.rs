@@ -1,7 +1,7 @@
 //! The `Blocks` and `Tiles` expansions of the CTL decision procedure
 //! (Section 4 of the paper).
 
-use ftsyn_ctl::{Closure, ClosureIdx, EntryKind, Expansion, LabelSet};
+use ftsyn_ctl::{Closure, ClosureIdx, EntryKind, Expansion, LabelSet, Owner, PropTable};
 use std::collections::HashSet;
 
 /// Computes `Blocks(d)` for an OR-node label: the set of downward-closed,
@@ -287,8 +287,40 @@ pub enum Tile {
     Dummy,
 }
 
+/// Inserts the *frame condition* of Definition 5.1.2 into a `Proc(proc)`
+/// tile label: a transition of process `proc` preserves the local state
+/// of every other process, so each proposition owned by a process
+/// `j ≠ proc` is pinned to its (closed-world) value in the source
+/// AND-node label. Without the pins, perturbed sections — whose labels
+/// no longer carry the specification's interleaving clauses — admit
+/// "recovery" successors that flip other processes' propositions, which
+/// no synchronization skeleton can implement.
+fn pin_frame(closure: &Closure, props: &PropTable, label: &LabelSet, proc: usize, or_label: &mut LabelSet) {
+    let mut positive: Vec<bool> = vec![false; props.len()];
+    for idx in label.iter() {
+        if let EntryKind::Lit {
+            prop,
+            positive: true,
+        } = closure.entry(idx).kind
+        {
+            positive[prop.index()] = true;
+        }
+    }
+    for p in props.iter() {
+        match props.owner(p) {
+            Owner::Process(j) if j != proc => {
+                let lit = closure
+                    .literal(p, positive[p.index()])
+                    .expect("all literals are registered in the closure");
+                or_label.insert(lit);
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Computes the `Tiles(c)` successor requirements of an AND-node label.
-pub fn tiles(closure: &Closure, label: &LabelSet) -> Vec<Tile> {
+pub fn tiles(closure: &Closure, props: &PropTable, label: &LabelSet) -> Vec<Tile> {
     // Gather AX/EX bodies per process.
     let mut ax_bodies: Vec<Vec<ClosureIdx>> = Vec::new();
     let mut ex_bodies: Vec<Vec<ClosureIdx>> = Vec::new();
@@ -327,6 +359,7 @@ pub fn tiles(closure: &Closure, label: &LabelSet) -> Vec<Tile> {
                 ax_label.insert(a);
             }
         }
+        pin_frame(closure, props, label, proc, &mut ax_label);
         for &e in exs {
             let mut or_label = ax_label.clone();
             or_label.insert(e);
@@ -344,7 +377,7 @@ mod tests {
     use super::*;
     use ftsyn_ctl::{parse::parse, Closure, FormulaArena, LabelSet, Owner, PropTable};
 
-    fn setup(formulas: &[&str], procs: usize) -> (Closure, Vec<LabelSet>) {
+    fn setup(formulas: &[&str], procs: usize) -> (PropTable, Closure, Vec<LabelSet>) {
         let mut props = PropTable::new();
         for n in ["p", "q", "r"] {
             props.add(n, Owner::Process(0)).unwrap();
@@ -363,7 +396,7 @@ mod tests {
                 l
             })
             .collect();
-        (cl, labels)
+        (props, cl, labels)
     }
 
     fn names(closure: &Closure, l: &LabelSet) -> usize {
@@ -372,7 +405,7 @@ mod tests {
 
     #[test]
     fn conjunction_expands_to_single_block() {
-        let (cl, labels) = setup(&["p & q"], 1);
+        let (_props, cl, labels) = setup(&["p & q"], 1);
         let bs = blocks(&cl, &labels[0]);
         assert_eq!(bs.len(), 1);
         let b = &bs[0];
@@ -382,21 +415,21 @@ mod tests {
 
     #[test]
     fn disjunction_forks() {
-        let (cl, labels) = setup(&["p | q"], 1);
+        let (_props, cl, labels) = setup(&["p | q"], 1);
         let bs = blocks(&cl, &labels[0]);
         assert_eq!(bs.len(), 2);
     }
 
     #[test]
     fn contradiction_pruned() {
-        let (cl, labels) = setup(&["p & ~p"], 1);
+        let (_props, cl, labels) = setup(&["p & ~p"], 1);
         let bs = blocks(&cl, &labels[0]);
         assert!(bs.is_empty());
     }
 
     #[test]
     fn af_generates_fulfill_and_defer_branches() {
-        let (cl, labels) = setup(&["AF p"], 1);
+        let (_props, cl, labels) = setup(&["AF p"], 1);
         let bs = blocks(&cl, &labels[0]);
         // One branch contains p (fulfilled), the other AX(AF p) (deferred).
         assert_eq!(bs.len(), 2);
@@ -411,7 +444,7 @@ mod tests {
 
     #[test]
     fn ag_single_block_with_propagation() {
-        let (cl, labels) = setup(&["AG p"], 1);
+        let (_props, cl, labels) = setup(&["AG p"], 1);
         let bs = blocks(&cl, &labels[0]);
         assert_eq!(bs.len(), 1);
         // The block contains p and AX(AG p).
@@ -426,7 +459,7 @@ mod tests {
     fn ax_without_ex_splits_per_process() {
         // AG p has AX obligations but no EX — with 2 processes, the split
         // produces one variant per process (each adding EXᵢ true).
-        let (cl, labels) = setup(&["AG p"], 2);
+        let (_props, cl, labels) = setup(&["AG p"], 2);
         let bs = blocks(&cl, &labels[0]);
         assert_eq!(bs.len(), 2);
         for b in &bs {
@@ -445,7 +478,7 @@ mod tests {
             "(p | q) & (~p | r) & AF q",
             "AG(EX1 true & EX2 true) & (p | ~q) & AF(q | r)",
         ] {
-            let (cl, labels) = setup(&[spec], 2);
+            let (_props, cl, labels) = setup(&[spec], 2);
             assert_eq!(
                 blocks(&cl, &labels[0]),
                 blocks_classic(&cl, &labels[0]),
@@ -456,9 +489,9 @@ mod tests {
 
     #[test]
     fn tiles_dummy_for_pure_propositional() {
-        let (cl, labels) = setup(&["p & q"], 1);
+        let (_props, cl, labels) = setup(&["p & q"], 1);
         let bs = blocks(&cl, &labels[0]);
-        let ts = tiles(&cl, &bs[0]);
+        let ts = tiles(&cl, &_props, &bs[0]);
         assert_eq!(ts, vec![Tile::Dummy]);
     }
 
@@ -466,10 +499,10 @@ mod tests {
     fn tiles_one_or_node_per_ex() {
         // EX1 p ∧ EX1 q ∧ AX1 r → two tiles for process 0, each with r
         // plus one of p/q.
-        let (cl, labels) = setup(&["EX1 p & EX1 q & AX1 r"], 1);
+        let (_props, cl, labels) = setup(&["EX1 p & EX1 q & AX1 r"], 1);
         let bs = blocks(&cl, &labels[0]);
         assert_eq!(bs.len(), 1);
-        let ts = tiles(&cl, &bs[0]);
+        let ts = tiles(&cl, &_props, &bs[0]);
         assert_eq!(ts.len(), 2);
         for t in &ts {
             match t {
@@ -484,9 +517,9 @@ mod tests {
 
     #[test]
     fn tiles_processes_partition() {
-        let (cl, labels) = setup(&["EX1 p & EX2 q"], 2);
+        let (_props, cl, labels) = setup(&["EX1 p & EX2 q"], 2);
         let bs = blocks(&cl, &labels[0]);
-        let ts = tiles(&cl, &bs[0]);
+        let ts = tiles(&cl, &_props, &bs[0]);
         assert_eq!(ts.len(), 2);
         let procs: Vec<usize> = ts
             .iter()

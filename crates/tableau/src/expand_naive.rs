@@ -177,7 +177,11 @@ pub fn blocks_naive(closure: &Closure, label: &LabelSet) -> Vec<LabelSet> {
 
 /// Pre-optimization `Tiles(c)` with the original O(n²) `Vec::contains`
 /// dedup (see [`crate::expand::tiles`]).
-pub fn tiles_naive(closure: &Closure, label: &LabelSet) -> Vec<crate::expand::Tile> {
+pub fn tiles_naive(
+    closure: &Closure,
+    props: &ftsyn_ctl::PropTable,
+    label: &LabelSet,
+) -> Vec<crate::expand::Tile> {
     use crate::expand::Tile;
     let mut ax_bodies: Vec<Vec<ClosureIdx>> = Vec::new();
     let mut ex_bodies: Vec<Vec<ClosureIdx>> = Vec::new();
@@ -212,6 +216,27 @@ pub fn tiles_naive(closure: &Closure, label: &LabelSet) -> Vec<crate::expand::Ti
             if let Some(axs) = ax_bodies.get(proc) {
                 for &a in axs {
                     or_label.insert(a);
+                }
+            }
+            // Frame condition (Definition 5.1.2): pin every proposition
+            // owned by another process to its current value. The naive
+            // oracle re-derives the valuation per tile; the optimized
+            // kernel shares it across the process's tiles.
+            for p in props.iter() {
+                match props.owner(p) {
+                    ftsyn_ctl::Owner::Process(j) if j != proc => {
+                        let positive = label.iter().any(|idx| {
+                            matches!(
+                                closure.entry(idx).kind,
+                                EntryKind::Lit { prop, positive: true } if prop == p
+                            )
+                        });
+                        let lit = closure
+                            .literal(p, positive)
+                            .expect("all literals are registered in the closure");
+                        or_label.insert(lit);
+                    }
+                    _ => {}
                 }
             }
             or_label.insert(e);

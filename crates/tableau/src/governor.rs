@@ -38,6 +38,14 @@ pub struct Budget {
     pub max_deletion_work: Option<usize>,
     /// Maximum candidate merges the semantic minimizer may verify.
     pub max_minimize_attempts: Option<usize>,
+    /// Maximum guard-refinement rounds the extraction-verification
+    /// stage may run before giving up with a structured
+    /// `ExtractionGap` failure. `None` uses the pipeline's default
+    /// cap; `Some(0)` forbids refinement entirely (the extracted
+    /// program must verify as-is). Reaching this cap does not abort
+    /// the run — it degrades the verification verdict instead — so
+    /// there is no matching [`AbortReason`].
+    pub max_extract_refine_rounds: Option<usize>,
 }
 
 impl Budget {
@@ -52,6 +60,7 @@ impl Budget {
             && self.max_states.is_none()
             && self.max_deletion_work.is_none()
             && self.max_minimize_attempts.is_none()
+            && self.max_extract_refine_rounds.is_none()
     }
 }
 
@@ -133,6 +142,9 @@ pub enum Phase {
     Unravel,
     /// Semantic minimization.
     Minimize,
+    /// Program extraction + in-pipeline extraction verification
+    /// (step 5).
+    Extract,
 }
 
 impl Phase {
@@ -144,6 +156,7 @@ impl Phase {
             Phase::Deletion => "deletion",
             Phase::Unravel => "unravel",
             Phase::Minimize => "minimize",
+            Phase::Extract => "extract",
         }
     }
 }

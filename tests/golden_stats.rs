@@ -13,7 +13,7 @@ fn mutex_fail_stop_masking_pins_published_numbers() {
     let mut problem = mutex::with_fail_stop(2, Tolerance::Masking);
     assert_eq!(problem.faults.len(), 8, "E1: fault actions");
     let s = synthesize(&mut problem).unwrap_solved();
-    assert_eq!(s.stats.tableau_nodes, 196, "E2: tableau nodes");
+    assert_eq!(s.stats.tableau_nodes, 198, "E2: tableau nodes");
     assert_eq!(
         s.stats.deletion,
         DeletionStats {
@@ -28,7 +28,7 @@ fn mutex_fail_stop_masking_pins_published_numbers() {
     );
     assert_eq!(
         (s.stats.alive_and, s.stats.alive_or),
-        (116, 72),
+        (116, 74),
         "E2: alive AND/OR nodes"
     );
     assert!(s.verification.ok(), "{:?}", s.verification.failures);
