@@ -14,7 +14,9 @@
 //! work-stealing expansion scheduler against the retained
 //! level-synchronized engine at 8 worker threads, and of the
 //! incremental semantic minimizer against the preserved per-attempt
-//! greedy reference engine.
+//! greedy reference engine — plus daemon throughput (requests/sec)
+//! with a cold expansion cache against a warmed shared one through
+//! `ftsyn-service`.
 //!
 //! ```text
 //! cargo run --release -p ftsyn-bench --bin bench_json
@@ -600,6 +602,69 @@ fn compare_minimize(name: &str, procs: usize, mut problem: SynthesisProblem, run
         .build()
 }
 
+/// Daemon throughput on one corpus problem: requests per second with a
+/// cold cache (every request hits a fresh [`Service`], nothing
+/// memoized) against a warm one (a shared service primed by one
+/// untimed request, so every timed request is served entirely from the
+/// `Blocks`/`Tiles` memo). The replies are checked — warm requests
+/// must report nonzero hits, zero misses, and solve — so the row
+/// cannot silently measure error paths.
+///
+/// [`Service`]: ftsyn_service::Service
+fn service_throughput(corpus_name: &str, requests: usize, threads: usize) -> String {
+    use ftsyn_service::{Reply, Request, Service};
+    eprintln!("measuring service throughput on {corpus_name} ...");
+
+    let tick = Instant::now();
+    for i in 0..requests {
+        let svc = Service::new();
+        let reply = svc.submit(Request::corpus(&format!("cold-{i}"), corpus_name, threads));
+        assert!(
+            matches!(reply, Reply::Solved { verified: true, .. }),
+            "{corpus_name}: cold request failed: {reply:?}"
+        );
+    }
+    let cold = tick.elapsed();
+
+    let svc = Service::new();
+    let prime = svc.submit(Request::corpus("prime", corpus_name, threads));
+    assert!(matches!(prime, Reply::Solved { .. }));
+    let tick = Instant::now();
+    for i in 0..requests {
+        let reply = svc.submit(Request::corpus(&format!("warm-{i}"), corpus_name, threads));
+        let Reply::Solved {
+            verified: true,
+            cache_hits,
+            cache_misses,
+            ..
+        } = reply
+        else {
+            panic!("{corpus_name}: warm request failed: {reply:?}")
+        };
+        assert!(cache_hits > 0, "{corpus_name}: warm request did not hit");
+        assert_eq!(cache_misses, 0, "{corpus_name}: warm request missed");
+    }
+    let warm = tick.elapsed();
+
+    let cold_rps = requests as f64 / cold.as_secs_f64();
+    let warm_rps = requests as f64 / warm.as_secs_f64();
+    let speedup = warm_rps / cold_rps;
+    eprintln!(
+        "  {corpus_name}: cold {cold_rps:.2} req/s, warm {warm_rps:.2} req/s \
+         ({speedup:.2}x, {requests} requests, {threads} threads)"
+    );
+    Obj::default()
+        .str("name", corpus_name)
+        .num("requests", requests)
+        .num("threads", threads)
+        .ns("cold_ns", cold)
+        .ns("warm_ns", warm)
+        .float("cold_requests_per_sec", cold_rps)
+        .float("warm_requests_per_sec", warm_rps)
+        .float("warm_speedup", speedup)
+        .build()
+}
+
 /// Explores and simulates the (non-synthesis) wire system of
 /// Section 2.3 — state-space size plus a deterministic fault-injection
 /// trace summary.
@@ -750,6 +815,14 @@ fn main() {
         ),
     ];
 
+    // Daemon throughput: requests/sec against a cold vs a warmed
+    // shared cache on the mutex family (the service's partitioned
+    // memo serves repeat same-problem requests entirely from cache).
+    let service_rows = vec![
+        service_throughput("mutex2-failstop-masking", 10, 2),
+        service_throughput("mutex3-failstop-masking", 5, 2),
+    ];
+
     // The wire of Section 2.3 (interpreter + simulator, not synthesis).
     let wires = vec![
         run_wire("wire-unbounded", None),
@@ -871,9 +944,10 @@ fn main() {
             "generated_by",
             "cargo run --release -p ftsyn-bench --bin bench_json",
         )
-        .str("schema_version", "7")
+        .str("schema_version", "8")
         .raw("problems", &arr(problems))
         .raw("budgeted", &arr(budgeted))
+        .raw("service_throughput", &arr(service_rows))
         .raw("wire", &arr(wires))
         .raw("deletion_engine_comparison", &arr(comparisons))
         .raw("build_kernel_comparison", &arr(build_comparisons))

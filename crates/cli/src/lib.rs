@@ -48,7 +48,8 @@ use std::time::Duration;
 pub const USAGE: &str = "\
 USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
              [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
-             [--minimize-threads <n>]
+             [--minimize-threads <n>] [--checkpoint <out.ckpt>] [--resume <in.ckpt>]
+       ftsyn serve
 
   --dot <out.dot>   write the synthesized model as Graphviz DOT
   --quiet           suppress statistics and verification output
@@ -63,6 +64,23 @@ USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
                     scans (default: the build thread count). The
                     minimized model is byte-identical for every value;
                     the flag only redistributes verification work
+  --checkpoint <out.ckpt>
+                    when a budget abort interrupts the tableau build,
+                    write a resumable checkpoint blob to this path
+                    (the run still exits 4)
+  --resume <in.ckpt>
+                    continue a checkpointed build under the new budget
+                    instead of starting over. The problem file must be
+                    the one that produced the checkpoint: the blob pins
+                    a format version and a spec fingerprint, and a
+                    mismatch is a structured refusal (exit 2). The
+                    resumed run is byte-identical to an uninterrupted
+                    one
+
+The serve form runs the synthesis daemon: one JSON request per stdin
+line ({\"id\", \"op\": synthesize|resume|cancel|shutdown, ...}), one
+JSON response per stdout line, with an expansion cache shared across
+requests and budget aborts parked as resumable checkpoints.
 
 Budget aborts are structured: the run stops at the next poll point and
 reports the phase, the limit that tripped, and the partial statistics.
@@ -73,7 +91,7 @@ Exit codes:
   0  synthesis succeeded and the program verified
   1  impossible: no program satisfies the specification with the
      required tolerance
-  2  usage, file or problem-description error
+  2  usage, file, problem-description or checkpoint error
   3  a program was synthesized but mechanical verification failed
   4  aborted: a budget was exceeded before synthesis finished";
 
@@ -94,14 +112,22 @@ pub struct CliArgs {
     /// `--minimize-threads <n>`: worker threads for the minimization
     /// candidate scan (`None` = follow the build thread count).
     pub minimize_threads: Option<usize>,
+    /// `--checkpoint <path>`: where to write the resumable checkpoint
+    /// blob if a budget abort interrupts the tableau build.
+    pub checkpoint_out: Option<String>,
+    /// `--resume <path>`: checkpoint blob to continue from instead of
+    /// building from scratch.
+    pub resume: Option<String>,
 }
 
-/// What the command line asks for: a synthesis run, or just the usage
-/// banner (`--help`/`-h`).
+/// What the command line asks for: a synthesis run, the service loop,
+/// or just the usage banner (`--help`/`-h`).
 #[derive(Debug, PartialEq, Eq)]
 pub enum CliCommand {
     /// Run synthesis with the parsed options.
     Run(CliArgs),
+    /// Run the line-delimited JSON daemon on stdin/stdout.
+    Serve,
     /// Print [`USAGE`] and exit 0.
     Help,
 }
@@ -115,12 +141,25 @@ pub enum CliCommand {
 /// particular `--dot --quiet` is rejected rather than silently writing
 /// a file named `--quiet`.
 pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
+    if args.first().map(String::as_str) == Some("serve") {
+        return if args.len() == 1 {
+            Ok(CliCommand::Serve)
+        } else {
+            Err(format!(
+                "serve takes no arguments, found `{}` (budgets and thread \
+                 counts are per-request protocol fields)",
+                args[1]
+            ))
+        };
+    }
     let mut file = None;
     let mut dot_out = None;
     let mut quiet = false;
     let mut show_program = true;
     let mut budget = Budget::default();
     let mut minimize_threads = None;
+    let mut checkpoint_out = None;
+    let mut resume = None;
     // Fetches the value of a value-taking flag, rejecting a following
     // flag so `--max-states --quiet` errors instead of parsing garbage.
     let value_of = |flag: &str, i: &mut usize, args: &[String]| -> Result<String, String> {
@@ -185,6 +224,12 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 }
                 minimize_threads = Some(n);
             }
+            "--checkpoint" => {
+                checkpoint_out = Some(value_of("--checkpoint", &mut i, args)?);
+            }
+            "--resume" => {
+                resume = Some(value_of("--resume", &mut i, args)?);
+            }
             "--help" | "-h" => return Ok(CliCommand::Help),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
@@ -204,6 +249,8 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
         show_program,
         budget,
         minimize_threads,
+        checkpoint_out,
+        resume,
     }))
 }
 
@@ -544,10 +591,52 @@ tolerance nonmasking
                 show_program: true,
                 budget: Budget::default(),
                 minimize_threads: None,
+                checkpoint_out: None,
+                resume: None,
             })
         );
         assert_eq!(parse_args(&argv(&["--help"])).unwrap(), CliCommand::Help);
         assert_eq!(parse_args(&argv(&["-h"])).unwrap(), CliCommand::Help);
+    }
+
+    #[test]
+    fn serve_subcommand_parses_and_rejects_arguments() {
+        assert_eq!(parse_args(&argv(&["serve"])).unwrap(), CliCommand::Serve);
+        let e = parse_args(&argv(&["serve", "--quiet"])).unwrap_err();
+        assert!(e.contains("serve takes no arguments"), "{e}");
+        // A file literally named `serve` is unreachable positionally —
+        // spell it with a path prefix like the --dot escape hatch.
+        let cmd = parse_args(&argv(&["./serve"])).unwrap();
+        let CliCommand::Run(a) = cmd else { panic!() };
+        assert_eq!(a.file, "./serve");
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags_parse_and_validate() {
+        let cmd = parse_args(&argv(&[
+            "p.ftsyn",
+            "--max-states",
+            "100",
+            "--checkpoint",
+            "out.ckpt",
+        ]))
+        .unwrap();
+        let CliCommand::Run(a) = cmd else { panic!() };
+        assert_eq!(a.checkpoint_out.as_deref(), Some("out.ckpt"));
+        assert_eq!(a.resume, None);
+
+        let cmd = parse_args(&argv(&["p.ftsyn", "--resume", "in.ckpt"])).unwrap();
+        let CliCommand::Run(a) = cmd else { panic!() };
+        assert_eq!(a.resume.as_deref(), Some("in.ckpt"));
+
+        for bad in [
+            vec!["p.ftsyn", "--checkpoint"],
+            vec!["p.ftsyn", "--checkpoint", "--quiet"],
+            vec!["p.ftsyn", "--resume"],
+            vec!["p.ftsyn", "--resume", "--max-states"],
+        ] {
+            assert!(parse_args(&argv(&bad)).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -4,13 +4,30 @@
 //! ```text
 //! USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
 //!              [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
-//!              [--minimize-threads <n>]
+//!              [--minimize-threads <n>] [--checkpoint <out.ckpt>] [--resume <in.ckpt>]
+//!        ftsyn serve
 //! ```
 
 use ftsyn::kripke::StateRole;
-use ftsyn::{Governor, SynthesisOutcome, ThreadPlan};
+use ftsyn::{Checkpoint, Governor, SynthesisOutcome, ThreadPlan};
 use ftsyn_cli::{parse_args, CliArgs, CliCommand, USAGE};
 use std::process::ExitCode;
+
+/// Runs the stdin/stdout JSON daemon, with the CLI's problem-file
+/// parser injected for inline `"spec"` requests.
+fn run_serve() -> ExitCode {
+    let service = ftsyn_service::Service::new().with_spec_parser(Box::new(|text: &str| {
+        ftsyn_cli::parse_problem(text).map_err(|e| e.to_string())
+    }));
+    let stdin = std::io::stdin();
+    match ftsyn_service::serve(&service, stdin.lock(), std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,8 +38,11 @@ fn main() -> ExitCode {
         show_program,
         budget,
         minimize_threads,
+        checkpoint_out,
+        resume,
     } = match parse_args(&args) {
         Ok(CliCommand::Run(a)) => a,
+        Ok(CliCommand::Serve) => return run_serve(),
         Ok(CliCommand::Help) => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -56,11 +76,34 @@ fn main() -> ExitCode {
         build: build_threads,
         minimize: minimize_threads.unwrap_or(build_threads),
     };
-    let outcome = if budget.is_unlimited() {
-        ftsyn::synthesize_planned(&mut problem, plan, None)
-    } else {
-        let gov = Governor::with_budget(budget);
-        ftsyn::synthesize_planned(&mut problem, plan, Some(&gov))
+    let gov = (!budget.is_unlimited()).then(|| Governor::with_budget(budget));
+    let outcome = match resume {
+        None => ftsyn::synthesize_planned(&mut problem, plan, gov.as_ref()),
+        Some(ck_path) => {
+            let blob = match std::fs::read(&ck_path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read checkpoint {ck_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let ck = match Checkpoint::decode(&blob) {
+                Ok(ck) => ck,
+                Err(e) => {
+                    eprintln!("cannot resume from {ck_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match ftsyn::synthesize_resume(&mut problem, plan, gov.as_ref(), ck) {
+                Ok(outcome) => outcome,
+                // The blob pins a spec fingerprint; a mismatch means
+                // this is not the problem that produced it.
+                Err(e) => {
+                    eprintln!("cannot resume from {ck_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
     };
     match outcome {
         SynthesisOutcome::Solved(s) => {
@@ -203,6 +246,24 @@ fn main() -> ExitCode {
             );
             for f in &a.failures {
                 println!("failure: {f}");
+            }
+            if let Some(path) = checkpoint_out {
+                match &a.checkpoint {
+                    Some(ck) => {
+                        if let Err(e) = std::fs::write(&path, ck.encode()) {
+                            eprintln!("cannot write checkpoint {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                        println!("checkpoint written to {path} (resume with --resume {path})");
+                    }
+                    None => {
+                        eprintln!(
+                            "no checkpoint captured: the abort happened in the {} phase, \
+                             and only the tableau build is checkpointable",
+                            a.phase
+                        );
+                    }
+                }
             }
             ExitCode::from(4)
         }

@@ -222,6 +222,112 @@ fn cancelled_governor_aborts_in_the_build_phase() {
     assert_eq!(a.reason, AbortReason::Cancelled);
 }
 
+/// External cancel landing mid-build: a deterministic cancel at the
+/// build phase must abort cleanly at every thread count — structured
+/// `Cancelled` reason, a resumable checkpoint (the build is the
+/// checkpointable phase), and no leaked workers or poisoned locks
+/// (proven by resuming to the full, byte-exact solution in the same
+/// process).
+#[test]
+fn external_cancel_mid_build_aborts_cleanly_and_resumes_at_every_thread_count() {
+    let mut baseline_problem = mutex::with_fail_stop(3, Tolerance::Masking);
+    let baseline = synthesize(&mut baseline_problem).unwrap_solved();
+    let expected = render_solved(&baseline_problem, &baseline);
+    for &threads in &THREAD_MATRIX {
+        let mut p = mutex::with_fail_stop(3, Tolerance::Masking);
+        let gov = Governor::unlimited().cancel_at_phase(Phase::Build);
+        let SynthesisOutcome::Aborted(a) = synthesize_governed(&mut p, threads, &gov) else {
+            panic!("build-phase cancel must abort at {threads} threads")
+        };
+        assert_eq!(a.phase, Phase::Build, "at {threads} threads");
+        assert_eq!(a.reason, AbortReason::Cancelled, "at {threads} threads");
+        assert!(a.failures.is_empty(), "cancellation carries no failures");
+        let ck = a
+            .checkpoint
+            .unwrap_or_else(|| panic!("build-phase cancel must leave a checkpoint at {threads} threads"));
+
+        // The cancelled run's workers are gone and its partial state is
+        // whole: resuming it in the same process completes and matches
+        // the uninterrupted result byte for byte.
+        let mut resumed = mutex::with_fail_stop(3, Tolerance::Masking);
+        let SynthesisOutcome::Solved(s) =
+            ftsyn::synthesize_resume(&mut resumed, ThreadPlan::uniform(threads), None, ck)
+                .expect("a cancel checkpoint is valid")
+        else {
+            panic!("resume after cancel must solve at {threads} threads")
+        };
+        assert_eq!(
+            expected,
+            render_solved(&resumed, &s),
+            "cancel→resume diverged at {threads} threads"
+        );
+    }
+}
+
+/// External cancel landing mid-minimize: the build and deletion phases
+/// completed, so their profiles are final; the abort is structured, no
+/// checkpoint is captured (only the build is checkpointable), and the
+/// process stays healthy.
+#[test]
+fn external_cancel_mid_minimize_aborts_cleanly_at_every_thread_count() {
+    for &threads in &THREAD_MATRIX {
+        let mut p = mutex::with_fail_stop(3, Tolerance::Masking);
+        let gov = Governor::unlimited().cancel_at_phase(Phase::Minimize);
+        let SynthesisOutcome::Aborted(a) = synthesize_governed(&mut p, threads, &gov) else {
+            panic!("minimize-phase cancel must abort at {threads} threads")
+        };
+        assert_eq!(a.phase, Phase::Minimize, "at {threads} threads");
+        assert_eq!(a.reason, AbortReason::Cancelled, "at {threads} threads");
+        assert_eq!(gov.current_phase(), Phase::Minimize, "at {threads} threads");
+        // Earlier phases ran to completion before the cancel landed.
+        assert!(a.stats.tableau_nodes > 0, "at {threads} threads");
+        assert!(a.stats.build_profile.batches > 0, "at {threads} threads");
+        assert!(
+            a.stats.deletion_profile.worklist_pops > 0,
+            "at {threads} threads"
+        );
+        assert!(
+            a.checkpoint.is_none(),
+            "only build-phase aborts are checkpointable"
+        );
+
+        // No worker leak, no poisoned lock: a full synthesis succeeds
+        // in the same process right after.
+        let mut p2 = mutex::with_fail_stop(3, Tolerance::Masking);
+        let s = ftsyn::synthesize_with_threads(&mut p2, threads).unwrap_solved();
+        assert!(
+            s.verification.ok(),
+            "post-cancel synthesis at {threads} threads must verify"
+        );
+    }
+}
+
+/// A genuinely asynchronous cancel from another thread — the race
+/// lands wherever it lands, but the abort must still be structured
+/// (`Cancelled`, a named phase) and leak-free.
+#[test]
+fn racing_external_cancel_from_another_thread_aborts_cleanly() {
+    let mut p = mutex::with_fail_stop(4, Tolerance::Masking);
+    let gov = Governor::unlimited();
+    let outcome = std::thread::scope(|scope| {
+        scope.spawn(|| gov.cancel());
+        synthesize_governed(&mut p, 2, &gov)
+    });
+    let SynthesisOutcome::Aborted(a) = outcome else {
+        panic!("a cancel sent at start must land before mutex4 completes")
+    };
+    assert_eq!(a.reason, AbortReason::Cancelled);
+    assert!(a.failures.is_empty(), "cancellation carries no failures");
+    // The phase is whatever the race produced, but it is a real phase
+    // and the partial stats belong to it.
+    assert_eq!(a.phase, gov.current_phase());
+
+    // The aborted run left the process clean.
+    let mut p2 = mutex::with_fail_stop(2, Tolerance::Masking);
+    let s = synthesize(&mut p2).unwrap_solved();
+    assert!(s.verification.ok(), "post-cancel synthesis must verify");
+}
+
 /// Panic containment: an injected worker panic during tableau expansion
 /// must surface as a structured `Aborted` with a
 /// [`FailureKind::WorkerPanic`] failure and partial profiles — at every

@@ -1,0 +1,243 @@
+//! Service-path conformance: requests answered by the shared-cache
+//! daemon must be byte-identical to direct [`ftsyn::synthesize`] calls
+//! — cold, warm, concurrent, through abort→resume hops, and across the
+//! differential fuzzer's generated problems routed through the inline
+//! spec path.
+
+use ftsyn::{synthesize, Budget, SynthesisOutcome, SynthesisProblem};
+use ftsyn_conformance::differential::THREAD_MATRIX;
+use ftsyn_conformance::generate::random_problem;
+use ftsyn_prng::XorShift64;
+use ftsyn_service::{corpus, Reply, Request, Service};
+
+/// What a direct, ungoverned, in-process run of `problem` produces, in
+/// the exact fields the service reports.
+struct Direct {
+    states: usize,
+    transitions: usize,
+    program: String,
+    solved: bool,
+}
+
+fn direct(mut problem: SynthesisProblem) -> Direct {
+    match synthesize(&mut problem) {
+        SynthesisOutcome::Solved(s) => {
+            assert!(s.verification.ok(), "direct run failed verification");
+            Direct {
+                states: s.stats.model_states,
+                transitions: s.stats.program_transitions,
+                program: s.program.display(&problem.props).to_string(),
+                solved: true,
+            }
+        }
+        SynthesisOutcome::Impossible(_) => Direct {
+            states: 0,
+            transitions: 0,
+            program: String::new(),
+            solved: false,
+        },
+        SynthesisOutcome::Aborted(a) => panic!("direct ungoverned run aborted: {}", a.reason),
+    }
+}
+
+/// Asserts a service reply matches the direct run of the same problem,
+/// byte for byte on the program text.
+fn assert_matches(context: &str, reply: &Reply, expected: &Direct) {
+    match reply {
+        Reply::Solved {
+            states,
+            transitions,
+            verified,
+            program,
+            ..
+        } => {
+            assert!(expected.solved, "{context}: service solved, direct did not");
+            assert!(*verified, "{context}: service program failed verification");
+            assert_eq!(*states, expected.states, "{context}: state count");
+            assert_eq!(
+                *transitions, expected.transitions,
+                "{context}: transition count"
+            );
+            assert_eq!(
+                *program, expected.program,
+                "{context}: service program diverged from the direct run"
+            );
+        }
+        Reply::Impossible => {
+            assert!(
+                !expected.solved,
+                "{context}: service says impossible, direct run solved"
+            );
+        }
+        other => panic!("{context}: unexpected reply {other:?}"),
+    }
+}
+
+/// A warmed shared cache changes hit counters, never result bytes:
+/// the second identical request must report nonzero hits, zero misses,
+/// and a program byte-identical to both the cold request and a direct
+/// in-process run.
+#[test]
+fn warm_cache_requests_are_byte_identical_to_cold_and_direct_runs() {
+    let svc = Service::new();
+    for name in ["mutex2-failstop-masking", "barrier2-nonmasking"] {
+        let expected = direct(corpus::problem(name).expect("corpus name"));
+        let cold = svc.submit(Request::corpus(&format!("{name}-cold"), name, 2));
+        let warm = svc.submit(Request::corpus(&format!("{name}-warm"), name, 2));
+        assert_matches(&format!("{name} cold"), &cold, &expected);
+        assert_matches(&format!("{name} warm"), &warm, &expected);
+        let Reply::Solved {
+            cache_hits: cold_hits,
+            cache_misses: cold_misses,
+            ..
+        } = cold
+        else {
+            unreachable!()
+        };
+        let Reply::Solved {
+            cache_hits: warm_hits,
+            cache_misses: warm_misses,
+            ..
+        } = warm
+        else {
+            unreachable!()
+        };
+        assert_eq!(cold_hits, 0, "{name}: a cold cache cannot hit");
+        assert!(cold_misses > 0, "{name}: a cold build must miss");
+        assert!(warm_hits > 0, "{name}: a warmed cache must hit");
+        assert_eq!(warm_misses, 0, "{name}: a fully warmed cache cannot miss");
+    }
+}
+
+/// Every corpus problem submitted concurrently against one shared
+/// service — interleaving cache fills and reads across worker threads —
+/// answers byte-identically to its own direct run.
+#[test]
+fn concurrent_requests_against_one_service_match_direct_synthesis() {
+    // mutex4 is the long pole; keep the fast families and submit each
+    // twice so same-family requests race on the shared cache.
+    let names = [
+        "mutex2-failstop-masking",
+        "mutex3-failstop-masking",
+        "multitolerance-mutex3-P1-nonmasking",
+        "barrier2-nonmasking",
+        "readers-writers-1R-writer-failstop",
+        "philosophers3-fault-free",
+    ];
+    let expected: Vec<Direct> = names
+        .iter()
+        .map(|n| direct(corpus::problem(n).expect("corpus name")))
+        .collect();
+
+    let svc = Service::new();
+    let replies: Vec<(String, Reply)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for round in 0..2 {
+            for (i, name) in names.iter().enumerate() {
+                let svc = &svc;
+                let threads = THREAD_MATRIX[(round + i) % THREAD_MATRIX.len()];
+                handles.push(scope.spawn(move || {
+                    let id = format!("{name}-r{round}");
+                    let reply = svc.submit(Request::corpus(&id, name, threads));
+                    (id, reply)
+                }));
+            }
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(replies.len(), 2 * names.len());
+    for (id, reply) in &replies {
+        let i = names
+            .iter()
+            .position(|n| id.starts_with(n))
+            .expect("id names its case");
+        assert_matches(id, reply, &expected[i]);
+    }
+    let (entries, _) = svc.cache_entries();
+    assert!(entries > 0, "the shared cache must have been populated");
+}
+
+/// Service-path resume identity: a request aborted at a state cap and
+/// resumed through the service's checkpoint store yields the same
+/// bytes as the direct run, at every thread count.
+#[test]
+fn service_resume_is_byte_identical_to_direct_runs_at_every_thread_count() {
+    let name = "mutex3-failstop-masking";
+    let expected = direct(corpus::problem(name).expect("corpus name"));
+    for &threads in &THREAD_MATRIX {
+        // A fresh service per thread count keeps every run cold, so the
+        // comparison pins resume identity, not cache warmth.
+        let svc = Service::new();
+        let id = format!("abort-{threads}");
+        let reply = svc.submit(Request::corpus(&id, name, threads).with_budget(Budget {
+            max_states: Some(400),
+            ..Budget::unlimited()
+        }));
+        let Reply::Aborted {
+            phase, resumable, ..
+        } = reply
+        else {
+            panic!("expected an abort at cap 400, got {reply:?}")
+        };
+        assert_eq!(phase, "build");
+        assert!(resumable, "build aborts must leave a checkpoint");
+        let resumed = svc.resume(&format!("resume-{threads}"), &id, threads, None);
+        assert_matches(&format!("{name} resumed at {threads} threads"), &resumed, &expected);
+    }
+}
+
+/// A slice of the differential fuzzer's seed space routed through the
+/// service's inline-spec path: the injected parser maps a seed string
+/// to the generated problem, and every reply must match the direct run
+/// — including the seeds whose specification is impossible.
+#[test]
+fn fuzz_seeds_through_the_service_match_direct_runs() {
+    let svc = Service::new().with_spec_parser(Box::new(|text: &str| {
+        let seed: u64 = text
+            .trim()
+            .parse()
+            .map_err(|e| format!("not a seed: {e}"))?;
+        Ok(random_problem(&mut XorShift64::new(seed)).problem)
+    }));
+
+    let seeds: Vec<u64> = (1..=10).collect();
+    let expected: Vec<Direct> = seeds
+        .iter()
+        .map(|&s| direct(random_problem(&mut XorShift64::new(s)).problem))
+        .collect();
+    let mut solved = 0;
+    let mut impossible = 0;
+
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let svc = &svc;
+                let threads = THREAD_MATRIX[i % THREAD_MATRIX.len()];
+                scope.spawn(move || {
+                    svc.submit(Request {
+                        id: format!("seed-{seed}"),
+                        source: ftsyn_service::ProblemSource::Spec(seed.to_string()),
+                        threads,
+                        budget: None,
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for ((seed, reply), exp) in seeds.iter().zip(&replies).zip(&expected) {
+        assert_matches(&format!("seed {seed}"), reply, exp);
+        match exp.solved {
+            true => solved += 1,
+            false => impossible += 1,
+        }
+    }
+    // The slice must exercise both outcomes, or the comparison is weaker
+    // than it claims.
+    assert!(solved > 0, "no fuzz seed in the slice solved");
+    assert!(impossible > 0, "no fuzz seed in the slice was impossible");
+}

@@ -76,10 +76,14 @@ pub use minimize::{
 pub use minimize::{semantic_minimize_reference, semantic_minimize_reference_governed};
 pub use problem::{SynthesisProblem, Tolerance, ToleranceAssignment};
 pub use synthesize::{
-    default_threads, synthesize, synthesize_governed, synthesize_planned, synthesize_with_threads,
-    AbortedSynthesis, Impossibility, SynthesisOutcome, SynthesisStats, Synthesized, ThreadPlan,
+    default_threads, synthesize, synthesize_governed, synthesize_planned, synthesize_resume,
+    synthesize_session, synthesize_with_threads, AbortedSynthesis, Impossibility,
+    SynthesisOutcome, SynthesisSession, SynthesisStats, Synthesized, ThreadPlan,
 };
-pub use ftsyn_tableau::{AbortReason, Budget, CertMode, Governor, Phase};
+pub use ftsyn_tableau::{
+    AbortReason, Budget, CacheFill, CertMode, Checkpoint, CheckpointError, ExpansionCache,
+    Governor, Phase, CHECKPOINT_FORMAT_VERSION,
+};
 pub use unravel::{unravel, unravel_governed, unravel_mode, Unraveled};
 pub use verify::{
     verify, verify_semantic, verify_semantic_ok, Failure, FailureKind, FailureStage, Verification,

@@ -15,8 +15,9 @@ use ftsyn_guarded::interp::{explore, Config};
 use ftsyn_guarded::{fault_set_size, Program};
 use ftsyn_kripke::{bisimulation_quotient, FtKripke};
 use ftsyn_tableau::{
-    apply_deletion_rules_governed, apply_deletion_rules_profiled, build_governed,
-    build_with_threads, AbortReason, BuildProfile, DeletionProfile, DeletionStats, FaultSpec,
+    apply_deletion_rules_governed, apply_deletion_rules_profiled, build_resume_governed,
+    build_shared_cache_governed, spec_fingerprint, AbortReason, BuildProfile, CacheFill,
+    Checkpoint, CheckpointError, DeletionProfile, DeletionStats, ExpansionCache, FaultSpec,
     Governor, NodeId, Phase, Tableau,
 };
 use std::time::{Duration, Instant};
@@ -140,6 +141,12 @@ pub struct AbortedSynthesis {
     /// [`FailureKind::WorkerPanic`] entry when a worker panicked, empty
     /// for budget/cancellation aborts.
     pub failures: Vec<Failure>,
+    /// Resumable snapshot of the abort point, when the aborted phase
+    /// supports one (today: Build-phase aborts of the work-stealing
+    /// engine). Feed it to [`synthesize_resume`] under a raised budget
+    /// to continue instead of restarting; the resumed outcome is
+    /// byte-identical to an uninterrupted run.
+    pub checkpoint: Option<Checkpoint>,
 }
 
 /// The outcome of synthesis.
@@ -240,7 +247,7 @@ pub fn synthesize_with_threads(
     problem: &mut SynthesisProblem,
     threads: usize,
 ) -> SynthesisOutcome {
-    synthesize_impl(problem, ThreadPlan::uniform(threads), None)
+    synthesize_planned(problem, ThreadPlan::uniform(threads), None)
 }
 
 /// [`synthesize_with_threads`] under a [`Governor`]: every hot loop
@@ -259,17 +266,78 @@ pub fn synthesize_governed(
     threads: usize,
     gov: &Governor,
 ) -> SynthesisOutcome {
-    synthesize_impl(problem, ThreadPlan::uniform(threads), Some(gov))
+    synthesize_planned(problem, ThreadPlan::uniform(threads), Some(gov))
 }
 
 /// [`synthesize`] with per-phase thread budgets and an optional
-/// governor — the fully general entry point the other variants wrap.
+/// governor — the fully general *fresh-start* entry point the other
+/// variants wrap ([`synthesize_session`] generalizes further to shared
+/// caches and checkpoint resume).
 pub fn synthesize_planned(
     problem: &mut SynthesisProblem,
     plan: ThreadPlan,
     gov: Option<&Governor>,
 ) -> SynthesisOutcome {
-    synthesize_impl(problem, plan, gov)
+    let (outcome, _) = synthesize_impl(problem, plan, gov, SynthesisSession::default())
+        .expect("a fresh start has no checkpoint to validate");
+    outcome
+}
+
+/// Cross-request context for one synthesis run inside a service: an
+/// optional *shared* [`ExpansionCache`] reference (the build only reads
+/// it — the deferred [`CacheFill`]s come back in the result for the
+/// service to apply, so many concurrent requests can warm one table)
+/// and an optional [`Checkpoint`] to resume from instead of starting at
+/// the root.
+#[derive(Default)]
+pub struct SynthesisSession<'a> {
+    /// Shared `Blocks`/`Tiles` memo cache to read during the build.
+    pub cache: Option<&'a ExpansionCache>,
+    /// Checkpoint to resume from (validated against the problem before
+    /// any work happens).
+    pub resume: Option<Checkpoint>,
+}
+
+/// The fully general pipeline entry: [`synthesize_planned`] plus a
+/// [`SynthesisSession`]. Returns the outcome together with the build's
+/// deferred cache fills (empty when no cache was supplied).
+///
+/// # Errors
+///
+/// [`CheckpointError`] when `session.resume` holds a checkpoint whose
+/// specification fingerprint or closure shape does not match `problem` —
+/// a stale blob is rejected up front, never silently resumed.
+pub fn synthesize_session(
+    problem: &mut SynthesisProblem,
+    plan: ThreadPlan,
+    gov: Option<&Governor>,
+    session: SynthesisSession<'_>,
+) -> Result<(SynthesisOutcome, Vec<CacheFill>), CheckpointError> {
+    synthesize_impl(problem, plan, gov, session)
+}
+
+/// Resumes an aborted run from its [`Checkpoint`] (see
+/// [`AbortedSynthesis::checkpoint`]) under a fresh governor — typically
+/// one with a raised budget. The resumed run replays the identical
+/// deterministic schedule, so its outcome is byte-identical to an
+/// uninterrupted run at every thread count.
+///
+/// # Errors
+///
+/// [`CheckpointError`] when the checkpoint does not belong to `problem`
+/// (fingerprint or closure-shape mismatch) or was produced by a
+/// different format version.
+pub fn synthesize_resume(
+    problem: &mut SynthesisProblem,
+    plan: ThreadPlan,
+    gov: Option<&Governor>,
+    checkpoint: Checkpoint,
+) -> Result<SynthesisOutcome, CheckpointError> {
+    let session = SynthesisSession {
+        cache: None,
+        resume: Some(checkpoint),
+    };
+    synthesize_impl(problem, plan, gov, session).map(|(outcome, _)| outcome)
 }
 
 /// Packages an abort with final timing bookkeeping (mirrors the
@@ -278,6 +346,7 @@ pub fn synthesize_planned(
 fn aborted(
     phase: Phase,
     reason: AbortReason,
+    checkpoint: Option<Checkpoint>,
     mut stats: SynthesisStats,
     start: Instant,
 ) -> SynthesisOutcome {
@@ -295,6 +364,7 @@ fn aborted(
         reason,
         stats,
         failures,
+        checkpoint,
     }))
 }
 
@@ -302,7 +372,8 @@ fn synthesize_impl(
     problem: &mut SynthesisProblem,
     plan: ThreadPlan,
     gov: Option<&Governor>,
-) -> SynthesisOutcome {
+    session: SynthesisSession<'_>,
+) -> Result<(SynthesisOutcome, Vec<CacheFill>), CheckpointError> {
     let start = Instant::now();
     let mut stats = SynthesisStats {
         fault_size: fault_set_size(&problem.faults),
@@ -328,25 +399,57 @@ fn synthesize_impl(
             .index_of(spec_formula)
             .expect("spec is a closure root"),
     );
+    let SynthesisSession { cache, resume } = session;
+    if let Some(ck) = &resume {
+        // No silent resume of a stale blob: the checkpoint must carry
+        // the fingerprint of exactly this problem's build inputs.
+        ck.validate(
+            spec_fingerprint(&closure, &problem.props, &root_label, &fault_spec),
+            closure.len(),
+            root_label.words().len(),
+        )?;
+    }
+    if let Some(g) = gov {
+        g.enter_phase(Phase::Build);
+    }
     let t_build = Instant::now();
     let threads = plan.build.max(1);
-    let build_result = match gov {
-        Some(g) => build_governed(&closure, &problem.props, root_label, &fault_spec, threads, g),
-        None => Ok(build_with_threads(
+    let build_result = match resume {
+        Some(ck) => build_resume_governed(
+            &closure,
+            &problem.props,
+            &fault_spec,
+            threads,
+            cache,
+            gov,
+            ck,
+        ),
+        None => build_shared_cache_governed(
             &closure,
             &problem.props,
             root_label,
             &fault_spec,
             threads,
-        )),
+            cache,
+            gov,
+        ),
     };
-    let (mut tableau, build_profile) = match build_result {
+    let (mut tableau, build_profile, fills) = match build_result {
         Ok(ok) => ok,
         Err(a) => {
             stats.build_time = t_build.elapsed();
             stats.build_profile = a.profile;
             stats.tableau_nodes = a.nodes;
-            return aborted(Phase::Build, a.reason, stats, start);
+            return Ok((
+                aborted(
+                    Phase::Build,
+                    a.reason,
+                    a.checkpoint.map(|ck| *ck),
+                    stats,
+                    start,
+                ),
+                a.fills,
+            ));
         }
     };
     stats.build_time = t_build.elapsed();
@@ -354,6 +457,9 @@ fn synthesize_impl(
     stats.tableau_nodes = tableau.len();
 
     // Step 2: deletion rules.
+    if let Some(g) = gov {
+        g.enter_phase(Phase::Deletion);
+    }
     let t_del = Instant::now();
     let deletion_result = match gov {
         Some(g) => apply_deletion_rules_governed(&mut tableau, &closure, problem.mode, g),
@@ -372,7 +478,10 @@ fn synthesize_impl(
             let (alive_and, alive_or) = tableau.alive_counts();
             stats.alive_and = alive_and;
             stats.alive_or = alive_or;
-            return aborted(Phase::Deletion, a.reason, stats, start);
+            return Ok((
+                aborted(Phase::Deletion, a.reason, None, stats, start),
+                fills,
+            ));
         }
     };
     stats.deletion = deletion;
@@ -385,7 +494,10 @@ fn synthesize_impl(
     if !tableau.alive(tableau.root()) {
         stats.elapsed = start.elapsed();
         stats.residual_time = stats.elapsed.saturating_sub(stats.phase_total());
-        return SynthesisOutcome::Impossible(Impossibility { stats });
+        return Ok((
+            SynthesisOutcome::Impossible(Impossibility { stats }),
+            fills,
+        ));
     }
 
     // Steps 3–4: fragments and unraveling.
@@ -394,6 +506,9 @@ fn synthesize_impl(
         .map(|(_, c)| c)
         .next()
         .expect("alive root has an alive AND child (DeleteOR)");
+    if let Some(g) = gov {
+        g.enter_phase(Phase::Unravel);
+    }
     let t_unr = Instant::now();
     let unravel_result = match gov {
         Some(g) => unravel_governed(&tableau, &closure, &problem.props, c0, problem.mode, g),
@@ -409,7 +524,7 @@ fn synthesize_impl(
         Ok(u) => u,
         Err(reason) => {
             stats.unravel_time = t_unr.elapsed();
-            return aborted(Phase::Unravel, reason, stats, start);
+            return Ok((aborted(Phase::Unravel, reason, None, stats, start), fills));
         }
     };
     // Quotient by labeled bisimulation: the unraveling duplicates states
@@ -438,6 +553,9 @@ fn synthesize_impl(
     stats.verify_time = t_ver.elapsed();
     // Semantic minimization: merge same-valuation copies as long as the
     // model keeps satisfying the synthesis problem's requirements.
+    if let Some(g) = gov {
+        g.enter_phase(Phase::Minimize);
+    }
     let t_min = Instant::now();
     let minimize_result = match gov {
         Some(g) => semantic_minimize_governed(problem, pre_unr.model, plan.minimize, g),
@@ -452,7 +570,7 @@ fn synthesize_impl(
         Err(a) => {
             stats.minimize_profile = a.profile;
             stats.minimize_time = t_min.elapsed();
-            return aborted(Phase::Minimize, a.reason, stats, start);
+            return Ok((aborted(Phase::Minimize, a.reason, None, stats, start), fills));
         }
     };
     stats.minimize_profile = minimize_profile;
@@ -488,6 +606,9 @@ fn synthesize_impl(
     // governor-visible round cap; a non-converging loop degrades the
     // verification with a structured `ExtractionGap` failure instead of
     // returning a silently-wrong program.
+    if let Some(g) = gov {
+        g.enter_phase(Phase::Extract);
+    }
     let t_ext = Instant::now();
     let intro = introduce_shared_variables(&mut model);
     let mut program = extract_program(&model, &problem.props, problem.arena.num_procs(), &intro);
@@ -507,7 +628,7 @@ fn synthesize_impl(
             if let Err(reason) = g.check_realtime() {
                 stats.extract_time = t_ext.elapsed();
                 stats.extract_profile = extract_profile;
-                return aborted(Phase::Extract, reason, stats, start);
+                return Ok((aborted(Phase::Extract, reason, None, stats, start), fills));
             }
         }
         let ex = match explore(&program, &problem.faults, &problem.props) {
@@ -577,13 +698,16 @@ fn synthesize_impl(
     stats.elapsed = start.elapsed();
     stats.residual_time = stats.elapsed.saturating_sub(stats.phase_total());
 
-    SynthesisOutcome::Solved(Box::new(Synthesized {
-        model,
-        program,
-        closure,
-        tableau,
-        state_tableau,
-        stats,
-        verification,
-    }))
+    Ok((
+        SynthesisOutcome::Solved(Box::new(Synthesized {
+            model,
+            program,
+            closure,
+            tableau,
+            state_tableau,
+            stats,
+            verification,
+        })),
+        fills,
+    ))
 }

@@ -635,6 +635,25 @@ impl LabelSet {
             cur: self.bits.first().copied().unwrap_or(0),
         }
     }
+
+    /// The raw bitset words, least-significant word first. Exposed for
+    /// serialization (checkpoint blobs); pair with
+    /// [`LabelSet::from_words`] to round-trip a label exactly.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Reconstructs a label from raw words previously obtained via
+    /// [`LabelSet::words`]. The word count must match the closure the
+    /// label will be used against (i.e. `closure.empty_label().words().len()`);
+    /// the caller is responsible for that invariant — labels with a
+    /// mismatched width panic on the first set operation against a
+    /// proper-width label.
+    pub fn from_words(words: Vec<u64>) -> LabelSet {
+        LabelSet {
+            bits: words.into_boxed_slice(),
+        }
+    }
 }
 
 impl std::fmt::Debug for LabelSet {

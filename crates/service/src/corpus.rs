@@ -1,0 +1,56 @@
+//! The built-in problem corpus: named constructors for the golden
+//! benchmark family, so service requests can name a problem instead of
+//! shipping a spec file. Names match the conformance golden cases.
+
+use ftsyn::{problems, SynthesisProblem, Tolerance};
+
+/// All corpus names, in a stable order (the bench harness iterates
+/// this list).
+pub const NAMES: &[&str] = &[
+    "mutex2-failstop-masking",
+    "mutex3-failstop-masking",
+    "mutex4-failstop-masking",
+    "multitolerance-mutex3-P1-nonmasking",
+    "barrier2-nonmasking",
+    "readers-writers-1R-writer-failstop",
+    "philosophers3-fault-free",
+];
+
+/// Constructs a fresh problem instance for a corpus `name`, or `None`
+/// if the name is unknown. Every call builds a new instance — requests
+/// must never share mutable problem state.
+pub fn problem(name: &str) -> Option<SynthesisProblem> {
+    Some(match name {
+        "mutex2-failstop-masking" => problems::mutex::with_fail_stop(2, Tolerance::Masking),
+        "mutex3-failstop-masking" => problems::mutex::with_fail_stop(3, Tolerance::Masking),
+        "mutex4-failstop-masking" => problems::mutex::with_fail_stop(4, Tolerance::Masking),
+        "multitolerance-mutex3-P1-nonmasking" => {
+            problems::mutex::with_fail_stop_multitolerance(3, |f| {
+                if f.name().contains("P1") {
+                    Tolerance::Nonmasking
+                } else {
+                    Tolerance::Masking
+                }
+            })
+        }
+        "barrier2-nonmasking" => problems::barrier::with_general_state_faults(2),
+        "readers-writers-1R-writer-failstop" => {
+            problems::readers_writers::with_writer_fail_stop(1, Tolerance::Masking)
+        }
+        "philosophers3-fault-free" => problems::mutex::dining_philosophers(3),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_constructs() {
+        for name in NAMES {
+            assert!(problem(name).is_some(), "corpus name {name} did not build");
+        }
+        assert!(problem("no-such-problem").is_none());
+    }
+}

@@ -1,0 +1,1056 @@
+//! Synthesis-as-a-service: a daemon engine that accepts many
+//! concurrent synthesis requests, shares warm [`ExpansionCache`]s
+//! across them, and turns budget aborts into resumable checkpoints
+//! instead of lost work.
+//!
+//! # Architecture
+//!
+//! [`Service`] is the engine; it owns
+//!
+//! - a shared expansion cache, **partitioned by problem source**: the
+//!   cache keys are label bitsets, which index into a
+//!   problem's closure, so an entry is only meaningful to builds of
+//!   the same problem — one partition per [`ProblemSource`] makes
+//!   cross-request sharing sound. Each partition sits behind its own
+//!   `RwLock`: every request builds under a read guard of its
+//!   partition (many builders in parallel) and the cache fills it
+//!   discovers are folded back under a brief write lock after the
+//!   pipeline finishes, without ever blocking requests for *other*
+//!   problems;
+//! - a checkpoint store keyed by request id, holding the **encoded**
+//!   checkpoint blob (not the live structure) plus the problem
+//!   source, so every abort→resume hop exercises the serialization
+//!   format end-to-end exactly like an on-disk blob would;
+//! - an active-request registry mapping ids to their [`Governor`]s,
+//!   giving `cancel` and `shutdown` a handle to every in-flight run.
+//!
+//! Determinism: a request's result bytes depend only on the problem
+//! and the thread plan — never on what else the daemon is doing. The
+//! shared cache can only change *which* expansions are recomputed,
+//! not their values, and the per-task hit/miss accounting in the
+//! build engine keeps profiles deterministic even when another
+//! request warms the cache mid-build.
+//!
+//! The wire protocol is line-delimited JSON (see [`serve`]): one
+//! request object per input line, one response object per output
+//! line, matched by `id`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod json;
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+use ftsyn::{
+    synthesize_session, Budget, ExpansionCache, Governor, SynthesisOutcome, SynthesisProblem,
+    SynthesisSession, ThreadPlan,
+};
+
+use json::{ObjBuilder, Value};
+
+/// Callback that turns an inline spec-file text into a problem.
+///
+/// The concrete parser lives in the CLI crate (which depends on this
+/// one), so the daemon receives it by injection instead of linking it.
+pub type SpecParser = Box<dyn Fn(&str) -> Result<SynthesisProblem, String> + Send + Sync>;
+
+/// Where a request's problem comes from. Kept alongside stored
+/// checkpoints so a resume can rebuild the identical problem.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProblemSource {
+    /// A named problem from the built-in [`corpus`].
+    Corpus(String),
+    /// An inline spec-file text, parsed by the injected [`SpecParser`].
+    Spec(String),
+}
+
+/// One synthesis request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen id; response lines echo it, and a checkpoint left
+    /// by a budget abort is stored under it.
+    pub id: String,
+    /// Problem to synthesize.
+    pub source: ProblemSource,
+    /// Worker threads for this request's build/minimize phases.
+    pub threads: usize,
+    /// Per-request budget; `None` uses the service default.
+    pub budget: Option<Budget>,
+}
+
+impl Request {
+    /// A corpus-backed request.
+    pub fn corpus(id: &str, name: &str, threads: usize) -> Request {
+        Request {
+            id: id.to_owned(),
+            source: ProblemSource::Corpus(name.to_owned()),
+            threads,
+            budget: None,
+        }
+    }
+
+    /// Sets a per-request budget.
+    pub fn with_budget(mut self, budget: Budget) -> Request {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// The outcome of a request, ready to serialize onto the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Synthesis succeeded.
+    Solved {
+        /// States in the synthesized model.
+        states: usize,
+        /// Program (non-fault) transitions.
+        transitions: usize,
+        /// Did the built-in verifier pass?
+        verified: bool,
+        /// Shared-cache hits during the build.
+        cache_hits: usize,
+        /// Shared-cache misses during the build.
+        cache_misses: usize,
+        /// The synthesized program, pretty-printed.
+        program: String,
+    },
+    /// A mechanical impossibility result.
+    Impossible,
+    /// The run hit its budget (or was cancelled).
+    Aborted {
+        /// Phase the abort happened in (`build`, `minimize`, ...).
+        phase: String,
+        /// Human-readable abort reason.
+        reason: String,
+        /// `true` when a checkpoint was captured; `resume` with
+        /// `from` set to this request's id continues the run.
+        resumable: bool,
+    },
+    /// The request could not be served (bad name, stale checkpoint,
+    /// duplicate id, ...).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// A `cancel` op was delivered to a live request.
+    Cancelled,
+    /// A `shutdown` op was accepted.
+    ShuttingDown,
+}
+
+impl Reply {
+    /// Serializes the reply as one JSON response line for `id`.
+    pub fn to_line(&self, id: &str) -> String {
+        let b = ObjBuilder::new().str("id", id);
+        match self {
+            Reply::Solved {
+                states,
+                transitions,
+                verified,
+                cache_hits,
+                cache_misses,
+                program,
+            } => b
+                .str("status", "solved")
+                .num("states", *states)
+                .num("transitions", *transitions)
+                .bool("verified", *verified)
+                .num("cache_hits", *cache_hits)
+                .num("cache_misses", *cache_misses)
+                .str("program", program)
+                .build(),
+            Reply::Impossible => b.str("status", "impossible").build(),
+            Reply::Aborted {
+                phase,
+                reason,
+                resumable,
+            } => b
+                .str("status", "aborted")
+                .str("phase", phase)
+                .str("reason", reason)
+                .bool("resumable", *resumable)
+                .build(),
+            Reply::Error { message } => b.str("status", "error").str("message", message).build(),
+            Reply::Cancelled => b.str("status", "cancelled").build(),
+            Reply::ShuttingDown => b.str("status", "shutting-down").build(),
+        }
+    }
+}
+
+/// A checkpoint parked in the store between an abort and its resume.
+struct Stored {
+    /// The **encoded** blob — resume decodes and validates it, so the
+    /// wire format is exercised on every hop.
+    blob: Vec<u8>,
+    source: ProblemSource,
+}
+
+/// The daemon engine. See the crate docs for the architecture.
+pub struct Service {
+    /// Expansion-cache partitions, one per problem source (cache keys
+    /// are closure-relative, so entries are only sound within one
+    /// problem). The outer lock is held briefly to find or create a
+    /// partition; builds hold a read guard on their partition only.
+    cache: RwLock<HashMap<ProblemSource, Arc<RwLock<ExpansionCache>>>>,
+    checkpoints: Mutex<HashMap<String, Stored>>,
+    active: Mutex<HashMap<String, Arc<Governor>>>,
+    /// Signalled whenever a request leaves `active`; pipelined `resume`
+    /// ops wait here for their `from` request to finish.
+    idle: Condvar,
+    default_budget: Budget,
+    spec_parser: Option<SpecParser>,
+    /// Refuse new work ([`Service::quiesce`] and [`Service::shutdown`]).
+    shutting_down: AtomicBool,
+    /// Additionally cancel work racing with [`Service::shutdown`]'s
+    /// cascade (registered after the cascade walked `active`).
+    hard_shutdown: AtomicBool,
+}
+
+impl Default for Service {
+    fn default() -> Service {
+        Service::new()
+    }
+}
+
+/// Lock helpers that ride through poisoning: a worker panic inside
+/// one request must not wedge the whole daemon.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read<T>(m: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    m.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(m: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    m.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Service {
+    /// A fresh service with a cold cache and an unlimited default
+    /// budget.
+    pub fn new() -> Service {
+        Service {
+            cache: RwLock::new(HashMap::new()),
+            checkpoints: Mutex::new(HashMap::new()),
+            active: Mutex::new(HashMap::new()),
+            idle: Condvar::new(),
+            default_budget: Budget::unlimited(),
+            spec_parser: None,
+            shutting_down: AtomicBool::new(false),
+            hard_shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Sets the budget applied to requests that do not carry their own.
+    pub fn with_default_budget(mut self, budget: Budget) -> Service {
+        self.default_budget = budget;
+        self
+    }
+
+    /// Injects the inline-spec parser (normally the CLI's spec-file
+    /// front end). Without one, `"spec"` requests are rejected.
+    pub fn with_spec_parser(mut self, parser: SpecParser) -> Service {
+        self.spec_parser = Some(parser);
+        self
+    }
+
+    /// `(blocks, tiles)` entry counts summed over every cache
+    /// partition.
+    pub fn cache_entries(&self) -> (usize, usize) {
+        read(&self.cache)
+            .values()
+            .fold((0, 0), |(blocks, tiles), partition| {
+                let (b, t) = read(partition).len();
+                (blocks + b, tiles + t)
+            })
+    }
+
+    /// The encoded checkpoint blob stored for `id`, if any.
+    pub fn export_checkpoint(&self, id: &str) -> Option<Vec<u8>> {
+        lock(&self.checkpoints).get(id).map(|s| s.blob.clone())
+    }
+
+    /// Parks an externally produced checkpoint blob (e.g. one a CLI
+    /// run wrote to disk) so a later `resume` can pick it up. The blob
+    /// is validated on resume, not here.
+    pub fn import_checkpoint(&self, id: &str, blob: Vec<u8>, source: ProblemSource) {
+        lock(&self.checkpoints).insert(id.to_owned(), Stored { blob, source });
+    }
+
+    /// Has [`Service::quiesce`] or [`Service::shutdown`] been called?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Rejects new work but lets in-flight requests run to completion.
+    /// This is what the protocol's `shutdown` op does, so pipelined
+    /// requests queued before the shutdown line still get real answers.
+    pub fn quiesce(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Rejects new work and cancels every in-flight request (each
+    /// aborts at its next governor poll).
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.hard_shutdown.store(true, Ordering::SeqCst);
+        for gov in lock(&self.active).values() {
+            gov.cancel();
+        }
+    }
+
+    /// Cancels the in-flight request `target`. Returns `false` when no
+    /// such request is active.
+    pub fn cancel(&self, target: &str) -> bool {
+        match lock(&self.active).get(target) {
+            Some(gov) => {
+                gov.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn build_problem(&self, source: &ProblemSource) -> Result<SynthesisProblem, String> {
+        match source {
+            ProblemSource::Corpus(name) => corpus::problem(name)
+                .ok_or_else(|| format!("unknown corpus problem \"{name}\"")),
+            ProblemSource::Spec(text) => match &self.spec_parser {
+                Some(parse) => parse(text),
+                None => Err("this service has no spec parser; use a corpus problem".to_owned()),
+            },
+        }
+    }
+
+    /// Runs a synthesis request to completion (or abort) on the
+    /// calling thread.
+    pub fn submit(&self, req: Request) -> Reply {
+        self.submit_admitted(req, false)
+    }
+
+    /// [`Service::submit`] with the admission decision already made:
+    /// the serve loop admits requests in line order, so a request read
+    /// before the shutdown line runs even if quiescing has begun by
+    /// the time its worker thread gets scheduled.
+    fn submit_admitted(&self, req: Request, admitted: bool) -> Reply {
+        if !admitted && self.is_shutting_down() {
+            return Reply::Error {
+                message: "service is shutting down".to_owned(),
+            };
+        }
+        let problem = match self.build_problem(&req.source) {
+            Ok(p) => p,
+            Err(message) => return Reply::Error { message },
+        };
+        let budget = req.budget.unwrap_or_else(|| self.default_budget.clone());
+        self.run(&req.id, req.source, problem, req.threads, budget, None)
+    }
+
+    /// Blocks until no request named `id` is active. Requests park
+    /// their checkpoint in the store *before* deregistering, so once
+    /// this returns the store reflects `id`'s final state.
+    fn wait_for(&self, id: &str) {
+        let mut active = lock(&self.active);
+        while active.contains_key(id) {
+            active = self
+                .idle
+                .wait(active)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Resumes the checkpoint stored under `from`, publishing any new
+    /// checkpoint (another abort) under `id`.
+    ///
+    /// If the `from` request is still in flight (a pipelined client
+    /// sent the resume line without waiting for the abort response),
+    /// this blocks until it finishes.
+    pub fn resume(&self, id: &str, from: &str, threads: usize, budget: Option<Budget>) -> Reply {
+        self.resume_admitted(id, from, threads, budget, false)
+    }
+
+    /// [`Service::resume`] with the admission decision already made
+    /// (see [`Service::submit_admitted`]).
+    fn resume_admitted(
+        &self,
+        id: &str,
+        from: &str,
+        threads: usize,
+        budget: Option<Budget>,
+        admitted: bool,
+    ) -> Reply {
+        if !admitted && self.is_shutting_down() {
+            return Reply::Error {
+                message: "service is shutting down".to_owned(),
+            };
+        }
+        self.wait_for(from);
+        let stored = match lock(&self.checkpoints).remove(from) {
+            Some(s) => s,
+            None => {
+                return Reply::Error {
+                    message: format!("no checkpoint stored for request \"{from}\""),
+                }
+            }
+        };
+        let checkpoint = match ftsyn::Checkpoint::decode(&stored.blob) {
+            Ok(ck) => ck,
+            Err(e) => {
+                return Reply::Error {
+                    message: format!("checkpoint rejected: {e}"),
+                }
+            }
+        };
+        let problem = match self.build_problem(&stored.source) {
+            Ok(p) => p,
+            Err(message) => return Reply::Error { message },
+        };
+        let budget = budget.unwrap_or_else(|| self.default_budget.clone());
+        self.run(id, stored.source, problem, threads, budget, Some(checkpoint))
+    }
+
+    fn run(
+        &self,
+        id: &str,
+        source: ProblemSource,
+        mut problem: SynthesisProblem,
+        threads: usize,
+        budget: Budget,
+        resume: Option<ftsyn::Checkpoint>,
+    ) -> Reply {
+        let gov = Arc::new(Governor::with_budget(budget));
+        {
+            let mut active = lock(&self.active);
+            if active.contains_key(id) {
+                return Reply::Error {
+                    message: format!("request id \"{id}\" is already active"),
+                };
+            }
+            active.insert(id.to_owned(), Arc::clone(&gov));
+        }
+        // Close the race with a hard shutdown whose cancel cascade ran
+        // between our shutting-down check and the registration above.
+        if self.hard_shutdown.load(Ordering::SeqCst) {
+            gov.cancel();
+        }
+        let reply = self.execute(id, source, &mut problem, threads, &gov, resume);
+        {
+            let mut active = lock(&self.active);
+            active.remove(id);
+            self.idle.notify_all();
+        }
+        reply
+    }
+
+    /// The pipeline proper: runs while the request is registered in
+    /// `active`; any checkpoint is parked before [`Service::run`]
+    /// deregisters, preserving the [`Service::wait_for`] invariant.
+    fn execute(
+        &self,
+        id: &str,
+        source: ProblemSource,
+        problem: &mut SynthesisProblem,
+        threads: usize,
+        gov: &Governor,
+        resume: Option<ftsyn::Checkpoint>,
+    ) -> Reply {
+        let partition = Arc::clone(write(&self.cache).entry(source.clone()).or_default());
+        let result = {
+            // Hold the partition's read guard across the whole
+            // pipeline: same-problem builders share it concurrently,
+            // and fills are only folded back (under the write lock)
+            // after this guard drops.
+            let cache = read(&partition);
+            synthesize_session(
+                problem,
+                ThreadPlan::uniform(threads),
+                Some(gov),
+                SynthesisSession {
+                    cache: Some(&cache),
+                    resume,
+                },
+            )
+        };
+        let (outcome, fills) = match result {
+            Ok(pair) => pair,
+            Err(e) => {
+                return Reply::Error {
+                    message: format!("checkpoint rejected: {e}"),
+                }
+            }
+        };
+        if !fills.is_empty() {
+            let mut cache = write(&partition);
+            for fill in fills {
+                cache.apply_fill(fill);
+            }
+        }
+        match outcome {
+            SynthesisOutcome::Solved(s) => Reply::Solved {
+                states: s.stats.model_states,
+                transitions: s.stats.program_transitions,
+                verified: s.verification.ok(),
+                cache_hits: s.stats.build_profile.cache_hits,
+                cache_misses: s.stats.build_profile.cache_misses,
+                program: s.program.display(&problem.props).to_string(),
+            },
+            SynthesisOutcome::Impossible(_) => Reply::Impossible,
+            SynthesisOutcome::Aborted(a) => {
+                let resumable = a.checkpoint.is_some();
+                if let Some(ck) = a.checkpoint {
+                    lock(&self.checkpoints).insert(
+                        id.to_owned(),
+                        Stored {
+                            blob: ck.encode(),
+                            source,
+                        },
+                    );
+                }
+                Reply::Aborted {
+                    phase: a.phase.name().to_owned(),
+                    reason: a.reason.to_string(),
+                    resumable,
+                }
+            }
+        }
+    }
+}
+
+/// A parsed protocol operation.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Run a synthesis request.
+    Synthesize(Request),
+    /// Resume a stored checkpoint.
+    Resume {
+        /// Id for the resumed run (new checkpoints land here).
+        id: String,
+        /// Id whose stored checkpoint to resume.
+        from: String,
+        /// Worker threads.
+        threads: usize,
+        /// Budget override.
+        budget: Option<Budget>,
+    },
+    /// Cancel an in-flight request.
+    Cancel {
+        /// Id of this cancel op itself.
+        id: String,
+        /// Id of the request to cancel.
+        target: String,
+    },
+    /// Stop accepting work and cancel everything in flight.
+    Shutdown {
+        /// Id of the shutdown op.
+        id: String,
+    },
+}
+
+impl Op {
+    /// The request id the response line should echo.
+    pub fn id(&self) -> &str {
+        match self {
+            Op::Synthesize(r) => &r.id,
+            Op::Resume { id, .. } | Op::Cancel { id, .. } | Op::Shutdown { id } => id,
+        }
+    }
+}
+
+fn parse_budget(v: &Value) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    let members = match v {
+        Value::Obj(members) => members,
+        _ => return Err("\"budget\" must be an object".to_owned()),
+    };
+    for (key, val) in members {
+        let n = val
+            .as_u64()
+            .ok_or_else(|| format!("budget field \"{key}\" must be a non-negative integer"))?;
+        match key.as_str() {
+            "deadline_ms" => budget.deadline = Some(Duration::from_millis(n)),
+            "max_states" => budget.max_states = Some(n as usize),
+            "max_deletion_work" => budget.max_deletion_work = Some(n as usize),
+            "max_minimize_attempts" => budget.max_minimize_attempts = Some(n as usize),
+            "max_extract_refine_rounds" => budget.max_extract_refine_rounds = Some(n as usize),
+            other => return Err(format!("unknown budget field \"{other}\"")),
+        }
+    }
+    Ok(budget)
+}
+
+/// Parses one request line into an [`Op`].
+///
+/// # Errors
+///
+/// `(id, message)` — the id extracted from the line when possible
+/// (empty otherwise), so the error response can still be correlated.
+pub fn parse_op(line: &str) -> Result<Op, (String, String)> {
+    let v = json::parse(line).map_err(|e| (String::new(), format!("bad request: {e}")))?;
+    let id = v
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    if id.is_empty() {
+        return Err((id, "request is missing a non-empty \"id\"".to_owned()));
+    }
+    let fail = |msg: String| (id.clone(), msg);
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("request is missing \"op\"".to_owned()))?;
+    let threads = match v.get("threads") {
+        None => ftsyn::default_threads(),
+        Some(t) => t
+            .as_usize()
+            .filter(|&t| t >= 1)
+            .ok_or_else(|| fail("\"threads\" must be a positive integer".to_owned()))?,
+    };
+    let budget = match v.get("budget") {
+        None => None,
+        Some(b) => Some(parse_budget(b).map_err(fail)?),
+    };
+    match op {
+        "synthesize" => {
+            let source = match (
+                v.get("problem").and_then(Value::as_str),
+                v.get("spec").and_then(Value::as_str),
+            ) {
+                (Some(name), None) => ProblemSource::Corpus(name.to_owned()),
+                (None, Some(text)) => ProblemSource::Spec(text.to_owned()),
+                (Some(_), Some(_)) => {
+                    return Err(fail(
+                        "give either \"problem\" or \"spec\", not both".to_owned(),
+                    ))
+                }
+                (None, None) => {
+                    return Err(fail(
+                        "synthesize needs a \"problem\" name or an inline \"spec\"".to_owned(),
+                    ))
+                }
+            };
+            Ok(Op::Synthesize(Request {
+                id,
+                source,
+                threads,
+                budget,
+            }))
+        }
+        "resume" => {
+            let from = v
+                .get("from")
+                .and_then(Value::as_str)
+                .unwrap_or(&id)
+                .to_owned();
+            Ok(Op::Resume {
+                id,
+                from,
+                threads,
+                budget,
+            })
+        }
+        "cancel" => {
+            let target = v
+                .get("target")
+                .and_then(Value::as_str)
+                .ok_or_else(|| fail("cancel needs a \"target\" request id".to_owned()))?
+                .to_owned();
+            Ok(Op::Cancel { id, target })
+        }
+        "shutdown" => Ok(Op::Shutdown { id }),
+        other => Err(fail(format!("unknown op \"{other}\""))),
+    }
+}
+
+/// Executes a parsed operation against the service.
+pub fn dispatch(service: &Service, op: Op) -> Reply {
+    dispatch_admitted(service, op, false)
+}
+
+/// [`dispatch`] with the admission decision made by the caller: the
+/// serve loop admits ops in read order, before spawning the worker.
+fn dispatch_admitted(service: &Service, op: Op, admitted: bool) -> Reply {
+    match op {
+        Op::Synthesize(req) => service.submit_admitted(req, admitted),
+        Op::Resume {
+            id,
+            from,
+            threads,
+            budget,
+        } => service.resume_admitted(&id, &from, threads, budget, admitted),
+        Op::Cancel { target, .. } => {
+            if service.cancel(&target) {
+                Reply::Cancelled
+            } else {
+                Reply::Error {
+                    message: format!("no active request \"{target}\""),
+                }
+            }
+        }
+        Op::Shutdown { .. } => {
+            // Graceful: stop accepting work, let in-flight requests
+            // finish (pipelined clients still get real answers). Hard
+            // cancellation of individual requests is the `cancel` op.
+            service.quiesce();
+            Reply::ShuttingDown
+        }
+    }
+}
+
+/// Handles one request line synchronously, returning the response
+/// line. Exposed for tests and single-shot embedding; [`serve`] is the
+/// concurrent loop.
+pub fn handle_line(service: &Service, line: &str) -> String {
+    match parse_op(line) {
+        Err((id, message)) => Reply::Error { message }.to_line(&id),
+        Ok(op) => {
+            let id = op.id().to_owned();
+            dispatch(service, op).to_line(&id)
+        }
+    }
+}
+
+/// The daemon loop: reads one JSON request per line from `input`,
+/// serves each request on its own thread (sharing the service's warm
+/// cache), and writes one JSON response line per request to `output`.
+/// Response order follows completion, not submission — correlate by
+/// `id`. A `shutdown` op stops the read loop and drains in-flight
+/// requests (they finish and answer normally); `cancel` is the hard
+/// stop for individual requests.
+///
+/// # Errors
+///
+/// Propagates read errors on `input`; write errors on `output` are
+/// swallowed (there is nowhere left to report them).
+pub fn serve<R: BufRead, W: Write + Send>(
+    service: &Service,
+    input: R,
+    output: W,
+) -> std::io::Result<()> {
+    let out = Mutex::new(output);
+    let mut read_error = None;
+    std::thread::scope(|scope| {
+        for line in input.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_op(&line) {
+                Err((id, message)) => {
+                    let mut w = lock(&out);
+                    let _ = writeln!(w, "{}", Reply::Error { message }.to_line(&id));
+                    let _ = w.flush();
+                }
+                Ok(op @ Op::Shutdown { .. }) => {
+                    let id = op.id().to_owned();
+                    let reply = dispatch(service, op);
+                    let mut w = lock(&out);
+                    let _ = writeln!(w, "{}", reply.to_line(&id));
+                    let _ = w.flush();
+                    // Stop reading; the scope joins the in-flight
+                    // workers, which run to completion and answer.
+                    break;
+                }
+                Ok(op) => {
+                    // Admission is decided here, in read order: every
+                    // line read before a shutdown line runs even if
+                    // quiescing begins before its worker is scheduled.
+                    if service.is_shutting_down() {
+                        let reply = Reply::Error {
+                            message: "service is shutting down".to_owned(),
+                        };
+                        let mut w = lock(&out);
+                        let _ = writeln!(w, "{}", reply.to_line(op.id()));
+                        let _ = w.flush();
+                        continue;
+                    }
+                    let out = &out;
+                    scope.spawn(move || {
+                        let id = op.id().to_owned();
+                        let reply = dispatch_admitted(service, op, true);
+                        let mut w = lock(out);
+                        let _ = writeln!(w, "{}", reply.to_line(&id));
+                        let _ = w.flush();
+                    });
+                }
+            }
+        }
+    });
+    match read_error {
+        Some(e) => Err(e),
+        None => {
+            let mut w = lock(&out);
+            w.flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solved(reply: &Reply) -> (&str, usize, usize, bool) {
+        match reply {
+            Reply::Solved {
+                program,
+                cache_hits,
+                cache_misses,
+                verified,
+                ..
+            } => (program.as_str(), *cache_hits, *cache_misses, *verified),
+            other => panic!("expected Solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_cache_reproduces_the_cold_result_with_hits() {
+        let svc = Service::new();
+        let cold = svc.submit(Request::corpus("cold", "mutex2-failstop-masking", 2));
+        let (cold_program, cold_hits, cold_misses, cold_ok) = solved(&cold);
+        assert!(cold_ok);
+        assert_eq!(cold_hits, 0, "first request sees an empty cache");
+        assert!(cold_misses > 0);
+        assert!(svc.cache_entries().0 > 0, "fills were folded back");
+
+        let warm = svc.submit(Request::corpus("warm", "mutex2-failstop-masking", 2));
+        let (warm_program, warm_hits, warm_misses, warm_ok) = solved(&warm);
+        assert!(warm_ok);
+        assert!(warm_hits > 0, "second request hits the shared cache");
+        assert_eq!(warm_misses, 0, "nothing left to recompute");
+        assert_eq!(cold_program, warm_program, "cache must not change results");
+    }
+
+    #[test]
+    fn abort_resume_round_trips_through_the_encoded_blob() {
+        let svc = Service::new();
+        let aborted = svc.submit(
+            Request::corpus("r1", "mutex2-failstop-masking", 1).with_budget(Budget {
+                max_states: Some(12),
+                ..Budget::unlimited()
+            }),
+        );
+        match &aborted {
+            Reply::Aborted {
+                phase, resumable, ..
+            } => {
+                assert_eq!(phase, "build");
+                assert!(*resumable);
+            }
+            other => panic!("expected Aborted, got {other:?}"),
+        }
+        assert!(svc.export_checkpoint("r1").is_some());
+
+        let resumed = svc.resume("r2", "r1", 1, None);
+        let (resumed_program, _, _, resumed_ok) = solved(&resumed);
+        assert!(resumed_ok);
+        assert!(
+            svc.export_checkpoint("r1").is_none(),
+            "a consumed checkpoint leaves the store"
+        );
+
+        // The resumed run must match an uninterrupted one end to end.
+        let baseline_svc = Service::new();
+        let baseline = baseline_svc.submit(Request::corpus("b", "mutex2-failstop-masking", 1));
+        let (baseline_program, _, _, _) = solved(&baseline);
+        assert_eq!(resumed_program, baseline_program);
+    }
+
+    #[test]
+    fn corrupted_and_missing_checkpoints_are_structured_errors() {
+        let svc = Service::new();
+        match svc.resume("x", "never-ran", 1, None) {
+            Reply::Error { message } => assert!(message.contains("no checkpoint")),
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        svc.import_checkpoint(
+            "garbage",
+            b"not a checkpoint".to_vec(),
+            ProblemSource::Corpus("mutex2-failstop-masking".to_owned()),
+        );
+        match svc.resume("y", "garbage", 1, None) {
+            Reply::Error { message } => {
+                assert!(message.contains("checkpoint rejected"), "{message}")
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        // A blob from one spec must not resume under another: the
+        // validation inside the pipeline rejects the spec-hash
+        // mismatch before any work happens.
+        let donor = Service::new();
+        let _ = donor.submit(
+            Request::corpus("d", "mutex3-failstop-masking", 1).with_budget(Budget {
+                max_states: Some(12),
+                ..Budget::unlimited()
+            }),
+        );
+        let blob = donor.export_checkpoint("d").expect("abort left a blob");
+        svc.import_checkpoint(
+            "stale",
+            blob,
+            ProblemSource::Corpus("mutex2-failstop-masking".to_owned()),
+        );
+        match svc.resume("z", "stale", 1, None) {
+            Reply::Error { message } => {
+                assert!(message.contains("checkpoint rejected"), "{message}")
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_lines_round_trip() {
+        let svc = Service::new();
+        let resp = handle_line(
+            &svc,
+            r#"{"id":"p1","op":"synthesize","problem":"mutex2-failstop-masking","threads":1}"#,
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("p1"));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("solved"));
+        assert_eq!(v.get("verified"), Some(&Value::Bool(true)));
+        assert!(v
+            .get("program")
+            .and_then(Value::as_str)
+            .is_some_and(|p| p.contains("process")));
+
+        // Abort under a budget, then resume over the wire.
+        let resp = handle_line(
+            &svc,
+            r#"{"id":"p2","op":"synthesize","problem":"mutex3-failstop-masking",
+                "threads":1,"budget":{"max_states":20}}"#,
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("aborted"));
+        assert_eq!(v.get("resumable"), Some(&Value::Bool(true)));
+        let resp = handle_line(&svc, r#"{"id":"p3","op":"resume","from":"p2","threads":1}"#);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("solved"));
+
+        for (line, needle) in [
+            ("not json", "bad request"),
+            (r#"{"op":"synthesize"}"#, "missing a non-empty \"id\""),
+            (r#"{"id":"q","op":"noop"}"#, "unknown op"),
+            (r#"{"id":"q","op":"synthesize"}"#, "needs a \"problem\""),
+            (
+                r#"{"id":"q","op":"synthesize","problem":"nope"}"#,
+                "unknown corpus problem",
+            ),
+            (
+                r#"{"id":"q","op":"synthesize","problem":"x","threads":0}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"id":"q","op":"synthesize","problem":"x","budget":{"max_bananas":1}}"#,
+                "unknown budget field",
+            ),
+            (r#"{"id":"q","op":"cancel"}"#, "needs a \"target\""),
+            (r#"{"id":"q","op":"cancel","target":"ghost"}"#, "no active request"),
+        ] {
+            let v = json::parse(&handle_line(&svc, line)).unwrap();
+            assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+            let msg = v.get("message").and_then(Value::as_str).unwrap();
+            assert!(msg.contains(needle), "{line} => {msg}");
+        }
+    }
+
+    #[test]
+    fn pipelined_abort_resume_shutdown_works_in_one_stream() {
+        // A client that writes its whole session without waiting for
+        // responses: the resume op must wait for the abort it resumes,
+        // and the shutdown must not cancel either of them.
+        let svc = Service::new();
+        let input = concat!(
+            r#"{"id":"r1","op":"synthesize","problem":"mutex2-failstop-masking","threads":2,"budget":{"max_states":40}}"#,
+            "\n",
+            r#"{"id":"r2","op":"resume","from":"r1","threads":2}"#,
+            "\n",
+            r#"{"id":"end","op":"shutdown"}"#,
+            "\n",
+        );
+        let mut output = Vec::new();
+        serve(&svc, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let mut statuses = HashMap::new();
+        for line in text.lines() {
+            let v = json::parse(line).unwrap();
+            statuses.insert(
+                v.get("id").and_then(Value::as_str).unwrap().to_owned(),
+                v.get("status").and_then(Value::as_str).unwrap().to_owned(),
+            );
+        }
+        assert_eq!(statuses.get("r1").map(String::as_str), Some("aborted"));
+        assert_eq!(statuses.get("r2").map(String::as_str), Some("solved"));
+        assert_eq!(
+            statuses.get("end").map(String::as_str),
+            Some("shutting-down")
+        );
+    }
+
+    #[test]
+    fn serve_loop_answers_every_line_and_honors_shutdown() {
+        fn statuses_of(text: &str) -> HashMap<String, String> {
+            let mut statuses = HashMap::new();
+            for line in text.lines() {
+                let v = json::parse(line).unwrap();
+                statuses.insert(
+                    v.get("id").and_then(Value::as_str).unwrap().to_owned(),
+                    v.get("status").and_then(Value::as_str).unwrap().to_owned(),
+                );
+            }
+            statuses
+        }
+
+        let svc = Service::new();
+        let input = concat!(
+            r#"{"id":"a","op":"synthesize","problem":"mutex2-failstop-masking","threads":1}"#,
+            "\n",
+            r#"{"id":"b","op":"synthesize","problem":"philosophers3-fault-free","threads":2}"#,
+            "\n\n",
+        );
+        let mut output = Vec::new();
+        serve(&svc, input.as_bytes(), &mut output).unwrap();
+        let statuses = statuses_of(&String::from_utf8(output).unwrap());
+        assert_eq!(statuses.get("a").map(String::as_str), Some("solved"));
+        assert_eq!(statuses.get("b").map(String::as_str), Some("solved"));
+
+        // A shutdown line stops the read loop; later lines are never
+        // seen, and subsequent submits are refused.
+        let input = concat!(
+            r#"{"id":"end","op":"shutdown"}"#,
+            "\n",
+            r#"{"id":"late","op":"synthesize","problem":"mutex2-failstop-masking"}"#,
+            "\n",
+        );
+        let mut output = Vec::new();
+        serve(&svc, input.as_bytes(), &mut output).unwrap();
+        let statuses = statuses_of(&String::from_utf8(output).unwrap());
+        assert_eq!(
+            statuses.get("end").map(String::as_str),
+            Some("shutting-down")
+        );
+        assert!(
+            !statuses.contains_key("late"),
+            "lines after shutdown are not read"
+        );
+        assert!(svc.is_shutting_down());
+        match svc.submit(Request::corpus("post", "mutex2-failstop-masking", 1)) {
+            Reply::Error { message } => assert!(message.contains("shutting down")),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+}

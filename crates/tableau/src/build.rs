@@ -38,6 +38,7 @@
 //! [`build_reference`] naive-kernel oracle.
 
 use crate::cache::{CacheFill, ExpansionCache};
+use crate::checkpoint::{spec_fingerprint, Checkpoint, PendingBatch};
 use crate::expand::{blocks, tiles, Tile};
 use crate::governor::{AbortReason, Governor};
 use crate::graph::{EdgeKind, NodeId, NodeKind, Tableau};
@@ -50,7 +51,9 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// A tableau construction stopped by its [`Governor`]: the reason plus
-/// the partial [`BuildProfile`] and node count accumulated so far.
+/// the partial [`BuildProfile`] and node count accumulated so far —
+/// and, for the work-stealing engine, a resumable [`Checkpoint`] of the
+/// exact abort point plus the deferred cache fills computed so far.
 #[derive(Debug)]
 pub struct BuildAbort {
     /// Which budget tripped (or which worker panicked).
@@ -59,6 +62,16 @@ pub struct BuildAbort {
     pub profile: BuildProfile,
     /// Tableau nodes interned when the build stopped.
     pub nodes: usize,
+    /// Resumable snapshot of the abort point. `Some` for the
+    /// work-stealing engine ([`build_governed`],
+    /// [`build_shared_cache_governed`], [`build_resume_governed`]);
+    /// `None` for the retained level-synchronized engine, which is not
+    /// resumable.
+    pub checkpoint: Option<Box<Checkpoint>>,
+    /// `Blocks`/`Tiles` results computed before the abort, still worth
+    /// warming a cache with (the work-stealing engine defers fills to
+    /// its caller; empty for engines that apply fills themselves).
+    pub fills: Vec<CacheFill>,
 }
 
 /// Locks a mutex, recovering the guarded data if a panicking thread
@@ -403,7 +416,7 @@ const MIN_PARALLEL_FRONTIER: usize = 4;
 /// Expansion tasks per work-stealing batch. Small enough to spread a
 /// narrow frontier across workers, large enough that the per-batch
 /// queue/commit bookkeeping stays noise.
-const BATCH_SIZE: usize = 16;
+pub(crate) const BATCH_SIZE: usize = 16;
 
 /// Constructs the tableau `T₀` for the given root label (the temporal
 /// specification) and fault specification.
@@ -427,10 +440,18 @@ pub fn build_with_threads(
     faults: &FaultSpec,
     threads: usize,
 ) -> (Tableau, BuildProfile) {
-    build_ws_core(
-        closure, props, root_label, faults, threads, None, Kernel::Fast, None,
+    let (t, profile, _) = build_ws_core(
+        closure,
+        props,
+        WsStart::Fresh(root_label),
+        faults,
+        threads,
+        None,
+        Kernel::Fast,
+        None,
     )
-    .unwrap_or_else(|a| panic!("ungoverned tableau build aborted: {}", a.reason))
+    .unwrap_or_else(|a| panic!("ungoverned tableau build aborted: {}", a.reason));
+    (t, profile)
 }
 
 /// [`build_with_threads`] under a [`Governor`]: the committer polls the
@@ -450,12 +471,68 @@ pub fn build_governed(
     build_ws_core(
         closure,
         props,
-        root_label,
+        WsStart::Fresh(root_label),
         faults,
         threads,
         None,
         Kernel::Fast,
         Some(gov),
+    )
+    .map(|(t, profile, _)| (t, profile))
+}
+
+/// The full-service build entry: optional *shared* cache reference
+/// (lookups only — the deferred [`CacheFill`]s are returned for the
+/// caller to apply, so many concurrent builds can warm one table) and
+/// optional [`Governor`]. On a governed abort the [`BuildAbort`]
+/// carries a resumable [`Checkpoint`].
+pub fn build_shared_cache_governed(
+    closure: &Closure,
+    props: &PropTable,
+    root_label: LabelSet,
+    faults: &FaultSpec,
+    threads: usize,
+    cache: Option<&ExpansionCache>,
+    gov: Option<&Governor>,
+) -> Result<(Tableau, BuildProfile, Vec<CacheFill>), Box<BuildAbort>> {
+    build_ws_core(
+        closure,
+        props,
+        WsStart::Fresh(root_label),
+        faults,
+        threads,
+        cache,
+        Kernel::Fast,
+        gov,
+    )
+}
+
+/// Resumes a build from a [`Checkpoint`] instead of the root label. The
+/// scheduler picks up at the checkpointed commit sequence, so the
+/// finished tableau — and every deterministic profile counter — is
+/// bit-identical to an uninterrupted run at every thread count.
+///
+/// Callers must [`Checkpoint::validate`] the blob against the problem
+/// first; resuming a checkpoint from a different problem is a logic
+/// error (debug builds assert the specification fingerprints match).
+pub fn build_resume_governed(
+    closure: &Closure,
+    props: &PropTable,
+    faults: &FaultSpec,
+    threads: usize,
+    cache: Option<&ExpansionCache>,
+    gov: Option<&Governor>,
+    checkpoint: Checkpoint,
+) -> Result<(Tableau, BuildProfile, Vec<CacheFill>), Box<BuildAbort>> {
+    build_ws_core(
+        closure,
+        props,
+        WsStart::Resume(Box::new(checkpoint)),
+        faults,
+        threads,
+        cache,
+        Kernel::Fast,
+        gov,
     )
 }
 
@@ -471,17 +548,21 @@ pub fn build_with_cache(
     threads: usize,
     cache: &mut ExpansionCache,
 ) -> (Tableau, BuildProfile) {
-    build_ws_core(
+    let (t, profile, fills) = build_ws_core(
         closure,
         props,
-        root_label,
+        WsStart::Fresh(root_label),
         faults,
         threads,
-        Some(cache),
+        Some(&*cache),
         Kernel::Fast,
         None,
     )
-    .unwrap_or_else(|a| panic!("ungoverned tableau build aborted: {}", a.reason))
+    .unwrap_or_else(|a| panic!("ungoverned tableau build aborted: {}", a.reason));
+    for fill in fills {
+        cache.apply_fill(fill);
+    }
+    (t, profile)
 }
 
 /// The retained previous-generation engine: level-synchronized parallel
@@ -763,6 +844,11 @@ fn build_level_core(
             reason,
             nodes: t.len(),
             profile,
+            // The level-synchronized engine predates checkpointing and
+            // applies its fills per level; it is kept verbatim as the
+            // previous generation, so its aborts are not resumable.
+            checkpoint: None,
+            fills: Vec::new(),
         })),
         None => Ok((t, profile)),
     }
@@ -953,6 +1039,7 @@ fn worker_loop(
 /// state only on the edge-operation sequence, and committing batches in
 /// sequence order preserves both sequences exactly as a sequential
 /// frontier-order build produces them.
+#[allow(clippy::too_many_arguments)] // internal commit half of the scheduler
 fn commit_batch(
     t: &mut Tableau,
     batch: &Batch,
@@ -960,6 +1047,7 @@ fn commit_batch(
     profile: &mut BuildProfile,
     fills: &mut Vec<CacheFill>,
     level_widths: &mut Vec<usize>,
+    cache_enabled: bool,
 ) -> Vec<NodeId> {
     profile.nodes_expanded += batch.tasks.len();
     if level_widths.len() <= batch.level {
@@ -970,6 +1058,19 @@ fn commit_batch(
     let t0 = Instant::now();
     let mut planned: Vec<(NodeId, Vec<Planned>)> = Vec::with_capacity(batch.tasks.len());
     for (task, (steps, fill)) in batch.tasks.iter().zip(output) {
+        // Per-task cache accounting: tasks are never dummy, so with a
+        // cache present each task performed exactly one lookup, and a
+        // deferred fill exists iff that lookup missed. Counting here
+        // (instead of diffing the cache's global atomic counters) keeps
+        // the profile deterministic even when concurrent builds share
+        // one cache.
+        if cache_enabled {
+            if fill.is_some() {
+                profile.cache_misses += 1;
+            } else {
+                profile.cache_hits += 1;
+            }
+        }
         if let Some(fill) = fill {
             fills.push(fill);
         }
@@ -1043,51 +1144,115 @@ fn commit_batch(
     fresh_nodes
 }
 
+/// Where a work-stealing build starts: from a fresh root label, or from
+/// a [`Checkpoint`]'s restored scheduler state.
+enum WsStart {
+    Fresh(LabelSet),
+    Resume(Box<Checkpoint>),
+}
+
 /// The work-stealing engine core. Fresh nodes discovered by each commit
 /// are chunked into new batches in discovery order and injected with
 /// the next sequence ids, so the global commit order equals the BFS
 /// frontier order of a sequential build — which is what makes the
 /// output bit-identical at every thread count (and to the
 /// level-synchronized engine).
-#[allow(clippy::too_many_arguments)] // internal core shared by four public entry points
+///
+/// The cache is taken by shared reference (so concurrent builds may
+/// warm one table) and the deferred [`CacheFill`]s are *returned*, on
+/// success and on abort alike — applying them is the caller's business.
+///
+/// On a governed abort the returned [`BuildAbort`] carries a
+/// [`Checkpoint`] of the exact scheduler state: the partial tableau,
+/// every injected-but-uncommitted batch (in sequence order), the fresh
+/// nodes of the last commit that were never batched (the governor polls
+/// *between* a commit and its fresh-node injection), and the
+/// deterministic counters. Resuming replays the identical commit
+/// sequence, so the finished tableau is bit-identical to an
+/// uninterrupted run at every thread count.
+#[allow(clippy::too_many_arguments)] // internal core shared by the public entry points
 fn build_ws_core(
     closure: &Closure,
     props: &PropTable,
-    root_label: LabelSet,
+    start: WsStart,
     faults: &FaultSpec,
     threads: usize,
-    mut cache: Option<&mut ExpansionCache>,
+    cache: Option<&ExpansionCache>,
     kernel: Kernel,
     gov: Option<&Governor>,
-) -> Result<(Tableau, BuildProfile), Box<BuildAbort>> {
+) -> Result<(Tableau, BuildProfile, Vec<CacheFill>), Box<BuildAbort>> {
     let threads = threads.max(1);
     let mut profile = BuildProfile {
         threads,
         ..BuildProfile::default()
     };
-    let counters_before = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
-    let mut t = Tableau::with_root(root_label);
     // Cache inserts stay deferred past the entire build: workers hold a
-    // shared cache reference for its whole duration, so the first &mut
-    // moment is after the scope ends. Behavior-identical to per-level
-    // application — interning already guarantees each unique label is
-    // expanded (and hence looked up) at most once per build.
+    // shared cache reference for its whole duration, and this core only
+    // ever *reads* the cache — the returned fills are applied by the
+    // caller. Behavior-identical to per-level application — interning
+    // already guarantees each unique label is expanded (and hence
+    // looked up) at most once per build.
     let mut fills: Vec<CacheFill> = Vec::new();
-    let mut level_widths: Vec<usize> = Vec::new();
 
-    let root_batch = make_batch(&t, 0, 0, &[t.root()]);
-    let mut injected = 1usize;
+    // Seed the scheduler: a fresh build starts from the root batch; a
+    // resumed build re-snapshots the checkpoint's uncommitted batches
+    // from the restored tableau (kind and label are final once
+    // interned, so the snapshots equal the originals) and batches the
+    // never-injected fresh nodes with the next sequence ids — exactly
+    // the ids an uninterrupted run would have assigned them.
+    let (mut t, spec_hash, mut seeds, mut injected, mut committed, mut level_widths) = match start
+    {
+        WsStart::Fresh(root_label) => {
+            let spec_hash = spec_fingerprint(closure, props, &root_label, faults);
+            let t = Tableau::with_root(root_label);
+            let seeds = vec![make_batch(&t, 0, 0, &[t.root()])];
+            (t, spec_hash, seeds, 1usize, 0usize, Vec::new())
+        }
+        WsStart::Resume(ck) => {
+            let ck = *ck;
+            let t = ck.tableau;
+            debug_assert_eq!(
+                ck.spec_hash,
+                spec_fingerprint(closure, props, &t.node(t.root()).label, faults),
+                "resuming a checkpoint against a different problem — \
+                 callers must Checkpoint::validate first"
+            );
+            let mut injected = ck.injected;
+            let mut seeds: Vec<Batch> = ck
+                .pending
+                .iter()
+                .map(|pb| make_batch(&t, pb.seq, pb.level, &pb.nodes))
+                .collect();
+            for chunk in ck.fresh.chunks(BATCH_SIZE) {
+                seeds.push(make_batch(&t, injected, ck.fresh_level, chunk));
+                injected += 1;
+            }
+            profile.nodes_expanded = ck.nodes_expanded;
+            profile.intern_probes = ck.intern_probes;
+            (t, ck.spec_hash, seeds, injected, ck.committed, ck.level_widths)
+        }
+    };
+
+    // Injected-but-uncommitted batches, tracked as plain node-id lists
+    // so an abort can checkpoint them (a batch is removed only *after*
+    // its successful commit — a batch lost to a worker panic therefore
+    // stays checkpointed and re-runs on resume).
+    let mut pending: VecDeque<(usize, usize, Vec<NodeId>)> = seeds
+        .iter()
+        .map(|b| (b.seq, b.level, b.tasks.iter().map(|task| task.id).collect()))
+        .collect();
     let mut abort: Option<AbortReason> = None;
+    // Fresh nodes of the last commit when an abort struck before their
+    // injection, paired with their BFS level.
+    let mut abort_fresh: (Vec<NodeId>, usize) = (Vec::new(), 0);
 
     if threads == 1 {
         // Inline scheduler: same batching and commit order, no workers.
         // The batch body still runs under `catch_unwind`, so a panic
         // (injected or genuine) aborts identically to the worker path.
-        let mut queue: VecDeque<Batch> = VecDeque::new();
-        queue.push_back(root_batch);
+        let mut queue: VecDeque<Batch> = seeds.drain(..).collect();
         while let Some(batch) = queue.pop_front() {
             let t0 = Instant::now();
-            let shared_cache: Option<&ExpansionCache> = cache.as_deref();
             let result = catch_unwind(AssertUnwindSafe(|| {
                 if let Some(g) = gov {
                     if g.should_panic_at_batch(batch.seq) {
@@ -1103,7 +1268,7 @@ fn build_ws_core(
                             dummy: false,
                             label: &task.label,
                         };
-                        expand_task(closure, props, faults, view, shared_cache, kernel)
+                        expand_task(closure, props, faults, view, cache, kernel)
                     })
                     .collect::<BatchOutput>()
             }));
@@ -1117,20 +1282,38 @@ fn build_ws_core(
                     break;
                 }
             };
-            let fresh = commit_batch(&mut t, &batch, output, &mut profile, &mut fills, &mut level_widths);
+            let fresh = commit_batch(
+                &mut t,
+                &batch,
+                output,
+                &mut profile,
+                &mut fills,
+                &mut level_widths,
+                cache.is_some(),
+            );
+            let popped = pending.pop_front();
+            debug_assert_eq!(popped.map(|p| p.0), Some(batch.seq));
+            committed += 1;
             if let Err(reason) = poll_build(gov, t.len()) {
                 abort = Some(reason);
+                abort_fresh = (fresh, batch.level + 1);
                 break;
             }
             for chunk in fresh.chunks(BATCH_SIZE) {
+                pending.push_back((injected, batch.level + 1, chunk.to_vec()));
                 queue.push_back(make_batch(&t, injected, batch.level + 1, chunk));
                 injected += 1;
             }
         }
     } else {
         let sched = Scheduler::new(threads);
-        lock_recover(&sched.state).queues[0].push_back(root_batch);
-        let shared_cache: Option<&ExpansionCache> = cache.as_deref();
+        {
+            let mut st = lock_recover(&sched.state);
+            for (i, b) in seeds.drain(..).enumerate() {
+                st.queues[i % threads].push_back(b);
+            }
+        }
+        let shared_cache: Option<&ExpansionCache> = cache;
         std::thread::scope(|scope| {
             for w in 0..threads {
                 let sched = &sched;
@@ -1140,7 +1323,10 @@ fn build_ws_core(
             }
             // The committer: consume results strictly in sequence
             // order, inject fresh batches round-robin across workers.
-            let mut next_commit = 0usize;
+            // On resume the sequence picks up at the checkpoint's
+            // committed count — lower ids were committed before the
+            // abort and live in the restored tableau already.
+            let mut next_commit = committed;
             let mut rr = 0usize;
             'commit: while next_commit < injected {
                 let (batch, output) = {
@@ -1158,15 +1344,27 @@ fn build_ws_core(
                         st = wait_recover(&sched.done, st);
                     }
                 };
-                let fresh =
-                    commit_batch(&mut t, &batch, output, &mut profile, &mut fills, &mut level_widths);
+                let fresh = commit_batch(
+                    &mut t,
+                    &batch,
+                    output,
+                    &mut profile,
+                    &mut fills,
+                    &mut level_widths,
+                    shared_cache.is_some(),
+                );
+                let popped = pending.pop_front();
+                debug_assert_eq!(popped.map(|p| p.0), Some(batch.seq));
+                committed += 1;
                 if let Err(reason) = poll_build(gov, t.len()) {
                     abort = Some(reason);
+                    abort_fresh = (fresh, batch.level + 1);
                     break 'commit;
                 }
                 if !fresh.is_empty() {
                     let mut st = lock_recover(&sched.state);
                     for chunk in fresh.chunks(BATCH_SIZE) {
+                        pending.push_back((injected, batch.level + 1, chunk.to_vec()));
                         st.queues[rr % threads]
                             .push_back(make_batch(&t, injected, batch.level + 1, chunk));
                         rr += 1;
@@ -1200,11 +1398,6 @@ fn build_ws_core(
         profile.expand_time = st.expand_time;
     }
 
-    if let Some(c) = cache.as_deref_mut() {
-        for fill in fills {
-            c.apply_fill(fill);
-        }
-    }
     profile.batches = injected;
     profile.levels = level_widths.len();
     profile.max_frontier = level_widths.iter().copied().max().unwrap_or(0);
@@ -1216,16 +1409,36 @@ fn build_ws_core(
     } else {
         0
     };
-    let counters_after = cache.as_deref().map_or((0, 0), ExpansionCache::counters);
-    profile.cache_hits = counters_after.0 - counters_before.0;
-    profile.cache_misses = counters_after.1 - counters_before.1;
     match abort {
-        Some(reason) => Err(Box::new(BuildAbort {
-            reason,
-            nodes: t.len(),
-            profile,
-        })),
-        None => Ok((t, profile)),
+        Some(reason) => {
+            let nodes = t.len();
+            let label_words = t.node(t.root()).label.words().len();
+            let checkpoint = Checkpoint {
+                spec_hash,
+                closure_len: closure.len(),
+                label_words,
+                pending: pending
+                    .into_iter()
+                    .map(|(seq, level, nodes)| PendingBatch { seq, level, nodes })
+                    .collect(),
+                fresh: abort_fresh.0,
+                fresh_level: abort_fresh.1,
+                injected,
+                committed,
+                level_widths,
+                nodes_expanded: profile.nodes_expanded,
+                intern_probes: profile.intern_probes,
+                tableau: t,
+            };
+            Err(Box::new(BuildAbort {
+                reason,
+                nodes,
+                profile,
+                checkpoint: Some(Box::new(checkpoint)),
+                fills,
+            }))
+        }
+        None => Ok((t, profile, fills)),
     }
 }
 
@@ -1475,6 +1688,119 @@ mod tests {
                 let (oracle, _) = build_reference(&cl, &props, root.clone(), &faults, threads);
                 assert_same_tableau(spec, &fast, &oracle);
             }
+        }
+    }
+
+    /// A state-cap abort carries a checkpoint that — after an
+    /// encode/decode round-trip — resumes to a tableau bit-identical to
+    /// an uninterrupted build, with cumulative deterministic counters,
+    /// at every thread count.
+    #[test]
+    fn resume_after_state_cap_abort_is_bit_identical() {
+        use crate::governor::Budget;
+        let spec = "AG(EX1 true) & AF p & EF q";
+        let (_, props, cl, root) = simple_setup(spec, 2);
+        let faults = flip_p_faults(&props, &cl);
+        let (full, full_prof) = build_with_threads(&cl, &props, root.clone(), &faults, 1);
+        for threads in [1, 2, 8] {
+            let gov = Governor::with_budget(Budget {
+                max_states: Some(12),
+                ..Budget::default()
+            });
+            let abort = build_governed(&cl, &props, root.clone(), &faults, threads, &gov)
+                .expect_err("cap of 12 must trip");
+            assert!(matches!(
+                abort.reason,
+                AbortReason::StateCapExceeded { cap: 12, .. }
+            ));
+            let ck = *abort.checkpoint.expect("work-stealing aborts are resumable");
+            assert!(ck.tableau_nodes() >= 12);
+            let ck = Checkpoint::decode(&ck.encode()).expect("blob round-trips");
+            ck.validate(
+                spec_fingerprint(&cl, &props, &root, &faults),
+                cl.len(),
+                root.words().len(),
+            )
+            .expect("checkpoint matches its own problem");
+            let (resumed, prof, _) = build_resume_governed(
+                &cl,
+                &props,
+                &faults,
+                threads,
+                None,
+                Some(&Governor::unlimited()),
+                ck,
+            )
+            .expect("unlimited resume completes");
+            assert_same_tableau(&format!("resume@{threads}"), &full, &resumed);
+            assert_eq!(prof.nodes_expanded, full_prof.nodes_expanded);
+            assert_eq!(prof.batches, full_prof.batches);
+            assert_eq!(prof.levels, full_prof.levels);
+            assert_eq!(prof.intern_probes, full_prof.intern_probes);
+        }
+    }
+
+    /// Abort→resume→abort→resume chains land on the same tableau, and
+    /// a contained worker-panic abort is just as resumable as a cap
+    /// abort (the lost batch re-runs).
+    #[test]
+    fn abort_resume_chains_and_panic_aborts_are_resumable() {
+        use crate::governor::Budget;
+        let spec = "AG(EX1 true) & AF p & EF q";
+        let (_, props, cl, root) = simple_setup(spec, 2);
+        let faults = flip_p_faults(&props, &cl);
+        let (full, _) = build_with_threads(&cl, &props, root.clone(), &faults, 1);
+        for threads in [1, 2, 8] {
+            // Chain of rising caps.
+            let caps = Governor::with_budget(Budget {
+                max_states: Some(8),
+                ..Budget::default()
+            });
+            let a1 = build_governed(&cl, &props, root.clone(), &faults, threads, &caps)
+                .expect_err("cap of 8 trips");
+            let raised = Governor::with_budget(Budget {
+                max_states: Some(2 * full.len() / 3),
+                ..Budget::default()
+            });
+            let a2 = build_resume_governed(
+                &cl,
+                &props,
+                &faults,
+                threads,
+                None,
+                Some(&raised),
+                *a1.checkpoint.unwrap(),
+            )
+            .expect_err("two-thirds cap trips again");
+            let (resumed, _, _) = build_resume_governed(
+                &cl,
+                &props,
+                &faults,
+                threads,
+                None,
+                Some(&Governor::unlimited()),
+                *a2.checkpoint.unwrap(),
+            )
+            .expect("final resume completes");
+            assert_same_tableau(&format!("chain@{threads}"), &full, &resumed);
+
+            // Panic abort: the panicked batch was never committed and
+            // must re-run on resume.
+            let booby = Governor::unlimited().inject_worker_panic_at_batch(2);
+            let a3 = build_governed(&cl, &props, root.clone(), &faults, threads, &booby)
+                .expect_err("injected panic aborts");
+            assert!(matches!(a3.reason, AbortReason::WorkerPanic { .. }));
+            let (after_panic, _, _) = build_resume_governed(
+                &cl,
+                &props,
+                &faults,
+                threads,
+                None,
+                Some(&Governor::unlimited()),
+                *a3.checkpoint.unwrap(),
+            )
+            .expect("resume after panic completes");
+            assert_same_tableau(&format!("panic-resume@{threads}"), &full, &after_panic);
         }
     }
 

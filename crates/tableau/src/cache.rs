@@ -7,6 +7,12 @@
 //! owned by the caller can therefore be threaded through any number of
 //! [`build_with_cache`](crate::build_with_cache) calls.
 //!
+//! The memo is sound only across builds that share the same *closure*:
+//! a `LabelSet` key is a bitset of closure formula indices, so the
+//! same bits mean different formulas under a different closure. A
+//! caller serving multiple problems (e.g. the service daemon) must
+//! keep one cache per problem rather than one global cache.
+//!
 //! Within a *single* build the cache never hits: node interning already
 //! deduplicates labels per kind, so each unique label is expanded
 //! exactly once per build. The hit/miss counters in

@@ -18,7 +18,7 @@
 //! allowed to fire nondeterministically.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 /// Resource limits for one synthesis run. `None` means unlimited; the
@@ -159,6 +159,28 @@ impl Phase {
             Phase::Extract => "extract",
         }
     }
+
+    /// Stable small integer for the governor's atomic phase register.
+    fn as_u8(self) -> u8 {
+        match self {
+            Phase::Build => 0,
+            Phase::Deletion => 1,
+            Phase::Unravel => 2,
+            Phase::Minimize => 3,
+            Phase::Extract => 4,
+        }
+    }
+
+    /// Inverse of [`Phase::as_u8`].
+    fn from_u8(v: u8) -> Phase {
+        match v {
+            0 => Phase::Build,
+            1 => Phase::Deletion,
+            2 => Phase::Unravel,
+            3 => Phase::Minimize,
+            _ => Phase::Extract,
+        }
+    }
 }
 
 impl fmt::Display for Phase {
@@ -180,10 +202,18 @@ pub struct Governor {
     budget: Budget,
     start: Instant,
     cancel: AtomicBool,
+    /// The pipeline phase the governed run is currently in (the run
+    /// reports transitions via [`Governor::enter_phase`]); readable by
+    /// other threads for live progress.
+    phase: AtomicU8,
     /// Test hook: the expansion worker executing the batch with this
     /// sequence id panics deterministically (batch numbering is
     /// identical at every thread count).
     panic_batch: Option<usize>,
+    /// Test hook: entering this phase self-cancels the run, so
+    /// mid-phase external-cancel aborts reproduce deterministically at
+    /// every thread count (the first realtime poll of the phase trips).
+    cancel_phase: Option<Phase>,
 }
 
 impl Governor {
@@ -199,7 +229,9 @@ impl Governor {
             budget,
             start: Instant::now(),
             cancel: AtomicBool::new(false),
+            phase: AtomicU8::new(Phase::Build.as_u8()),
             panic_batch: None,
+            cancel_phase: None,
         }
     }
 
@@ -225,10 +257,25 @@ impl Governor {
         self.cancel.load(Ordering::Relaxed)
     }
 
+    /// Records that the governed run entered `phase`. Called by the
+    /// pipeline at each phase start; other threads may read the current
+    /// phase for live progress ([`Governor::current_phase`]).
+    pub fn enter_phase(&self, phase: Phase) {
+        self.phase.store(phase.as_u8(), Ordering::Relaxed);
+    }
+
+    /// The pipeline phase the governed run last reported entering.
+    pub fn current_phase(&self) -> Phase {
+        Phase::from_u8(self.phase.load(Ordering::Relaxed))
+    }
+
     /// Polls the nondeterministic triggers: the cancel flag and the
     /// wall-clock deadline.
     pub fn check_realtime(&self) -> Result<(), AbortReason> {
         if self.is_cancelled() {
+            return Err(AbortReason::Cancelled);
+        }
+        if self.cancel_phase == Some(self.current_phase()) {
             return Err(AbortReason::Cancelled);
         }
         if let Some(limit) = self.budget.deadline {
@@ -282,6 +329,18 @@ impl Governor {
     /// reproduce exactly at 1, 2, and 8 workers.
     pub fn inject_worker_panic_at_batch(mut self, seq: usize) -> Governor {
         self.panic_batch = Some(seq);
+        self
+    }
+
+    /// Test hook: the run cancels itself upon *entering* `phase` — the
+    /// first realtime poll of that phase trips with
+    /// [`AbortReason::Cancelled`]. Phase entries and realtime poll
+    /// sites are thread-count-independent, so mid-phase cancel aborts
+    /// reproduce deterministically at 1, 2, and 8 workers (unlike an
+    /// asynchronous [`Governor::cancel`] from another thread, which
+    /// lands wherever the race does).
+    pub fn cancel_at_phase(mut self, phase: Phase) -> Governor {
+        self.cancel_phase = Some(phase);
         self
     }
 
@@ -358,6 +417,27 @@ mod tests {
             g.check_realtime(),
             Err(AbortReason::DeadlineExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn phase_register_tracks_transitions() {
+        let g = Governor::unlimited();
+        assert_eq!(g.current_phase(), Phase::Build);
+        g.enter_phase(Phase::Minimize);
+        assert_eq!(g.current_phase(), Phase::Minimize);
+        g.enter_phase(Phase::Extract);
+        assert_eq!(g.current_phase(), Phase::Extract);
+    }
+
+    #[test]
+    fn cancel_at_phase_trips_only_in_that_phase() {
+        let g = Governor::unlimited().cancel_at_phase(Phase::Minimize);
+        assert!(g.check_realtime().is_ok()); // Build
+        g.enter_phase(Phase::Deletion);
+        assert!(g.check_realtime().is_ok());
+        g.enter_phase(Phase::Minimize);
+        assert_eq!(g.check_realtime(), Err(AbortReason::Cancelled));
+        assert!(!g.is_cancelled(), "phase self-cancel is not the external flag");
     }
 
     #[test]

@@ -135,6 +135,16 @@ impl LabelInterner {
     }
 }
 
+/// One node's serialized parts for [`Tableau::from_build_nodes`]:
+/// `(kind, label, dummy, successors, predecessors)`.
+pub type BuildNodeParts = (
+    NodeKind,
+    LabelSet,
+    bool,
+    Vec<(EdgeKind, NodeId)>,
+    Vec<(EdgeKind, NodeId)>,
+);
+
 /// The tableau: an AND/OR graph with a root OR-node.
 #[derive(Clone, Debug)]
 pub struct Tableau {
@@ -373,6 +383,75 @@ impl Tableau {
             .iter()
             .copied()
             .filter(move |&(k, to)| filter(k) && self.alive(to))
+    }
+
+    /// The node arena in id order (including deleted and dummy nodes).
+    /// Exposed for checkpoint serialization; pair with
+    /// [`Tableau::from_build_nodes`] to round-trip a mid-build tableau.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Reconstructs a mid-build tableau from `(kind, label, dummy, succ,
+    /// pred)` node data in id order — the inverse of reading
+    /// [`Tableau::nodes`] off a tableau no deletion rule has touched.
+    ///
+    /// The intern tables are re-derived by replaying the non-dummy nodes
+    /// in id order (exactly the order [`Tableau::intern_and`] /
+    /// [`Tableau::intern_or`] populated them originally — node ids are
+    /// assigned monotonically at intern time), the edge-dedup set from
+    /// the successor lists, and the alive-successor counters by counting
+    /// successors per edge class. The result is therefore bit-identical
+    /// to the tableau the parts were read from: same ids, same intern
+    /// chains, same edge and predecessor order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or contains a deleted node (checkpoints
+    /// are taken during construction, before any deletion).
+    pub fn from_build_nodes(parts: Vec<BuildNodeParts>) -> Tableau {
+        assert!(!parts.is_empty(), "a tableau has at least its root node");
+        let mut and_index = LabelInterner::new();
+        let mut or_index = LabelInterner::new();
+        let mut edge_set = HashSet::new();
+        let mut nodes = Vec::with_capacity(parts.len());
+        for (i, (kind, label, dummy, succ, pred)) in parts.into_iter().enumerate() {
+            let id = NodeId(i as u32);
+            if !dummy {
+                match kind {
+                    NodeKind::And => and_index.insert(label.stable_hash(), id),
+                    NodeKind::Or => or_index.insert(label.stable_hash(), id),
+                }
+            }
+            let mut alive_succ_prog = 0;
+            let mut alive_succ_fault = 0;
+            for &(k, to) in &succ {
+                edge_set.insert((id, k, to));
+                if k.is_fault() {
+                    alive_succ_fault += 1;
+                } else {
+                    alive_succ_prog += 1;
+                }
+            }
+            nodes.push(Node {
+                kind,
+                label,
+                succ,
+                pred,
+                deleted: false,
+                dummy,
+                alive_succ_prog,
+                alive_succ_fault,
+            });
+        }
+        Tableau {
+            nodes,
+            root: NodeId(0),
+            and_index,
+            or_index,
+            edge_set,
+            deletion_log: Vec::new(),
+        }
     }
 
     /// Marks every node not reachable from the (alive) root as deleted;

@@ -21,6 +21,7 @@
 
 mod build;
 mod cache;
+mod checkpoint;
 mod delete;
 mod expand;
 mod governor;
@@ -34,10 +35,14 @@ mod scan;
 #[cfg(any(test, feature = "slow-reference"))]
 pub use build::build_reference;
 pub use build::{
-    build, build_governed, build_level_sync, build_level_sync_governed, build_with_cache,
-    build_with_threads, valuation_of, BuildAbort, BuildProfile, FaultSpec,
+    build, build_governed, build_level_sync, build_level_sync_governed, build_resume_governed,
+    build_shared_cache_governed, build_with_cache, build_with_threads, valuation_of, BuildAbort,
+    BuildProfile, FaultSpec,
 };
 pub use cache::{CacheFill, ExpansionCache};
+pub use checkpoint::{
+    spec_fingerprint, Checkpoint, CheckpointError, PendingBatch, CHECKPOINT_FORMAT_VERSION,
+};
 #[cfg(any(test, feature = "slow-reference"))]
 pub use delete::{apply_deletion_rules_naive_mode, au_fulfillment_naive, eu_fulfillment_naive};
 pub use delete::{
