@@ -14,9 +14,10 @@
 //! work-stealing expansion scheduler against the retained
 //! level-synchronized engine at 8 worker threads, and of the
 //! incremental semantic minimizer against the preserved per-attempt
-//! greedy reference engine — plus daemon throughput (requests/sec)
-//! with a cold expansion cache against a warmed shared one through
-//! `ftsyn-service`.
+//! greedy reference engine, and of the full tableau pipeline against
+//! the CEGIS bounded-synthesis backend end to end — plus daemon
+//! throughput (requests/sec) with a cold expansion cache against a
+//! warmed shared one through `ftsyn-service`.
 //!
 //! ```text
 //! cargo run --release -p ftsyn-bench --bin bench_json
@@ -32,8 +33,9 @@ use ftsyn::tableau::{
     Tableau,
 };
 use ftsyn::{
-    semantic_minimize_reference, semantic_minimize_with_threads, synthesize, unravel_mode, Budget,
-    Governor, SynthesisOutcome, SynthesisProblem, SynthesisStats, Tolerance, Verification,
+    semantic_minimize_reference, semantic_minimize_with_threads, synthesize,
+    synthesize_with_engine, unravel_mode, Budget, Engine, Governor, SynthesisOutcome,
+    SynthesisProblem, SynthesisStats, ThreadPlan, Tolerance, Verification,
 };
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -353,6 +355,88 @@ fn compare_engines(name: &str, procs: usize, mut problem: SynthesisProblem, runs
         .num("runs", runs)
         .ns("worklist_ns", worklist)
         .ns("naive_ns", naive)
+        .float("speedup", speedup)
+        .build()
+}
+
+/// Backend head-to-head: the full tableau pipeline against the CEGIS
+/// bounded-synthesis engine on the same problem, end to end (problem
+/// to verified program), best of `runs`. Outcome agreement is asserted
+/// — a backend disagreement is a bug, not a data point.
+fn compare_backends(
+    name: &str,
+    procs: usize,
+    problem: impl Fn() -> SynthesisProblem,
+    runs: usize,
+) -> String {
+    eprintln!("comparing synthesis backends on {name} ...");
+    let mut tableau_best = Duration::MAX;
+    let mut tableau_solved = false;
+    let mut tableau_states = 0;
+    for _ in 0..runs {
+        let mut p = problem();
+        let tick = Instant::now();
+        let outcome = synthesize(&mut p);
+        tableau_best = tableau_best.min(tick.elapsed());
+        match &outcome {
+            SynthesisOutcome::Solved(s) => {
+                assert!(s.verification.ok(), "{name}: tableau verification failed");
+                tableau_solved = true;
+                tableau_states = s.stats.model_states;
+            }
+            SynthesisOutcome::Impossible(_) => tableau_solved = false,
+            SynthesisOutcome::Aborted(a) => {
+                panic!("{name}: ungoverned tableau run aborted: {}", a.reason)
+            }
+        }
+    }
+    let mut cegis_best = Duration::MAX;
+    let mut cegis_solved = false;
+    let mut cegis_states = 0;
+    let mut candidates = 0;
+    let mut solved_at_bound = None;
+    for _ in 0..runs {
+        let mut p = problem();
+        let tick = Instant::now();
+        let outcome = synthesize_with_engine(&mut p, Engine::Cegis, ThreadPlan::uniform(1), None);
+        cegis_best = cegis_best.min(tick.elapsed());
+        match &outcome {
+            SynthesisOutcome::Solved(s) => {
+                assert!(s.verification.ok(), "{name}: CEGIS verification failed");
+                cegis_solved = true;
+                cegis_states = s.stats.model_states;
+                candidates = s.stats.cegis_profile.candidates;
+                solved_at_bound = s.stats.cegis_profile.solved_at_bound;
+            }
+            SynthesisOutcome::Impossible(_) => cegis_solved = false,
+            SynthesisOutcome::Aborted(a) => {
+                panic!("{name}: ungoverned CEGIS run aborted: {}", a.reason)
+            }
+        }
+    }
+    assert_eq!(
+        tableau_solved, cegis_solved,
+        "{name}: the backends disagree on solvability"
+    );
+    let speedup = tableau_best.as_secs_f64() / cegis_best.as_secs_f64();
+    eprintln!(
+        "  {name}: tableau {tableau_best:.2?}, cegis {cegis_best:.2?} \
+         ({candidates} candidates), speedup {speedup:.2}x"
+    );
+    Obj::default()
+        .str("name", name)
+        .num("procs", procs)
+        .num("runs", runs)
+        .bool("solved", tableau_solved)
+        .ns("tableau_ns", tableau_best)
+        .ns("cegis_ns", cegis_best)
+        .num("tableau_states", tableau_states)
+        .num("cegis_states", cegis_states)
+        .num("cegis_candidates", candidates)
+        .raw(
+            "cegis_solved_at_bound",
+            &solved_at_bound.map_or("null".to_owned(), |b| b.to_string()),
+        )
         .float("speedup", speedup)
         .build()
 }
@@ -871,6 +955,52 @@ fn main() {
         ),
     ];
 
+    // Backend head-to-head (Section 6 of DESIGN.md §13): the tableau
+    // pipeline against the CEGIS bounded-synthesis engine, end to end.
+    // mutex4-failstop is the headline row (the tableau's ~26k-node
+    // build against a few hundred CEGIS candidates); philosophers4 is
+    // the bound-wins case — a small deterministic solution the CEGIS
+    // engine finds without ever building the conjoined-conflict
+    // tableau.
+    let backend_comparisons = vec![
+        compare_backends(
+            "mutex2-failstop-masking",
+            2,
+            || mutex::with_fail_stop(2, Tolerance::Masking),
+            5,
+        ),
+        compare_backends(
+            "mutex3-failstop-masking",
+            3,
+            || mutex::with_fail_stop(3, Tolerance::Masking),
+            3,
+        ),
+        compare_backends(
+            "mutex4-failstop-masking",
+            4,
+            || mutex::with_fail_stop(4, Tolerance::Masking),
+            1,
+        ),
+        compare_backends(
+            "barrier2-state-faults-nonmasking",
+            2,
+            || barrier::with_general_state_faults(2),
+            5,
+        ),
+        compare_backends("philosophers3-fault-free", 3, || {
+            mutex::dining_philosophers(3)
+        }, 3),
+        compare_backends("philosophers4-fault-free", 4, || {
+            mutex::dining_philosophers(4)
+        }, 3),
+        compare_backends(
+            "barrier2-failstop-impossible",
+            2,
+            || barrier::with_fail_stop_impossible(2),
+            3,
+        ),
+    ];
+
     // Build-kernel head-to-head: optimized (cold and warm-cache)
     // expansion against the pre-optimization reference, bit-identical
     // outputs asserted ("kind": "kernel"), plus the work-stealing
@@ -944,11 +1074,12 @@ fn main() {
             "generated_by",
             "cargo run --release -p ftsyn-bench --bin bench_json",
         )
-        .str("schema_version", "8")
+        .str("schema_version", "9")
         .raw("problems", &arr(problems))
         .raw("budgeted", &arr(budgeted))
         .raw("service_throughput", &arr(service_rows))
         .raw("wire", &arr(wires))
+        .raw("backend_comparison", &arr(backend_comparisons))
         .raw("deletion_engine_comparison", &arr(comparisons))
         .raw("build_kernel_comparison", &arr(build_comparisons))
         .raw("minimize_kernel_comparison", &arr(minimize_comparisons))

@@ -40,17 +40,23 @@
 
 use ftsyn::ctl::{parse::parse, Formula, FormulaArena, FormulaId, Owner, PropTable, Spec};
 use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
-use ftsyn::{Budget, SynthesisProblem, Tolerance, ToleranceAssignment};
+use ftsyn::{Budget, Engine, SynthesisProblem, Tolerance, ToleranceAssignment};
 use std::fmt;
 use std::time::Duration;
 
 /// The `ftsyn` usage banner, including the documented exit codes.
 pub const USAGE: &str = "\
-USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
+USAGE: ftsyn <problem.ftsyn> [--engine tableau|cegis] [--dot <out.dot>]
+             [--quiet] [--no-program]
              [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
              [--minimize-threads <n>] [--checkpoint <out.ckpt>] [--resume <in.ckpt>]
        ftsyn serve
 
+  --engine <name>   synthesis backend: `tableau` (default; the paper's
+                    deletion pipeline) or `cegis` (bounded guess-verify
+                    enumeration, cross-checked by the same oracle).
+                    Both report the same exit codes; checkpoint/resume
+                    is tableau-only
   --dot <out.dot>   write the synthesized model as Graphviz DOT
   --quiet           suppress statistics and verification output
   --no-program      do not print the extracted program
@@ -118,6 +124,8 @@ pub struct CliArgs {
     /// `--resume <path>`: checkpoint blob to continue from instead of
     /// building from scratch.
     pub resume: Option<String>,
+    /// `--engine <name>`: which synthesis backend to run.
+    pub engine: Engine,
 }
 
 /// What the command line asks for: a synthesis run, the service loop,
@@ -125,7 +133,7 @@ pub struct CliArgs {
 #[derive(Debug, PartialEq, Eq)]
 pub enum CliCommand {
     /// Run synthesis with the parsed options.
-    Run(CliArgs),
+    Run(Box<CliArgs>),
     /// Run the line-delimited JSON daemon on stdin/stdout.
     Serve,
     /// Print [`USAGE`] and exit 0.
@@ -160,6 +168,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut minimize_threads = None;
     let mut checkpoint_out = None;
     let mut resume = None;
+    let mut engine = Engine::default();
     // Fetches the value of a value-taking flag, rejecting a following
     // flag so `--max-states --quiet` errors instead of parsing garbage.
     let value_of = |flag: &str, i: &mut usize, args: &[String]| -> Result<String, String> {
@@ -209,20 +218,25 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             }
             "--max-minimize-attempts" => {
                 let v = value_of("--max-minimize-attempts", &mut i, args)?;
-                let n: usize = v.parse().map_err(|_| {
-                    format!("--max-minimize-attempts expects a count, got `{v}`")
-                })?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-minimize-attempts expects a count, got `{v}`"))?;
                 budget.max_minimize_attempts = Some(n);
             }
             "--minimize-threads" => {
                 let v = value_of("--minimize-threads", &mut i, args)?;
-                let n: usize = v.parse().map_err(|_| {
-                    format!("--minimize-threads expects a thread count, got `{v}`")
-                })?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--minimize-threads expects a thread count, got `{v}`"))?;
                 if n == 0 {
                     return Err("--minimize-threads expects at least 1 thread".into());
                 }
                 minimize_threads = Some(n);
+            }
+            "--engine" => {
+                let v = value_of("--engine", &mut i, args)?;
+                engine = Engine::parse(&v)
+                    .ok_or_else(|| format!("unknown engine `{v}` (expected tableau or cegis)"))?;
             }
             "--checkpoint" => {
                 checkpoint_out = Some(value_of("--checkpoint", &mut i, args)?);
@@ -242,7 +256,13 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let Some(file) = file else {
         return Err(USAGE.to_owned());
     };
-    Ok(CliCommand::Run(CliArgs {
+    if engine == Engine::Cegis && (resume.is_some() || checkpoint_out.is_some()) {
+        return Err(
+            "--checkpoint/--resume are tableau-only (the CEGIS engine has no checkpoint format)"
+                .into(),
+        );
+    }
+    Ok(CliCommand::Run(Box::new(CliArgs {
         file,
         dot_out,
         quiet,
@@ -251,7 +271,8 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
         minimize_threads,
         checkpoint_out,
         resume,
-    }))
+        engine,
+    })))
 }
 
 /// Error while reading a problem description.
@@ -338,7 +359,10 @@ pub fn parse_problem(input: &str) -> Result<SynthesisProblem, FileError> {
                     .parse()
                     .map_err(|_| err(ln + 1, format!("bad process `{proc_part}`")))?;
                 if k == 0 || k > n_procs {
-                    return Err(err(ln + 1, format!("process {k} out of range 1..={n_procs}")));
+                    return Err(err(
+                        ln + 1,
+                        format!("process {k} out of range 1..={n_procs}"),
+                    ));
                 }
                 Owner::Process(k - 1)
             };
@@ -467,9 +491,7 @@ fn parse_fault(
         let (lhs, rhs) = part
             .split_once(":=")
             .ok_or_else(|| err(line, format!("expected `prop := value` in `{part}`")))?;
-        let p = props
-            .id(lhs.trim())
-            .map_err(|e| err(line, e.to_string()))?;
+        let p = props.id(lhs.trim()).map_err(|e| err(line, e.to_string()))?;
         let v = match rhs.trim() {
             "true" | "1" => PropAssign::True,
             "false" | "0" => PropAssign::False,
@@ -568,7 +590,10 @@ tolerance nonmasking
 
     #[test]
     fn missing_sections_rejected() {
-        assert!(parse_problem("props P1: a\n").unwrap_err().message.contains("processes"));
+        assert!(parse_problem("props P1: a\n")
+            .unwrap_err()
+            .message
+            .contains("processes"));
         assert!(parse_problem("processes 1\nprops P1: a\nglobal: a\n")
             .unwrap_err()
             .message
@@ -584,7 +609,7 @@ tolerance nonmasking
         let cmd = parse_args(&argv(&["p.ftsyn", "--dot", "out.dot", "--quiet"])).unwrap();
         assert_eq!(
             cmd,
-            CliCommand::Run(CliArgs {
+            CliCommand::Run(Box::new(CliArgs {
                 file: "p.ftsyn".into(),
                 dot_out: Some("out.dot".into()),
                 quiet: true,
@@ -593,7 +618,8 @@ tolerance nonmasking
                 minimize_threads: None,
                 checkpoint_out: None,
                 resume: None,
-            })
+                engine: Engine::Tableau,
+            }))
         );
         assert_eq!(parse_args(&argv(&["--help"])).unwrap(), CliCommand::Help);
         assert_eq!(parse_args(&argv(&["-h"])).unwrap(), CliCommand::Help);
@@ -635,7 +661,10 @@ tolerance nonmasking
             vec!["p.ftsyn", "--resume"],
             vec!["p.ftsyn", "--resume", "--max-states"],
         ] {
-            assert!(parse_args(&argv(&bad)).is_err(), "{bad:?} should be rejected");
+            assert!(
+                parse_args(&argv(&bad)).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
     }
 
@@ -680,7 +709,10 @@ tolerance nonmasking
             vec!["p.ftsyn", "--minimize-threads", "--quiet"],
             vec!["p.ftsyn", "--minimize-threads", "1.5"],
         ] {
-            assert!(parse_args(&argv(&bad)).is_err(), "{bad:?} should be rejected");
+            assert!(
+                parse_args(&argv(&bad)).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
     }
 
@@ -726,6 +758,55 @@ tolerance nonmasking
             .unwrap_err()
             .contains("unexpected argument"));
         assert_eq!(parse_args(&[]).unwrap_err(), USAGE);
+    }
+
+    #[test]
+    fn engine_flag_parses_and_validates() {
+        // Default is the tableau pipeline.
+        let cmd = parse_args(&argv(&["p.ftsyn"])).unwrap();
+        let CliCommand::Run(a) = cmd else { panic!() };
+        assert_eq!(a.engine, Engine::Tableau);
+        for (name, engine) in [("tableau", Engine::Tableau), ("cegis", Engine::Cegis)] {
+            let cmd = parse_args(&argv(&["p.ftsyn", "--engine", name])).unwrap();
+            let CliCommand::Run(a) = cmd else { panic!() };
+            assert_eq!(a.engine, engine, "--engine {name}");
+        }
+        // Unknown engines are usage errors (exit 2), not fallbacks.
+        let e = parse_args(&argv(&["p.ftsyn", "--engine", "magic"])).unwrap_err();
+        assert!(e.contains("unknown engine `magic`"), "{e}");
+        assert!(e.contains("tableau"), "{e}");
+        for bad in [
+            vec!["p.ftsyn", "--engine"],
+            vec!["p.ftsyn", "--engine", "--quiet"],
+        ] {
+            assert!(
+                parse_args(&argv(&bad)).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn cegis_engine_rejects_checkpointing() {
+        for bad in [
+            vec!["p.ftsyn", "--engine", "cegis", "--resume", "in.ckpt"],
+            vec!["p.ftsyn", "--engine", "cegis", "--checkpoint", "out.ckpt"],
+        ] {
+            let e = parse_args(&argv(&bad)).unwrap_err();
+            assert!(e.contains("tableau-only"), "{bad:?}: {e}");
+        }
+        // Order independence: flag after the checkpoint option.
+        let e = parse_args(&argv(&[
+            "p.ftsyn", "--resume", "in.ckpt", "--engine", "cegis",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("tableau-only"), "{e}");
+    }
+
+    #[test]
+    fn usage_documents_the_engine_flag() {
+        assert!(USAGE.contains("--engine"), "USAGE must document --engine");
+        assert!(USAGE.contains("cegis"), "USAGE must name the cegis engine");
     }
 
     #[test]

@@ -2,14 +2,15 @@
 //! problem-description file.
 //!
 //! ```text
-//! USAGE: ftsyn <problem.ftsyn> [--dot <out.dot>] [--quiet] [--no-program]
+//! USAGE: ftsyn <problem.ftsyn> [--engine tableau|cegis] [--dot <out.dot>]
+//!              [--quiet] [--no-program]
 //!              [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
 //!              [--minimize-threads <n>] [--checkpoint <out.ckpt>] [--resume <in.ckpt>]
 //!        ftsyn serve
 //! ```
 
 use ftsyn::kripke::StateRole;
-use ftsyn::{Checkpoint, Governor, SynthesisOutcome, ThreadPlan};
+use ftsyn::{Checkpoint, Engine, Governor, SynthesisOutcome, ThreadPlan};
 use ftsyn_cli::{parse_args, CliArgs, CliCommand, USAGE};
 use std::process::ExitCode;
 
@@ -40,8 +41,9 @@ fn main() -> ExitCode {
         minimize_threads,
         checkpoint_out,
         resume,
+        engine,
     } = match parse_args(&args) {
-        Ok(CliCommand::Run(a)) => a,
+        Ok(CliCommand::Run(a)) => *a,
         Ok(CliCommand::Serve) => return run_serve(),
         Ok(CliCommand::Help) => {
             println!("{USAGE}");
@@ -78,7 +80,7 @@ fn main() -> ExitCode {
     };
     let gov = (!budget.is_unlimited()).then(|| Governor::with_budget(budget));
     let outcome = match resume {
-        None => ftsyn::synthesize_planned(&mut problem, plan, gov.as_ref()),
+        None => ftsyn::synthesize_with_engine(&mut problem, engine, plan, gov.as_ref()),
         Some(ck_path) => {
             let blob = match std::fs::read(&ck_path) {
                 Ok(b) => b,
@@ -122,10 +124,28 @@ fn main() -> ExitCode {
                     s.stats.elapsed
                 );
                 let st = &s.stats;
-                let idle_total: std::time::Duration =
-                    st.build_profile.worker_idle.iter().sum();
-                println!(
-                    "phases: build {:.1?} ({} levels, peak frontier {}, {} threads, \
+                if engine == Engine::Cegis {
+                    let p = &st.cegis_profile;
+                    println!(
+                        "cegis: solved at queue bound {} of {} tried, \
+                         {} candidates ({} oracle-rejected), \
+                         universe {} valuations ({} banned by the fault cascade), \
+                         peak base graph {} states, \
+                         extract {:.1?}, verify {:.1?}",
+                        p.solved_at_bound.unwrap_or(0),
+                        p.max_bound_tried + 1,
+                        p.candidates,
+                        p.oracle_rejections,
+                        p.universe,
+                        p.banned,
+                        p.peak_base_states,
+                        st.extract_time,
+                        st.verify_time
+                    );
+                } else {
+                    let idle_total: std::time::Duration = st.build_profile.worker_idle.iter().sum();
+                    println!(
+                        "phases: build {:.1?} ({} levels, peak frontier {}, {} threads, \
                      {} batches, {} steals, idle {:.1?}, \
                      {} intern probes in {:.1?}, cache {}/{} hits), \
                      delete {:.1?} ({} rounds, {} worklist pops, {} certs built, {} reused), \
@@ -135,46 +155,47 @@ fn main() -> ExitCode {
                      extract {:.1?} ({} shared vars, {} explored vs {} model states, \
                      {} off-model, {} arcs refined in {} rounds, extraction {}), \
                      verify {:.1?}, other {:.1?}",
-                    st.build_time,
-                    st.build_profile.levels,
-                    st.build_profile.max_frontier,
-                    st.build_profile.threads,
-                    st.build_profile.batches,
-                    st.build_profile.steals,
-                    idle_total,
-                    st.build_profile.intern_probes,
-                    st.build_profile.intern_time,
-                    st.build_profile.cache_hits,
-                    st.build_profile.cache_hits + st.build_profile.cache_misses,
-                    st.deletion_time,
-                    st.deletion_profile.rounds,
-                    st.deletion_profile.worklist_pops,
-                    st.deletion_profile.cert_builds,
-                    st.deletion_profile.cert_reuses,
-                    st.unravel_time,
-                    st.minimize_time,
-                    st.minimize_profile.merges,
-                    st.minimize_profile.attempts,
-                    st.minimize_profile.pruned_candidates,
-                    st.minimize_profile.incremental_relabels,
-                    st.minimize_profile.full_checks,
-                    st.minimize_profile.base_labelings,
-                    st.minimize_profile.threads,
-                    st.extract_time,
-                    st.extract_profile.shared_vars,
-                    st.extract_profile.explored_states,
-                    st.extract_profile.model_states,
-                    st.extract_profile.off_model_states,
-                    st.extract_profile.refined_arcs,
-                    st.extract_profile.refinement_rounds,
-                    if st.extract_profile.verified {
-                        "VERIFIED"
-                    } else {
-                        "REJECTED"
-                    },
-                    st.verify_time,
-                    st.residual_time
-                );
+                        st.build_time,
+                        st.build_profile.levels,
+                        st.build_profile.max_frontier,
+                        st.build_profile.threads,
+                        st.build_profile.batches,
+                        st.build_profile.steals,
+                        idle_total,
+                        st.build_profile.intern_probes,
+                        st.build_profile.intern_time,
+                        st.build_profile.cache_hits,
+                        st.build_profile.cache_hits + st.build_profile.cache_misses,
+                        st.deletion_time,
+                        st.deletion_profile.rounds,
+                        st.deletion_profile.worklist_pops,
+                        st.deletion_profile.cert_builds,
+                        st.deletion_profile.cert_reuses,
+                        st.unravel_time,
+                        st.minimize_time,
+                        st.minimize_profile.merges,
+                        st.minimize_profile.attempts,
+                        st.minimize_profile.pruned_candidates,
+                        st.minimize_profile.incremental_relabels,
+                        st.minimize_profile.full_checks,
+                        st.minimize_profile.base_labelings,
+                        st.minimize_profile.threads,
+                        st.extract_time,
+                        st.extract_profile.shared_vars,
+                        st.extract_profile.explored_states,
+                        st.extract_profile.model_states,
+                        st.extract_profile.off_model_states,
+                        st.extract_profile.refined_arcs,
+                        st.extract_profile.refinement_rounds,
+                        if st.extract_profile.verified {
+                            "VERIFIED"
+                        } else {
+                            "REJECTED"
+                        },
+                        st.verify_time,
+                        st.residual_time
+                    );
+                }
                 println!(
                     "verification: {}",
                     if s.verification.ok() {

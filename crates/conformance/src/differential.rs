@@ -7,7 +7,10 @@ use crate::campaign::assert_campaign;
 use crate::generate::{random_problem, GeneratedCase};
 use crate::render::render_solved;
 use ftsyn::guarded::sim::CampaignConfig;
-use ftsyn::{check_program, synthesize_with_threads, SynthesisOutcome};
+use ftsyn::{
+    check_program, synthesize_with_engine, synthesize_with_threads, AbortReason, Engine,
+    SynthesisOutcome, SynthesisProblem, ThreadPlan,
+};
 use ftsyn_prng::XorShift64;
 
 /// Thread counts every seed is synthesized at. Programs must be
@@ -149,6 +152,147 @@ pub fn run_seed(seed: u64) -> CaseResult {
             a.phase, a.reason
         ),
     }
+}
+
+/// The summarized result of one backend-differential case.
+#[derive(Clone, Debug)]
+pub struct BackendCaseResult {
+    /// The generated instance's descriptive name.
+    pub name: String,
+    /// The tableau engine's outcome (`true` = solved).
+    pub tableau_solved: bool,
+    /// Whether the CEGIS engine solved the instance within its bound
+    /// (`false`: proven impossible, or bound-exhausted on a case the
+    /// tableau solved).
+    pub cegis_solved: bool,
+}
+
+/// Runs the backend-differential check for one fuzzer seed: the same
+/// generated instance through the tableau engine and the CEGIS engine,
+/// asserting the agreement contract —
+///
+/// - CEGIS `Solved` ⟹ tableau `Solved`, and the CEGIS program is
+///   re-checked by the kripke oracle ([`check_program`]) and a seeded
+///   fault-injection campaign, exactly like the tableau fuzzer;
+/// - CEGIS `Impossible` ⟺ tableau `Impossible` (the CEGIS negative
+///   path *is* a certificate — a propositionally empty universe or a
+///   deleted tableau root — so this is an iff);
+/// - CEGIS `Aborted(CegisBoundExhausted)` is legal only when the
+///   tableau solved the case (satisfiable, but no program within the
+///   queue bound); any other ungoverned abort panics —
+///
+/// and pinning CEGIS byte-determinism across [`THREAD_MATRIX`]: the
+/// rendered outcome (program bytes, or the impossibility/exhaustion
+/// counters) must be identical at every thread count.
+///
+/// # Panics
+///
+/// Panics on any contract violation or oracle failure, naming the seed
+/// so the case can be replayed.
+pub fn run_seed_cegis(seed: u64) -> BackendCaseResult {
+    let GeneratedCase {
+        name,
+        problem: mut pt,
+    } = random_problem(&mut XorShift64::new(seed));
+    let tableau = synthesize_with_threads(&mut pt, 1);
+    let tableau_solved = match &tableau {
+        SynthesisOutcome::Solved(_) => true,
+        SynthesisOutcome::Impossible(_) => false,
+        SynthesisOutcome::Aborted(a) => panic!(
+            "seed {seed} ({name}): ungoverned tableau run aborted in {} phase: {}",
+            a.phase, a.reason
+        ),
+    };
+
+    let fresh = |seed: u64| -> SynthesisProblem {
+        random_problem(&mut XorShift64::new(seed)).problem
+    };
+    let mut pc = fresh(seed);
+    let cegis = synthesize_with_engine(&mut pc, Engine::Cegis, ThreadPlan::uniform(1), None);
+
+    // Thread-count determinism: the CEGIS search is sequential and the
+    // certificate build is deterministic at every thread count, so the
+    // rendered outcome must be byte-identical across the matrix.
+    let rendered = render_backend_outcome(&pc, &cegis);
+    for &threads in &THREAD_MATRIX[1..] {
+        let mut p = fresh(seed);
+        let o = synthesize_with_engine(&mut p, Engine::Cegis, ThreadPlan::uniform(threads), None);
+        assert_eq!(
+            rendered,
+            render_backend_outcome(&p, &o),
+            "seed {seed} ({name}): CEGIS outcome diverged at {threads} threads"
+        );
+    }
+
+    let cegis_solved = match cegis {
+        SynthesisOutcome::Solved(s) => {
+            assert!(
+                tableau_solved,
+                "seed {seed} ({name}): CEGIS found a program on a case the tableau proved impossible"
+            );
+            assert!(
+                s.verification.ok(),
+                "seed {seed} ({name}): CEGIS verification failed: {}",
+                s.verification.failure_summary()
+            );
+            assert!(
+                s.artifacts.is_none(),
+                "seed {seed} ({name}): CEGIS solved path must not carry tableau artifacts"
+            );
+            let report = check_program(&mut pc, &s.program).unwrap_or_else(|e| {
+                panic!("seed {seed} ({name}): CEGIS program not executable: {e}")
+            });
+            assert!(
+                report.tolerant(),
+                "seed {seed} ({name}): model checker rejects the CEGIS program: {}",
+                report.verification.failure_summary()
+            );
+            assert_campaign(
+                &format!("seed {seed} ({name}) [cegis]"),
+                &mut pc,
+                &s.program,
+                &CampaignConfig {
+                    runs: 4,
+                    steps: 200,
+                    base_seed: seed,
+                },
+            );
+            true
+        }
+        SynthesisOutcome::Impossible(_) => {
+            assert!(
+                !tableau_solved,
+                "seed {seed} ({name}): CEGIS claimed impossible on a case the tableau solved"
+            );
+            false
+        }
+        SynthesisOutcome::Aborted(a) => {
+            assert!(
+                matches!(a.reason, AbortReason::CegisBoundExhausted { .. }),
+                "seed {seed} ({name}): ungoverned CEGIS run aborted in {} phase: {}",
+                a.phase,
+                a.reason
+            );
+            assert!(
+                tableau_solved,
+                "seed {seed} ({name}): CEGIS exhausted its bound but the certificate \
+                 should have proven impossibility (tableau agrees the case is impossible)"
+            );
+            false
+        }
+    };
+    BackendCaseResult {
+        name,
+        tableau_solved,
+        cegis_solved,
+    }
+}
+
+/// Renders a synthesis outcome for byte comparison across the backend
+/// thread matrix (programs for solved runs, deterministic counters for
+/// negative ones).
+fn render_backend_outcome(problem: &SynthesisProblem, outcome: &SynthesisOutcome) -> String {
+    crate::render::render_outcome(problem, outcome)
 }
 
 /// Asserts two tableaux are bit-identical: same nodes in the same

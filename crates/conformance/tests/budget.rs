@@ -365,6 +365,126 @@ fn injected_worker_panic_yields_a_clean_abort_at_every_thread_count() {
     }
 }
 
+/// Runs mutex3-failstop-masking through the CEGIS engine under
+/// `budget` with the given thread plan and returns the abort.
+fn cegis_abort_of(budget: Budget, threads: usize) -> ftsyn::AbortedSynthesis {
+    use ftsyn::{synthesize_with_engine, Engine};
+    let mut p = mutex::with_fail_stop(3, Tolerance::Masking);
+    let gov = Governor::with_budget(budget);
+    match synthesize_with_engine(&mut p, Engine::Cegis, ThreadPlan::uniform(threads), Some(&gov)) {
+        SynthesisOutcome::Aborted(a) => *a,
+        other => panic!(
+            "expected a CEGIS abort at {threads} threads, got {}",
+            match other {
+                SynthesisOutcome::Solved(_) => "Solved",
+                SynthesisOutcome::Impossible(_) => "Impossible",
+                SynthesisOutcome::Aborted(_) => unreachable!(),
+            }
+        ),
+    }
+}
+
+/// The CEGIS candidate cap aborts in `Phase::Cegis` at the identical
+/// deterministic candidate counter — with the partial profile carried
+/// in the stats — at every thread count. (mutex3 needs 10 candidates,
+/// so a cap of 3 always trips.)
+#[test]
+fn cegis_candidate_cap_abort_is_identical_across_thread_counts() {
+    let budget = Budget {
+        max_cegis_candidates: Some(3),
+        ..Budget::default()
+    };
+    let first = cegis_abort_of(budget.clone(), THREAD_MATRIX[0]);
+    assert_eq!(first.phase, Phase::Cegis);
+    assert_eq!(
+        first.reason,
+        AbortReason::CegisCandidateCapExceeded { cap: 3, reached: 3 },
+        "`max_cegis_candidates: Some(3)` permits exactly 3 candidates"
+    );
+    assert_eq!(first.stats.cegis_profile.candidates, 3);
+    assert!(first.stats.cegis_profile.universe > 0, "partial profile");
+    assert!(first.checkpoint.is_none(), "CEGIS aborts carry no checkpoint");
+    assert!(first.failures.is_empty(), "budget aborts carry no failures");
+    for &threads in &THREAD_MATRIX[1..] {
+        let a = cegis_abort_of(budget.clone(), threads);
+        assert_eq!(first.phase, a.phase, "phase diverged at {threads} threads");
+        assert_eq!(first.reason, a.reason, "reason diverged at {threads} threads");
+        assert_eq!(
+            first.stats.cegis_profile, a.stats.cegis_profile,
+            "cegis profile diverged at {threads} threads"
+        );
+    }
+}
+
+/// An expired deadline aborts the CEGIS engine in `Phase::Cegis` at the
+/// first realtime poll — the nondeterministic budget still names the
+/// right phase.
+#[test]
+fn cegis_deadline_abort_names_the_cegis_phase() {
+    let a = cegis_abort_of(
+        Budget {
+            deadline: Some(std::time::Duration::ZERO),
+            ..Budget::default()
+        },
+        1,
+    );
+    assert_eq!(a.phase, Phase::Cegis);
+    assert!(
+        matches!(a.reason, AbortReason::DeadlineExceeded { .. }),
+        "{:?}",
+        a.reason
+    );
+}
+
+/// A pre-cancelled governor aborts the CEGIS engine at its first poll,
+/// and the engine leaves the process clean (a full CEGIS run succeeds
+/// right after).
+#[test]
+fn cancelled_governor_aborts_cegis_cleanly() {
+    use ftsyn::{synthesize_with_engine, Engine};
+    let mut p = mutex::with_fail_stop(3, Tolerance::Masking);
+    let gov = Governor::unlimited();
+    gov.cancel();
+    let SynthesisOutcome::Aborted(a) =
+        synthesize_with_engine(&mut p, Engine::Cegis, ThreadPlan::uniform(1), Some(&gov))
+    else {
+        panic!("cancelled governor must abort the CEGIS engine")
+    };
+    assert_eq!(a.phase, Phase::Cegis);
+    assert_eq!(a.reason, AbortReason::Cancelled);
+
+    let mut p2 = mutex::with_fail_stop(3, Tolerance::Masking);
+    let s = synthesize_with_engine(&mut p2, Engine::Cegis, ThreadPlan::uniform(1), None)
+        .unwrap_solved();
+    assert!(s.verification.ok(), "post-cancel CEGIS run must verify");
+}
+
+/// A CEGIS run under an unlimited governor is byte-identical to an
+/// ungoverned CEGIS run (same polling code, a governor that always says
+/// "go").
+#[test]
+fn unlimited_governor_cegis_is_byte_identical_to_ungoverned() {
+    use ftsyn::{synthesize_with_engine, Engine};
+    let mut p1 = mutex::with_fail_stop(3, Tolerance::Masking);
+    let mut p2 = mutex::with_fail_stop(3, Tolerance::Masking);
+    let ungoverned =
+        synthesize_with_engine(&mut p1, Engine::Cegis, ThreadPlan::uniform(1), None)
+            .unwrap_solved();
+    let gov = Governor::unlimited();
+    let governed =
+        synthesize_with_engine(&mut p2, Engine::Cegis, ThreadPlan::uniform(1), Some(&gov))
+            .unwrap_solved();
+    assert_eq!(
+        ungoverned.stats.cegis_profile,
+        governed.stats.cegis_profile
+    );
+    assert_eq!(
+        render_solved(&p1, &ungoverned),
+        render_solved(&p2, &governed),
+        "governed-unlimited and ungoverned CEGIS programs must be byte-identical"
+    );
+}
+
 /// A refinement cap of zero must degrade to a *structured* extraction
 /// gap (a `FailureKind::ExtractionGap` verification failure — the CLI's
 /// exit-3 path), never a silently-wrong program: the three-process

@@ -4,11 +4,15 @@
 //! differential fuzzer's generated problems routed through the inline
 //! spec path.
 
-use ftsyn::{synthesize, Budget, SynthesisOutcome, SynthesisProblem};
+use ftsyn::{
+    synthesize, synthesize_with_engine, Budget, Engine, SynthesisOutcome, SynthesisProblem,
+    ThreadPlan,
+};
 use ftsyn_conformance::differential::THREAD_MATRIX;
 use ftsyn_conformance::generate::random_problem;
 use ftsyn_prng::XorShift64;
-use ftsyn_service::{corpus, Reply, Request, Service};
+use ftsyn_service::json::{self, Value};
+use ftsyn_service::{corpus, serve, Reply, Request, Service};
 
 /// What a direct, ungoverned, in-process run of `problem` produces, in
 /// the exact fields the service reports.
@@ -222,6 +226,7 @@ fn fuzz_seeds_through_the_service_match_direct_runs() {
                         source: ftsyn_service::ProblemSource::Spec(seed.to_string()),
                         threads,
                         budget: None,
+                        engine: Engine::default(),
                     })
                 })
             })
@@ -240,4 +245,143 @@ fn fuzz_seeds_through_the_service_match_direct_runs() {
     // than it claims.
     assert!(solved > 0, "no fuzz seed in the slice solved");
     assert!(impossible > 0, "no fuzz seed in the slice was impossible");
+}
+
+/// What a direct, ungoverned CEGIS run of `problem` produces.
+fn direct_cegis(mut problem: SynthesisProblem) -> Direct {
+    match synthesize_with_engine(&mut problem, Engine::Cegis, ThreadPlan::uniform(1), None) {
+        SynthesisOutcome::Solved(s) => {
+            assert!(s.verification.ok(), "direct CEGIS run failed verification");
+            Direct {
+                states: s.stats.model_states,
+                transitions: s.stats.program_transitions,
+                program: s.program.display(&problem.props).to_string(),
+                solved: true,
+            }
+        }
+        SynthesisOutcome::Impossible(_) => Direct {
+            states: 0,
+            transitions: 0,
+            program: String::new(),
+            solved: false,
+        },
+        SynthesisOutcome::Aborted(a) => panic!("direct ungoverned CEGIS run aborted: {}", a.reason),
+    }
+}
+
+/// The same inline-spec seed slice routed through the service with
+/// `engine: cegis`: every reply must be byte-identical to a direct
+/// CEGIS run of the generated problem, and the solved/impossible split
+/// must match the tableau engine's split seed by seed.
+#[test]
+fn fuzz_seeds_through_the_service_cegis_engine_match_direct_cegis_runs() {
+    let svc = Service::new().with_spec_parser(Box::new(|text: &str| {
+        let seed: u64 = text
+            .trim()
+            .parse()
+            .map_err(|e| format!("not a seed: {e}"))?;
+        Ok(random_problem(&mut XorShift64::new(seed)).problem)
+    }));
+
+    let seeds: Vec<u64> = (1..=10).collect();
+    let expected: Vec<Direct> = seeds
+        .iter()
+        .map(|&s| direct_cegis(random_problem(&mut XorShift64::new(s)).problem))
+        .collect();
+    let tableau_split: Vec<bool> = seeds
+        .iter()
+        .map(|&s| direct(random_problem(&mut XorShift64::new(s)).problem).solved)
+        .collect();
+
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let svc = &svc;
+                let threads = THREAD_MATRIX[i % THREAD_MATRIX.len()];
+                scope.spawn(move || {
+                    svc.submit(
+                        Request {
+                            id: format!("cegis-seed-{seed}"),
+                            source: ftsyn_service::ProblemSource::Spec(seed.to_string()),
+                            threads,
+                            budget: None,
+                            engine: Engine::Cegis,
+                        },
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (((seed, reply), exp), &tableau_solved) in
+        seeds.iter().zip(&replies).zip(&expected).zip(&tableau_split)
+    {
+        assert_matches(&format!("cegis seed {seed}"), reply, exp);
+        assert_eq!(
+            exp.solved, tableau_solved,
+            "seed {seed}: the engines disagree on solvability"
+        );
+        if let Reply::Solved {
+            cache_hits,
+            cache_misses,
+            ..
+        } = reply
+        {
+            assert_eq!(*cache_hits, 0, "seed {seed}: CEGIS bypasses the cache");
+            assert_eq!(*cache_misses, 0, "seed {seed}: CEGIS bypasses the cache");
+        }
+    }
+}
+
+/// One serve-pipe request per engine over the wire protocol: both
+/// solve the same corpus problem, the CEGIS reply carries zero cache
+/// counters, and a wire-level `engine:"cegis"` resume is rejected.
+#[test]
+fn serve_pipe_answers_one_request_per_engine() {
+    let svc = Service::new();
+    let input = concat!(
+        r#"{"id":"t1","op":"synthesize","problem":"mutex2-failstop-masking","threads":1,"engine":"tableau"}"#,
+        "\n",
+        r#"{"id":"c1","op":"synthesize","problem":"mutex2-failstop-masking","threads":1,"engine":"cegis"}"#,
+        "\n",
+        r#"{"id":"bad","op":"synthesize","problem":"mutex2-failstop-masking","engine":"magic"}"#,
+        "\n",
+        r#"{"id":"r1","op":"resume","from":"t1","engine":"cegis"}"#,
+        "\n",
+        r#"{"id":"end","op":"shutdown"}"#,
+        "\n",
+    );
+    let mut output = Vec::new();
+    serve(&svc, input.as_bytes(), &mut output).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    let mut by_id = std::collections::HashMap::new();
+    for line in text.lines() {
+        let v = json::parse(line).unwrap();
+        by_id.insert(
+            v.get("id").and_then(Value::as_str).unwrap().to_owned(),
+            v,
+        );
+    }
+
+    let expected = direct_cegis(corpus::problem("mutex2-failstop-masking").expect("corpus name"));
+    for id in ["t1", "c1"] {
+        let v = &by_id[id];
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("solved"), "{id}");
+        assert_eq!(v.get("verified"), Some(&Value::Bool(true)), "{id}");
+    }
+    assert_eq!(
+        by_id["c1"].get("program").and_then(Value::as_str),
+        Some(expected.program.as_str()),
+        "the wire CEGIS program must match a direct CEGIS run"
+    );
+    assert_eq!(by_id["c1"].get("cache_hits").and_then(Value::as_u64), Some(0));
+    assert_eq!(by_id["c1"].get("cache_misses").and_then(Value::as_u64), Some(0));
+
+    let bad = by_id["bad"].get("message").and_then(Value::as_str).unwrap();
+    assert!(bad.contains("unknown engine"), "{bad}");
+    let r1 = by_id["r1"].get("message").and_then(Value::as_str).unwrap();
+    assert!(r1.contains("tableau-only"), "{r1}");
 }

@@ -1,0 +1,1815 @@
+//! The CEGIS bounded-synthesis backend: a guess–verify–block loop over
+//! candidate fault-tolerant models, cross-checked by the same semantic
+//! oracle that verifies the tableau pipeline's output.
+//!
+//! Where the tableau method (Section 5.2) derives a model from a proof
+//! object, this engine searches *model space* directly, in the style of
+//! bounded synthesis (Gerstacker/Klein/Finkbeiner) and synchronization
+//! synthesis (Samanta et al.): guess a candidate structure under a size
+//! bound, verify it with the existing CTL model checker, derive a
+//! blocking counterexample from the violated conjunct, prune, repeat —
+//! widening the bound when the space at the current bound is exhausted.
+//!
+//! # Candidate space
+//!
+//! A candidate is determined by three coordinates, enumerated in a
+//! fixed, thread-count-independent order:
+//!
+//! 1. **The admissible-valuation universe.** The propositional conjuncts
+//!    of the coupling specification (and, when no nonmasking tolerance
+//!    is in play, of the global specification) must hold at *every*
+//!    reachable state of any valid model — every tolerance label keeps
+//!    `AG(coupling)`, and `AG` propagates along exactly the edges a
+//!    model contains. Valuations violating them are discarded up front,
+//!    as is (iteratively) any valuation one of whose fault outcomes is
+//!    discarded or lands outside the safety tier its tolerance demands.
+//!    An **empty admissible initial set after this cascade is a sound
+//!    impossibility certificate** on its own: no transition structure
+//!    can repair a propositional violation.
+//! 2. **The obligation-queue bound `b`** (the iteratively widened size
+//!    bound). Model states are pairs `(valuation, queue)` where the
+//!    queue holds the pending `AF`-eventuality obligations in arrival
+//!    order, capped at length `b`. The queue is what lets one valuation
+//!    appear as several model states — the bounded memory a
+//!    starvation-free scheduler needs. Program transitions come from a
+//!    *menu*: all single-process valuation changes compatible with the
+//!    applicable `AXᵢ` conjuncts, scheduled so the queue's head process
+//!    moves freely while other processes move only to witness binding
+//!    `EXᵢ` conjuncts (a FIFO discipline); with an empty queue every
+//!    process moves freely. Fault transitions are never guessed: they
+//!    are derived from the fault actions, outcome by outcome, exactly
+//!    as fault closure demands.
+//! 3. **A deletion set** over the menu's program transitions — the
+//!    counterexample-guided part. When the checker rejects a candidate,
+//!    the violated eventuality yields an avoidance region, and the
+//!    children delete region edges (a bulk attractor-style repair
+//!    first, then single edges). Every examined deletion set enters a
+//!    blocking store, so no candidate is ever examined twice.
+//!
+//! Every accepted candidate passes `verify_semantic` (the three
+//! requirements of Section 3, model-checked) *and* the full extraction
+//! pipeline — shared-variable introduction, skeleton extraction, the
+//! explore/re-verify refinement loop — so a CEGIS "solved" outcome
+//! carries exactly the guarantees of a tableau one. When the bounded
+//! space is exhausted, the engine builds the tableau certificate: a
+//! deleted root upgrades the outcome to a sound `Impossible`; an alive
+//! root returns [`AbortReason::CegisBoundExhausted`] (satisfiable, but
+//! not within the bound). The engine never claims an impossibility it
+//! cannot prove.
+//!
+//! # Determinism
+//!
+//! The search is sequential, and every collection it iterates is
+//! index-ordered (hash maps serve only interning and membership), so
+//! the candidate sequence — and therefore the outcome, the profile
+//! counters, and any cap abort — is identical at every thread count.
+
+use crate::extract::{
+    extract_program, introduce_shared_variables, refine_guards, ExtractProfile,
+    DEFAULT_EXTRACT_REFINE_ROUNDS,
+};
+use crate::problem::{SynthesisProblem, Tolerance};
+use crate::synthesize::{
+    aborted, Impossibility, SynthesisOutcome, SynthesisStats, Synthesized, ThreadPlan,
+};
+use crate::verify::{verify_semantic, verify_semantic_ok};
+use ftsyn_ctl::{Closure, Formula, FormulaArena, FormulaId, Owner, PropId, PropTable};
+use ftsyn_guarded::fault_set_size;
+use ftsyn_guarded::interp::explore;
+use ftsyn_kripke::{FtKripke, PropSet, State, StateId, TransKind};
+use ftsyn_tableau::{
+    apply_deletion_rules_governed, apply_deletion_rules_profiled, build_shared_cache_governed,
+    AbortReason, CertMode, FaultSpec, Governor, Phase,
+};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Tuning knobs of the bounded search. The defaults are generous enough
+/// for the golden corpus; tests tighten them to exercise the structured
+/// exhaustion and abort paths.
+#[derive(Clone, Debug)]
+pub struct CegisConfig {
+    /// Ceiling for the obligation-queue bound. The bound never needs to
+    /// exceed the number of `AF` conjuncts (queue entries are distinct
+    /// clauses), so the effective maximum is
+    /// `min(max_bound, #AF-conjuncts)`.
+    pub max_bound: usize,
+    /// Engine-internal ceiling on candidates examined across all bounds
+    /// (independent of any [`ftsyn_tableau::Budget`] cap); reaching it
+    /// routes to the certificate instead of aborting.
+    pub max_candidates: usize,
+    /// Ceiling on admissible valuations; larger universes route to the
+    /// tableau certificate (the bounded search would thrash).
+    pub max_universe: usize,
+    /// Ceiling on base-graph states per bound.
+    pub max_states: usize,
+    /// Maximum single-edge children proposed per counterexample.
+    pub max_children: usize,
+}
+
+impl Default for CegisConfig {
+    fn default() -> CegisConfig {
+        CegisConfig {
+            max_bound: 8,
+            max_candidates: 512,
+            max_universe: 4096,
+            max_states: 50_000,
+            max_children: 12,
+        }
+    }
+}
+
+/// Deterministic counters of one CEGIS run, reported through
+/// [`SynthesisStats::cegis_profile`] and bench JSON. Identical at every
+/// thread count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CegisProfile {
+    /// Admissible valuations after the propositional + fault-image
+    /// cascade.
+    pub universe: usize,
+    /// Valuations the cascade discarded.
+    pub banned: usize,
+    /// Specification conjuncts the classifier could not turn into
+    /// structural constraints (still enforced — by the oracle).
+    pub opaque_conjuncts: usize,
+    /// Candidate models examined (the governor's candidate counter).
+    pub candidates: usize,
+    /// Candidates the checker or the extraction oracle rejected.
+    pub oracle_rejections: usize,
+    /// Blocking-store entries (deletion sets never to be revisited).
+    pub blocked: usize,
+    /// Largest obligation-queue bound attempted.
+    pub max_bound_tried: usize,
+    /// Bound at which the accepted candidate was found.
+    pub solved_at_bound: Option<usize>,
+    /// Largest base graph (states before deletion) across bounds.
+    pub peak_base_states: usize,
+    /// Tableau nodes of the negative certificate (0 when the search
+    /// succeeded and no certificate was needed).
+    pub certificate_nodes: usize,
+}
+
+/// [`cegis_synthesize_with_config`] under the default [`CegisConfig`].
+pub fn cegis_synthesize(
+    problem: &mut SynthesisProblem,
+    plan: ThreadPlan,
+    gov: Option<&Governor>,
+) -> SynthesisOutcome {
+    cegis_synthesize_with_config(problem, plan, gov, &CegisConfig::default())
+}
+
+/// Runs the CEGIS bounded-synthesis engine on `problem`.
+///
+/// Returns [`SynthesisOutcome::Solved`] with a fully verified model and
+/// extracted program (no tableau artifacts), a sound
+/// [`SynthesisOutcome::Impossible`] (propositional cascade, or deleted
+/// certificate root), or [`SynthesisOutcome::Aborted`] with
+/// [`Phase::Cegis`] when a budget trips or the bounded space is
+/// exhausted while the certificate shows the spec satisfiable.
+pub fn cegis_synthesize_with_config(
+    problem: &mut SynthesisProblem,
+    plan: ThreadPlan,
+    gov: Option<&Governor>,
+    config: &CegisConfig,
+) -> SynthesisOutcome {
+    let start = Instant::now();
+    if let Some(g) = gov {
+        g.enter_phase(Phase::Cegis);
+    }
+    let mut stats = SynthesisStats {
+        fault_size: fault_set_size(&problem.faults),
+        ..SynthesisStats::default()
+    };
+    let spec_formula = problem.spec.formula(&mut problem.arena);
+    stats.spec_length = problem.arena.length(spec_formula);
+    let mut profile = CegisProfile::default();
+
+    let outcome = search(problem, plan, gov, config, &mut stats, &mut profile);
+    stats.cegis_profile = profile;
+    match outcome {
+        Search::Solved(mut solved) => {
+            stats.elapsed = start.elapsed();
+            stats.residual_time = stats.elapsed.saturating_sub(stats.phase_total());
+            solved.stats = stats;
+            SynthesisOutcome::Solved(solved)
+        }
+        Search::Impossible => {
+            stats.elapsed = start.elapsed();
+            stats.residual_time = stats.elapsed.saturating_sub(stats.phase_total());
+            SynthesisOutcome::Impossible(Impossibility { stats })
+        }
+        Search::Aborted(reason) => aborted(Phase::Cegis, reason, None, stats, start),
+    }
+}
+
+enum Search {
+    Solved(Box<Synthesized>),
+    Impossible,
+    Aborted(AbortReason),
+}
+
+fn search(
+    problem: &mut SynthesisProblem,
+    plan: ThreadPlan,
+    gov: Option<&Governor>,
+    config: &CegisConfig,
+    stats: &mut SynthesisStats,
+    profile: &mut CegisProfile,
+) -> Search {
+    // ---- Classification + universe -------------------------------------
+    let classified = Classified::from_problem(problem);
+    profile.opaque_conjuncts = classified.opaque;
+
+    let universe = if classified.init_propositional && classified.af.len() <= 32 {
+        Universe::build(problem, &classified, config)
+    } else {
+        // A non-propositional initial condition (or an obligation set
+        // beyond any sensible bound) leaves the enumerator nothing
+        // sound to enumerate; the certificate below decides exactly.
+        None
+    };
+
+    let mut candidates = 0usize;
+    let mut exhausted_bound = 0usize;
+    if let Some(u) = &universe {
+        profile.universe = u.vals.len();
+        profile.banned = u.banned_count;
+        if u.init_vals.is_empty() {
+            // Sound fast path: the propositional skeleton of the spec
+            // admits no initial state, whatever the transition
+            // structure — see the module docs.
+            return Search::Impossible;
+        }
+        let max_bound = config.max_bound.min(classified.af.len());
+        for bound in 0..=max_bound {
+            profile.max_bound_tried = bound;
+            exhausted_bound = bound;
+            let Some(base) = BaseGraph::build(problem, &classified, u, bound, config) else {
+                continue; // unrepresentable (or too large) at this bound
+            };
+            profile.peak_base_states = profile.peak_base_states.max(base.states.len());
+            let result = explore_bound(
+                problem,
+                &classified,
+                u,
+                &base,
+                config,
+                gov,
+                &mut candidates,
+                profile,
+                stats,
+            );
+            profile.candidates = candidates;
+            match result {
+                BoundResult::Solved(s) => {
+                    profile.solved_at_bound = Some(bound);
+                    return Search::Solved(s);
+                }
+                BoundResult::Exhausted => {}
+                BoundResult::CapHit => break,
+                BoundResult::Aborted(r) => return Search::Aborted(r),
+            }
+        }
+    }
+
+    // ---- Negative certificate ------------------------------------------
+    // The bounded space is spent. Build the tableau certificate: a dead
+    // root is a complete impossibility proof (Corollary 7.2); an alive
+    // root means the bound was too small — a structured abort, never a
+    // false "impossible".
+    let roots = problem.closure_roots();
+    let spec_formula = roots[0];
+    let t_build = Instant::now();
+    let closure = Closure::build(&mut problem.arena, &problem.props, &roots);
+    stats.closure_size = closure.len();
+    let tol_labels = problem.tolerance_label_sets(&closure);
+    let fault_spec = FaultSpec {
+        actions: problem.faults.clone(),
+        tolerance_labels: tol_labels,
+    };
+    let mut root_label = closure.empty_label();
+    root_label.insert(
+        closure
+            .index_of(spec_formula)
+            .expect("spec is a closure root"),
+    );
+    let build_result = build_shared_cache_governed(
+        &closure,
+        &problem.props,
+        root_label,
+        &fault_spec,
+        plan.build.max(1),
+        None,
+        gov,
+    );
+    let (mut tableau, build_profile, _fills) = match build_result {
+        Ok(ok) => ok,
+        Err(a) => {
+            stats.build_time = t_build.elapsed();
+            stats.build_profile = a.profile;
+            stats.tableau_nodes = a.nodes;
+            return Search::Aborted(a.reason);
+        }
+    };
+    stats.build_time = t_build.elapsed();
+    stats.build_profile = build_profile;
+    stats.tableau_nodes = tableau.len();
+    profile.certificate_nodes = tableau.len();
+    let t_del = Instant::now();
+    let deletion_result = match gov {
+        Some(g) => apply_deletion_rules_governed(&mut tableau, &closure, problem.mode, g),
+        None => Ok(apply_deletion_rules_profiled(
+            &mut tableau,
+            &closure,
+            problem.mode,
+        )),
+    };
+    let (deletion, deletion_profile) = match deletion_result {
+        Ok(ok) => ok,
+        Err(a) => {
+            stats.deletion = a.stats;
+            stats.deletion_profile = a.profile;
+            stats.deletion_time = t_del.elapsed();
+            return Search::Aborted(a.reason);
+        }
+    };
+    stats.deletion = deletion;
+    stats.deletion_profile = deletion_profile;
+    stats.deletion_time = t_del.elapsed();
+    let (alive_and, alive_or) = tableau.alive_counts();
+    stats.alive_and = alive_and;
+    stats.alive_or = alive_or;
+    if !tableau.alive(tableau.root()) {
+        return Search::Impossible;
+    }
+    Search::Aborted(AbortReason::CegisBoundExhausted {
+        bound: exhausted_bound,
+        candidates,
+    })
+}
+
+// ====================================================================
+// Conjunct classification
+// ====================================================================
+
+/// One classified non-eventuality modal conjunct: an `Or` of
+/// propositional "antecedent" parts — the clause *binds* where all of
+/// them are false — plus modal parts.
+#[derive(Clone, Debug)]
+enum Clause {
+    /// `antes ∨ AXᵢ body`: every `i`-transition from a binding state
+    /// must reach `body` (propositional).
+    Ax {
+        proc: usize,
+        antes: Vec<FormulaId>,
+        body: FormulaId,
+    },
+    /// `antes ∨ EXᵢ body ∨ EXⱼ body' ∨ …`: a binding state needs at
+    /// least one listed transition. A single option also makes its
+    /// process a *witness mover* under the queue discipline.
+    ExAny {
+        antes: Vec<FormulaId>,
+        options: Vec<(usize, FormulaId)>,
+    },
+    /// `antes ∨ AG body` (invariance, `body` propositional): a binding
+    /// state satisfies `body` and every transition out of it — any
+    /// mover — must land on `body` again. For the permanence idiom
+    /// (`p ⇒ AG p`) the binding re-establishes itself at the target, so
+    /// the one-step filter enforces the whole invariant.
+    AgInv {
+        antes: Vec<FormulaId>,
+        body: FormulaId,
+    },
+}
+
+/// One `antes ∨ AF goal` conjunct: a binding state owes the eventuality
+/// `goal` (propositional) along every fault-free fullpath.
+#[derive(Clone, Debug)]
+struct AfClause {
+    antes: Vec<FormulaId>,
+    goal: FormulaId,
+    /// The process owning every proposition of `goal`, when unique —
+    /// the queue discipline's "obliged mover".
+    owner: Option<usize>,
+}
+
+/// The specification, split into the fragments the enumerator can
+/// enforce structurally. Anything else is counted `opaque` and left to
+/// the oracle.
+struct Classified {
+    init: FormulaId,
+    init_propositional: bool,
+    coupling_props: Vec<FormulaId>,
+    global_props: Vec<FormulaId>,
+    coupling_clauses: Vec<Clause>,
+    global_clauses: Vec<Clause>,
+    af: Vec<AfClause>,
+    opaque: usize,
+    /// Whether any fault action carries nonmasking tolerance (states
+    /// violating the global propositional tier are then admissible).
+    use_nonmasking: bool,
+}
+
+impl Classified {
+    fn from_problem(problem: &SynthesisProblem) -> Classified {
+        let arena = &problem.arena;
+        let init = problem.spec.init;
+        let mut out = Classified {
+            init,
+            init_propositional: is_propositional(arena, init),
+            coupling_props: Vec::new(),
+            global_props: Vec::new(),
+            coupling_clauses: Vec::new(),
+            global_clauses: Vec::new(),
+            af: Vec::new(),
+            opaque: 0,
+            use_nonmasking: (0..problem.faults.len())
+                .any(|i| problem.tolerance.of(i) == Tolerance::Nonmasking),
+        };
+        let globals = arena.conjuncts(problem.spec.global);
+        let couplings = arena.conjuncts(problem.spec.coupling);
+        for (scope_global, conjuncts) in [(true, globals), (false, couplings)] {
+            for c in conjuncts {
+                out.classify(arena, &problem.props, c, scope_global);
+            }
+        }
+        out
+    }
+
+    fn classify(&mut self, arena: &FormulaArena, props: &PropTable, c: FormulaId, global: bool) {
+        if is_propositional(arena, c) {
+            if matches!(arena.get(c), Formula::True) {
+                return;
+            }
+            if global {
+                self.global_props.push(c);
+            } else {
+                self.coupling_props.push(c);
+            }
+            return;
+        }
+        // Work on or-part lists so `Or(a, And(x, y))` distributes into
+        // `Or(a, x) ∧ Or(a, y)` (the implication-into-conjunction idiom
+        // of the mutex spec). Capped: runaway distribution turns the
+        // conjunct opaque rather than exploding.
+        let mut work: Vec<Vec<FormulaId>> = vec![or_parts(arena, c)];
+        let mut emitted = 0usize;
+        while let Some(parts) = work.pop() {
+            if emitted + work.len() > 32 {
+                self.opaque += 1;
+                return;
+            }
+            if let Some(pos) = parts
+                .iter()
+                .position(|&p| matches!(arena.get(p), Formula::And(_, _)))
+            {
+                for k in arena.conjuncts(parts[pos]) {
+                    let mut next = parts.clone();
+                    next[pos] = k;
+                    work.push(next);
+                }
+                continue;
+            }
+            emitted += 1;
+            if !self.classify_flat(arena, props, &parts, global) {
+                self.opaque += 1;
+            }
+        }
+    }
+
+    /// Classifies one flat or-clause (no `And` parts). Returns whether
+    /// it was representable.
+    fn classify_flat(
+        &mut self,
+        arena: &FormulaArena,
+        props: &PropTable,
+        parts: &[FormulaId],
+        global: bool,
+    ) -> bool {
+        let mut antes = Vec::new();
+        let mut modal = Vec::new();
+        for &p in parts {
+            if is_propositional(arena, p) {
+                antes.push(p);
+            } else {
+                modal.push(p);
+            }
+        }
+        if modal.is_empty() {
+            // Unreachable in practice: a conjunct all of whose or-parts
+            // are propositional is itself propositional and was
+            // classified before distribution. Counted opaque if hit.
+            return false;
+        }
+        if modal.len() == 1 {
+            match arena.get(modal[0]) {
+                Formula::Ax(i, b) if is_propositional(arena, b) => {
+                    let clause = Clause::Ax {
+                        proc: i,
+                        antes,
+                        body: b,
+                    };
+                    if global {
+                        self.global_clauses.push(clause);
+                    } else {
+                        self.coupling_clauses.push(clause);
+                    }
+                    return true;
+                }
+                Formula::Ex(i, b) if is_propositional(arena, b) => {
+                    let clause = Clause::ExAny {
+                        antes,
+                        options: vec![(i, b)],
+                    };
+                    if global {
+                        self.global_clauses.push(clause);
+                    } else {
+                        self.coupling_clauses.push(clause);
+                    }
+                    return true;
+                }
+                Formula::Au(g, h)
+                    if matches!(arena.get(g), Formula::True)
+                        && is_propositional(arena, h) =>
+                {
+                    let owner = goal_owner(arena, props, h);
+                    self.af.push(AfClause {
+                        antes,
+                        goal: h,
+                        owner,
+                    });
+                    return true;
+                }
+                Formula::Aw(f, b)
+                    if matches!(arena.get(f), Formula::False)
+                        && is_propositional(arena, b) =>
+                {
+                    let clause = Clause::AgInv { antes, body: b };
+                    if global {
+                        self.global_clauses.push(clause);
+                    } else {
+                        self.coupling_clauses.push(clause);
+                    }
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        // Several modal parts: representable iff all are EX options.
+        let mut options = Vec::new();
+        for m in modal {
+            match arena.get(m) {
+                Formula::Ex(i, b) if is_propositional(arena, b) => options.push((i, b)),
+                _ => return false,
+            }
+        }
+        let clause = Clause::ExAny { antes, options };
+        if global {
+            self.global_clauses.push(clause);
+        } else {
+            self.coupling_clauses.push(clause);
+        }
+        true
+    }
+}
+
+fn is_propositional(arena: &FormulaArena, f: FormulaId) -> bool {
+    match arena.get(f) {
+        Formula::True | Formula::False | Formula::Prop(_) | Formula::NegProp(_) => true,
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            is_propositional(arena, a) && is_propositional(arena, b)
+        }
+        _ => false,
+    }
+}
+
+/// Evaluates a propositional formula against a valuation.
+fn eval_prop(arena: &FormulaArena, f: FormulaId, val: &PropSet) -> bool {
+    match arena.get(f) {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Prop(p) => val.contains(p),
+        Formula::NegProp(p) => !val.contains(p),
+        Formula::And(a, b) => eval_prop(arena, a, val) && eval_prop(arena, b, val),
+        Formula::Or(a, b) => eval_prop(arena, a, val) || eval_prop(arena, b, val),
+        _ => unreachable!("eval_prop on a modal formula"),
+    }
+}
+
+fn or_parts(arena: &FormulaArena, f: FormulaId) -> Vec<FormulaId> {
+    let mut out = Vec::new();
+    let mut stack = vec![f];
+    while let Some(x) = stack.pop() {
+        match arena.get(x) {
+            Formula::Or(a, b) => {
+                stack.push(b);
+                stack.push(a);
+            }
+            _ => out.push(x),
+        }
+    }
+    out
+}
+
+fn props_in(arena: &FormulaArena, f: FormulaId, out: &mut Vec<PropId>) {
+    match arena.get(f) {
+        Formula::Prop(p) | Formula::NegProp(p) => out.push(p),
+        Formula::And(a, b)
+        | Formula::Or(a, b)
+        | Formula::Au(a, b)
+        | Formula::Eu(a, b)
+        | Formula::Aw(a, b)
+        | Formula::Ew(a, b) => {
+            props_in(arena, a, out);
+            props_in(arena, b, out);
+        }
+        Formula::Ax(_, g) | Formula::Ex(_, g) => props_in(arena, g, out),
+        Formula::True | Formula::False => {}
+    }
+}
+
+fn goal_owner(arena: &FormulaArena, props: &PropTable, goal: FormulaId) -> Option<usize> {
+    let mut ps = Vec::new();
+    props_in(arena, goal, &mut ps);
+    let mut owner = None;
+    for p in ps {
+        match props.owner(p) {
+            Owner::Process(i) => match owner {
+                None => owner = Some(i),
+                Some(j) if j == i => {}
+                Some(_) => return None,
+            },
+            Owner::Env => return None,
+        }
+    }
+    owner
+}
+
+// ====================================================================
+// Valuation universe
+// ====================================================================
+
+struct Universe {
+    /// All admissible valuations (cascade survivors), index-ordered.
+    vals: Vec<PropSet>,
+    index: HashMap<PropSet, u32>,
+    /// Whether the valuation also satisfies the *global* propositional
+    /// tier (the safety tier masking/fail-safe images must stay in).
+    safe: Vec<bool>,
+    init_vals: Vec<u32>,
+    banned_count: usize,
+    /// Menu of single-process moves per valuation, in
+    /// `(mover, target)` order.
+    menu: Vec<Vec<(usize, u32)>>,
+}
+
+impl Universe {
+    fn build(
+        problem: &SynthesisProblem,
+        cls: &Classified,
+        config: &CegisConfig,
+    ) -> Option<Universe> {
+        let arena = &problem.arena;
+        let props = &problem.props;
+        let n_props = props.len();
+        let n_procs = arena.num_procs();
+
+        // Ownership groups: one per process, plus the environment.
+        let mut groups: Vec<Vec<PropId>> =
+            (0..n_procs).map(|i| props.props_of_process(i)).collect();
+        let env: Vec<PropId> = props
+            .iter()
+            .filter(|&p| props.owner(p) == Owner::Env)
+            .collect();
+        if !env.is_empty() {
+            groups.push(env);
+        }
+        groups.retain(|g| !g.is_empty());
+        if groups.iter().any(|g| g.len() > 16) {
+            return None;
+        }
+
+        // Admission conjuncts: the coupling propositional tier always;
+        // the global tier too when every tolerance keeps safety
+        // invariant.
+        let mut admission: Vec<FormulaId> = cls.coupling_props.clone();
+        if !cls.use_nonmasking {
+            admission.extend(cls.global_props.iter().copied());
+        }
+
+        // Per-group assignments, pre-filtered by group-local conjuncts.
+        let mut local: Vec<Vec<PropSet>> = Vec::new();
+        for g in &groups {
+            let group_set: HashSet<PropId> = g.iter().copied().collect();
+            let local_conj: Vec<FormulaId> = admission
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let mut ps = Vec::new();
+                    props_in(arena, c, &mut ps);
+                    !ps.is_empty() && ps.iter().all(|p| group_set.contains(p))
+                })
+                .collect();
+            let mut assignments = Vec::new();
+            for mask in 0u32..(1u32 << g.len()) {
+                let mut v = PropSet::with_capacity(n_props);
+                for (k, &p) in g.iter().enumerate() {
+                    if mask & (1 << k) != 0 {
+                        v.insert(p);
+                    }
+                }
+                if local_conj.iter().all(|&c| eval_prop(arena, c, &v)) {
+                    assignments.push(v);
+                }
+            }
+            if assignments.is_empty() {
+                // No assignment for this group satisfies the admission
+                // tier: the universe — and the problem — is empty.
+                return Some(Universe {
+                    vals: Vec::new(),
+                    index: HashMap::new(),
+                    safe: Vec::new(),
+                    init_vals: Vec::new(),
+                    banned_count: 0,
+                    menu: Vec::new(),
+                });
+            }
+            local.push(assignments);
+        }
+
+        // Product (group 0 outermost), filtered by the full admission
+        // tier.
+        let total: usize = local.iter().map(Vec::len).product();
+        if total > config.max_universe * 16 {
+            return None;
+        }
+        let mut vals: Vec<PropSet> = Vec::new();
+        let mut idx = vec![0usize; local.len()];
+        'outer: loop {
+            let mut v = PropSet::with_capacity(n_props);
+            for (gi, &k) in idx.iter().enumerate() {
+                for p in local[gi][k].iter() {
+                    v.insert(p);
+                }
+            }
+            if admission.iter().all(|&c| eval_prop(arena, c, &v))
+                && cls
+                    .coupling_clauses
+                    .iter()
+                    .all(|c| ag_inv_holds(arena, c, &v))
+                && (cls.use_nonmasking
+                    || cls.global_clauses.iter().all(|c| ag_inv_holds(arena, c, &v)))
+            {
+                vals.push(v);
+                if vals.len() > config.max_universe {
+                    return None;
+                }
+            }
+            for gi in (0..idx.len()).rev() {
+                idx[gi] += 1;
+                if idx[gi] < local[gi].len() {
+                    continue 'outer;
+                }
+                idx[gi] = 0;
+            }
+            break;
+        }
+
+        let index_of = |vals: &[PropSet]| -> HashMap<PropSet, u32> {
+            vals.iter()
+                .enumerate()
+                .map(|(i, v)| (v.clone(), i as u32))
+                .collect()
+        };
+        let mut index = index_of(&vals);
+        let safe_of = |v: &PropSet| {
+            cls.global_props.iter().all(|&c| eval_prop(arena, c, v))
+                && cls.global_clauses.iter().all(|c| ag_inv_holds(arena, c, v))
+        };
+        let mut safe: Vec<bool> = vals.iter().map(safe_of).collect();
+
+        // Fault-image cascade.
+        let mut banned = vec![false; vals.len()];
+        loop {
+            let mut changed = false;
+            for vi in 0..vals.len() {
+                if banned[vi] {
+                    continue;
+                }
+                let v = &vals[vi];
+                'actions: for (ai, action) in problem.faults.iter().enumerate() {
+                    if !action.enabled(v) {
+                        continue;
+                    }
+                    for phi in action.outcomes(v, n_props) {
+                        let ok = match index.get(&phi) {
+                            None => false,
+                            Some(&ti) => {
+                                !banned[ti as usize]
+                                    && (problem.tolerance.of(ai) == Tolerance::Nonmasking
+                                        || safe[ti as usize])
+                            }
+                        };
+                        if !ok {
+                            banned[vi] = true;
+                            changed = true;
+                            break 'actions;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Compact to the survivors.
+        let banned_count = banned.iter().filter(|&&b| b).count();
+        let mut kept = Vec::new();
+        let mut kept_safe = Vec::new();
+        for (i, v) in vals.into_iter().enumerate() {
+            if !banned[i] {
+                kept_safe.push(safe[i]);
+                kept.push(v);
+            }
+        }
+        let vals = kept;
+        safe = kept_safe;
+        index = index_of(&vals);
+        let init_vals: Vec<u32> = vals
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| safe[*i] && eval_prop(arena, cls.init, v))
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        // Menu of single-process valuation moves. Bucket valuations by
+        // their non-`i` propositions so only genuinely `i`-local pairs
+        // are examined; bucket member lists are ascending, keeping the
+        // (mover, target) order deterministic.
+        let mut menu: Vec<Vec<(usize, u32)>> = vec![Vec::new(); vals.len()];
+        for i in 0..n_procs {
+            let mine: Vec<PropId> = props.props_of_process(i);
+            let key_of = |v: &PropSet| -> PropSet {
+                let mut k = v.clone();
+                for &p in &mine {
+                    k.remove(p);
+                }
+                k
+            };
+            let mut buckets: HashMap<PropSet, Vec<u32>> = HashMap::new();
+            for (vi, v) in vals.iter().enumerate() {
+                buckets.entry(key_of(v)).or_default().push(vi as u32);
+            }
+            for (ui, u) in vals.iter().enumerate() {
+                let Some(bucket) = buckets.get(&key_of(u)) else {
+                    continue;
+                };
+                for &ti in bucket {
+                    let t = &vals[ti as usize];
+                    // Safety tier: a safe state never moves out of it.
+                    if safe[ui] && !safe[ti as usize] {
+                        continue;
+                    }
+                    // Binding AX clauses of the mover: coupling always,
+                    // global from safe sources.
+                    if !cls
+                        .coupling_clauses
+                        .iter()
+                        .all(|c| ax_permits(arena, c, i, u, t))
+                    {
+                        continue;
+                    }
+                    if safe[ui]
+                        && !cls
+                            .global_clauses
+                            .iter()
+                            .all(|c| ax_permits(arena, c, i, u, t))
+                    {
+                        continue;
+                    }
+                    menu[ui].push((i, ti));
+                }
+            }
+        }
+
+        Some(Universe {
+            vals,
+            index,
+            safe,
+            init_vals,
+            banned_count,
+            menu,
+        })
+    }
+}
+
+/// Whether mover `i`'s step `u → t` is allowed by a structural clause:
+/// an `AX` of `i` binding at `u` requires its body at `t`; an
+/// invariance clause binding at `u` requires its body at `t` whoever
+/// moves (the `AG` obligation rides every outgoing edge).
+fn ax_permits(arena: &FormulaArena, c: &Clause, i: usize, u: &PropSet, t: &PropSet) -> bool {
+    match c {
+        Clause::Ax { proc, antes, body } if *proc == i => {
+            antes.iter().any(|&a| eval_prop(arena, a, u)) || eval_prop(arena, *body, t)
+        }
+        Clause::AgInv { antes, body } => {
+            antes.iter().any(|&a| eval_prop(arena, a, u)) || eval_prop(arena, *body, t)
+        }
+        _ => true,
+    }
+}
+
+/// The state-level consequence of an invariance clause: where it binds,
+/// its body holds (`AG body` includes the binding state itself). Other
+/// clause forms impose no state predicate.
+fn ag_inv_holds(arena: &FormulaArena, c: &Clause, v: &PropSet) -> bool {
+    match c {
+        Clause::AgInv { antes, body } => {
+            antes.iter().any(|&a| eval_prop(arena, a, v)) || eval_prop(arena, *body, v)
+        }
+        _ => true,
+    }
+}
+
+// ====================================================================
+// Base graph at one queue bound
+// ====================================================================
+
+#[derive(Clone, Debug)]
+struct BaseState {
+    val: u32,
+    /// Global ids (into [`BaseGraph::program`]) of outgoing program
+    /// edges.
+    prog: Vec<u32>,
+    /// `(action index, target state)` fault edges.
+    faults: Vec<(usize, u32)>,
+    /// Bitmask of the AF clauses in this state's obligation queue: the
+    /// eventualities the state actually owes. States reached only
+    /// through a fail-safe or nonmasking fault carry none (those
+    /// tolerance labels keep safety, not the spec's `AF` clauses).
+    pending: u32,
+    /// A fault outcome's queue overflowed the bound: the state cannot
+    /// exist in any candidate at this bound.
+    fault_overflow: bool,
+}
+
+struct BaseGraph {
+    states: Vec<BaseState>,
+    /// Flat program-edge table: `(source, mover, target)`.
+    program: Vec<(u32, usize, u32)>,
+    init_states: Vec<u32>,
+}
+
+impl BaseGraph {
+    fn build(
+        problem: &SynthesisProblem,
+        cls: &Classified,
+        u: &Universe,
+        bound: usize,
+        config: &CegisConfig,
+    ) -> Option<BaseGraph> {
+        let arena = &problem.arena;
+        let fault_free = problem.mode == CertMode::FaultFree;
+        let n_props = problem.props.len();
+
+        let mut states: Vec<BaseState> = Vec::new();
+        let mut queues: Vec<Vec<u8>> = Vec::new();
+        let mut program: Vec<(u32, usize, u32)> = Vec::new();
+        let mut index: HashMap<(u32, Vec<u8>), u32> = HashMap::new();
+        let mut intern =
+            |val: u32, queue: Vec<u8>, states: &mut Vec<BaseState>, queues: &mut Vec<Vec<u8>>| {
+                *index.entry((val, queue.clone())).or_insert_with(|| {
+                    let pending = queue.iter().fold(0u32, |m, &ci| m | (1 << ci));
+                    states.push(BaseState {
+                        val,
+                        prog: Vec::new(),
+                        faults: Vec::new(),
+                        pending,
+                        fault_overflow: false,
+                    });
+                    queues.push(queue);
+                    (states.len() - 1) as u32
+                })
+            };
+
+        let mut init_states = Vec::new();
+        for &iv in &u.init_vals {
+            let q0 = initial_queue(arena, cls, &u.vals[iv as usize]);
+            if q0.len() > bound {
+                continue;
+            }
+            init_states.push(intern(iv, q0, &mut states, &mut queues));
+        }
+        if init_states.is_empty() {
+            return None;
+        }
+
+        let mut cursor = 0usize;
+        while cursor < states.len() {
+            if states.len() > config.max_states {
+                return None;
+            }
+            let sid = cursor as u32;
+            let (val_idx, queue) = (states[cursor].val, queues[cursor].clone());
+            cursor += 1;
+            let val = &u.vals[val_idx as usize];
+
+            // Program edges under the queue discipline.
+            for (mover, target) in
+                scheduled_moves(arena, cls, u, val_idx, &queue, bound, fault_free)
+            {
+                let tval = &u.vals[target as usize];
+                let q = step_queue(arena, cls, &queue, tval, None, fault_free);
+                debug_assert!(q.len() <= bound);
+                let tid = intern(target, q, &mut states, &mut queues);
+                let eid = program.len() as u32;
+                program.push((sid, mover, tid));
+                states[sid as usize].prog.push(eid);
+            }
+
+            // Fault edges, outcome by outcome (never guessed).
+            for (ai, action) in problem.faults.iter().enumerate() {
+                if !action.enabled(val) {
+                    continue;
+                }
+                for phi in action.outcomes(val, n_props) {
+                    let target = *u
+                        .index
+                        .get(&phi)
+                        .expect("the cascade kept only fault-closed valuations");
+                    let q = step_queue(
+                        arena,
+                        cls,
+                        &queue,
+                        &u.vals[target as usize],
+                        Some(problem.tolerance.of(ai)),
+                        fault_free,
+                    );
+                    if q.len() > bound {
+                        states[sid as usize].fault_overflow = true;
+                        continue;
+                    }
+                    let tid = intern(target, q, &mut states, &mut queues);
+                    states[sid as usize].faults.push((ai, tid));
+                }
+            }
+        }
+
+        Some(BaseGraph {
+            states,
+            program,
+            init_states,
+        })
+    }
+}
+
+fn af_active(arena: &FormulaArena, c: &AfClause, val: &PropSet) -> bool {
+    !eval_prop(arena, c.goal, val) && !c.antes.iter().any(|&a| eval_prop(arena, a, val))
+}
+
+fn initial_queue(arena: &FormulaArena, cls: &Classified, val: &PropSet) -> Vec<u8> {
+    (0..cls.af.len())
+        .filter(|&ci| af_active(arena, &cls.af[ci], val))
+        .map(|ci| ci as u8)
+        .collect()
+}
+
+/// Advances the obligation queue across one transition. Obligations are
+/// discharged only by reaching their goal (`AF` binds from the moment
+/// the antecedents fail, along the whole fullpath). A fault transition
+/// under fault-free certification starts fresh fullpaths, and the
+/// perturbed state owes whatever its tolerance label demands: a masking
+/// fault re-founds the queue on the clauses binding at the image, while
+/// fail-safe and nonmasking faults clear it — their labels keep safety
+/// (and, for nonmasking, convergence, which the good-set analysis
+/// enforces separately), not the spec's `AF` clauses. Under fault-prone
+/// certification fault edges are ordinary path edges, so every
+/// tolerance steps the queue like a program move.
+fn step_queue(
+    arena: &FormulaArena,
+    cls: &Classified,
+    q: &[u8],
+    target: &PropSet,
+    fault: Option<Tolerance>,
+    fault_free: bool,
+) -> Vec<u8> {
+    if fault_free {
+        match fault {
+            Some(Tolerance::Masking) => {
+                let mut out: Vec<u8> = q
+                    .iter()
+                    .copied()
+                    .filter(|&ci| af_active(arena, &cls.af[ci as usize], target))
+                    .collect();
+                for ci in 0..cls.af.len() {
+                    if af_active(arena, &cls.af[ci], target) && !out.contains(&(ci as u8)) {
+                        out.push(ci as u8);
+                    }
+                }
+                return out;
+            }
+            Some(_) => return Vec::new(),
+            None => {}
+        }
+    }
+    let mut out: Vec<u8> = q
+        .iter()
+        .copied()
+        .filter(|&ci| !eval_prop(arena, cls.af[ci as usize].goal, target))
+        .collect();
+    for ci in 0..cls.af.len() {
+        if af_active(arena, &cls.af[ci], target) && !out.contains(&(ci as u8)) {
+            out.push(ci as u8);
+        }
+    }
+    out
+}
+
+/// The scheduled single-process moves at `(val, queue)`: the queue's
+/// effective head moves freely, witness movers serve their binding
+/// single-option `EX` clauses, everything else waits. With an empty
+/// queue — or an un-ownable or fully stuck head — every process moves
+/// freely. Only moves whose target queue fits the bound are usable.
+fn scheduled_moves(
+    arena: &FormulaArena,
+    cls: &Classified,
+    u: &Universe,
+    val_idx: u32,
+    queue: &[u8],
+    bound: usize,
+    fault_free: bool,
+) -> Vec<(usize, u32)> {
+    let val = &u.vals[val_idx as usize];
+    let menu = &u.menu[val_idx as usize];
+    let usable = |target: u32| -> bool {
+        step_queue(arena, cls, queue, &u.vals[target as usize], None, fault_free).len() <= bound
+    };
+
+    // Effective head: the first queued obligation whose obliged process
+    // has a usable move.
+    let mut head: Option<usize> = None;
+    let mut all_movers = queue.is_empty();
+    for &ci in queue {
+        match cls.af[ci as usize].owner {
+            None => {
+                all_movers = true;
+                break;
+            }
+            Some(i) => {
+                if menu.iter().any(|&(m, t)| m == i && usable(t)) {
+                    head = Some(i);
+                    break;
+                }
+            }
+        }
+    }
+    if !all_movers && head.is_none() {
+        // Every queued process is stuck: release the schedule rather
+        // than dead-end (the blocked head resumes once unblocked).
+        all_movers = true;
+    }
+    if all_movers {
+        return menu.iter().copied().filter(|&(_, t)| usable(t)).collect();
+    }
+    let head = head.expect("checked above");
+
+    // Witness movers: processes named by a binding single-option EX
+    // clause (coupling always binds; global binds at safe states).
+    let binding_ex = |c: &Clause| -> Option<(usize, FormulaId)> {
+        match c {
+            Clause::ExAny { antes, options }
+                if options.len() == 1 && !antes.iter().any(|&a| eval_prop(arena, a, val)) =>
+            {
+                Some(options[0])
+            }
+            _ => None,
+        }
+    };
+    let mut witness: Vec<(usize, FormulaId)> = Vec::new();
+    for c in &cls.coupling_clauses {
+        if let Some(w) = binding_ex(c) {
+            witness.push(w);
+        }
+    }
+    if u.safe[val_idx as usize] {
+        for c in &cls.global_clauses {
+            if let Some(w) = binding_ex(c) {
+                witness.push(w);
+            }
+        }
+    }
+    let mut out: Vec<(usize, u32)> = Vec::new();
+    for &(mover, target) in menu {
+        if !usable(target) {
+            continue;
+        }
+        if mover == head
+            || witness
+                .iter()
+                .any(|&(w, body)| w == mover && eval_prop(arena, body, &u.vals[target as usize]))
+        {
+            out.push((mover, target));
+        }
+    }
+    out
+}
+
+// ====================================================================
+// Candidate evaluation
+// ====================================================================
+
+/// The pruned form of one candidate: the reachable sub-model rooted at
+/// the first surviving initial state, plus the base→model index map the
+/// counterexample analysis navigates by.
+struct Candidate {
+    model: FtKripke,
+    /// Base-state index → model state id (`None` = not in the model).
+    model_of: Vec<Option<u32>>,
+}
+
+/// Prunes `deleted` out of the base graph and closes under the
+/// structural requirements (reachability, fault closure, binding EX
+/// clauses). `None` when no initial state survives.
+fn prune(
+    problem: &SynthesisProblem,
+    cls: &Classified,
+    u: &Universe,
+    base: &BaseGraph,
+    deleted: &[u32],
+) -> Option<Candidate> {
+    let arena = &problem.arena;
+    let n = base.states.len();
+    let is_deleted = |eid: u32| -> bool { deleted.binary_search(&eid).is_ok() };
+    let mut alive: Vec<bool> = base.states.iter().map(|s| !s.fault_overflow).collect();
+
+    loop {
+        // Reachability over surviving edges.
+        let mut reach = vec![false; n];
+        let mut stack: Vec<u32> = base
+            .init_states
+            .iter()
+            .copied()
+            .filter(|&s| alive[s as usize])
+            .collect();
+        for &s in &stack {
+            reach[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            let st = &base.states[s as usize];
+            for &eid in &st.prog {
+                let (_, _, t) = base.program[eid as usize];
+                if !is_deleted(eid) && alive[t as usize] && !reach[t as usize] {
+                    reach[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+            for &(_, t) in &st.faults {
+                if alive[t as usize] && !reach[t as usize] {
+                    reach[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        let mut changed = false;
+        for (i, r) in reach.iter().enumerate() {
+            if alive[i] && !r {
+                alive[i] = false;
+                changed = true;
+            }
+        }
+
+        // Local structural requirements.
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            let st = &base.states[i];
+            // Fault closure: every outcome edge must survive.
+            if st.faults.iter().any(|&(_, t)| !alive[t as usize]) {
+                alive[i] = false;
+                changed = true;
+                continue;
+            }
+            // Binding EX clauses need a surviving witness edge.
+            let val = &u.vals[st.val as usize];
+            let holds = |c: &Clause| -> bool {
+                match c {
+                    Clause::ExAny { antes, options } => {
+                        antes.iter().any(|&a| eval_prop(arena, a, val))
+                            || st.prog.iter().any(|&eid| {
+                                if is_deleted(eid) {
+                                    return false;
+                                }
+                                let (_, mover, t) = base.program[eid as usize];
+                                alive[t as usize]
+                                    && options.iter().any(|&(w, body)| {
+                                        w == mover
+                                            && eval_prop(
+                                                arena,
+                                                body,
+                                                &u.vals[base.states[t as usize].val as usize],
+                                            )
+                                    })
+                            })
+                    }
+                    Clause::Ax { .. } | Clause::AgInv { .. } => true,
+                }
+            };
+            let mut ok = cls.coupling_clauses.iter().all(holds);
+            if ok && u.safe[st.val as usize] {
+                ok = cls.global_clauses.iter().all(holds);
+            }
+            if !ok {
+                alive[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let root = base
+        .init_states
+        .iter()
+        .copied()
+        .find(|&s| alive[s as usize])?;
+
+    // Final component: reachable from the chosen root only.
+    let mut included = vec![false; n];
+    let mut stack = vec![root];
+    included[root as usize] = true;
+    while let Some(s) = stack.pop() {
+        let st = &base.states[s as usize];
+        for &eid in &st.prog {
+            let (_, _, t) = base.program[eid as usize];
+            if !is_deleted(eid) && alive[t as usize] && !included[t as usize] {
+                included[t as usize] = true;
+                stack.push(t);
+            }
+        }
+        for &(_, t) in &st.faults {
+            if alive[t as usize] && !included[t as usize] {
+                included[t as usize] = true;
+                stack.push(t);
+            }
+        }
+    }
+
+    let mut model = FtKripke::new();
+    let mut model_of: Vec<Option<u32>> = vec![None; n];
+    for (i, inc) in included.iter().enumerate() {
+        if *inc {
+            let val = u.vals[base.states[i].val as usize].clone();
+            let sid = model.push_state(State::new(val));
+            model_of[i] = Some(sid.index() as u32);
+        }
+    }
+    model.add_init(StateId(model_of[root as usize].unwrap()));
+    for (i, inc) in included.iter().enumerate() {
+        if !*inc {
+            continue;
+        }
+        let from = StateId(model_of[i].unwrap());
+        let st = &base.states[i];
+        for &eid in &st.prog {
+            let (_, mover, t) = base.program[eid as usize];
+            if !is_deleted(eid) && included[t as usize] {
+                model.add_edge(
+                    from,
+                    TransKind::Proc(mover),
+                    StateId(model_of[t as usize].unwrap()),
+                );
+            }
+        }
+        for &(ai, t) in &st.faults {
+            debug_assert!(included[t as usize]);
+            model.add_edge(
+                from,
+                TransKind::Fault(ai),
+                StateId(model_of[t as usize].unwrap()),
+            );
+        }
+    }
+
+    Some(Candidate { model, model_of })
+}
+
+// ====================================================================
+// Counterexample analysis → children
+// ====================================================================
+
+/// Proposes child deletion sets for a rejected candidate: a bulk
+/// attractor-style repair (delete, layer by layer, every region edge
+/// that strays from the growing win set) followed by single-edge
+/// deletions inside the avoidance region. An empty return means the
+/// rejection was unanalyzable (opaque conjunct): the branch dead-ends
+/// and stays blocked.
+fn propose_children(
+    problem: &SynthesisProblem,
+    cls: &Classified,
+    u: &Universe,
+    base: &BaseGraph,
+    cand: &Candidate,
+    deleted: &[u32],
+    config: &CegisConfig,
+) -> Vec<Vec<u32>> {
+    let arena = &problem.arena;
+    let fault_free = problem.mode == CertMode::FaultFree;
+    let is_deleted = |eid: u32| deleted.binary_search(&eid).is_ok();
+    let n = base.states.len();
+    let in_model = |i: usize| cand.model_of[i].is_some();
+
+    // Path successors (the edges AF quantifies over) per included
+    // state: `(program edge id or u32::MAX for a fault edge, target)`.
+    let succs = |i: usize| -> Vec<(u32, u32)> {
+        let st = &base.states[i];
+        let mut out: Vec<(u32, u32)> = st
+            .prog
+            .iter()
+            .copied()
+            .filter(|&e| !is_deleted(e))
+            .map(|e| (e, base.program[e as usize].2))
+            .filter(|&(_, t)| in_model(t as usize))
+            .collect();
+        if !fault_free {
+            out.extend(
+                st.faults
+                    .iter()
+                    .filter(|&&(_, t)| in_model(t as usize))
+                    .map(|&(_, t)| (u32::MAX, t)),
+            );
+        }
+        out
+    };
+
+    // Win set of an AF target: at least one path successor exists and
+    // all of them lead in (dead ends fail an open eventuality).
+    let af_win = |goal: &dyn Fn(usize) -> bool| -> Vec<bool> {
+        let mut win: Vec<bool> = (0..n).map(|i| in_model(i) && goal(i)).collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if win[i] || !in_model(i) {
+                    continue;
+                }
+                let ss = succs(i);
+                if !ss.is_empty() && ss.iter().all(|&(_, t)| win[t as usize]) {
+                    win[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return win;
+            }
+        }
+    };
+
+    // First violated obligation: an AF clause *pending* at a safe
+    // included state (in the state's obligation queue — so tolerance
+    // has already been applied at fault edges) outside its win set, or
+    // — under nonmasking — a state that cannot converge to an all-safe
+    // program-closed region.
+    let mut violation: Option<(Vec<bool>, usize, Option<usize>)> = None;
+    for (ci, c) in cls.af.iter().enumerate() {
+        let goal = |i: usize| eval_prop(arena, c.goal, &u.vals[base.states[i].val as usize]);
+        let win = af_win(&goal);
+        let bad = (0..n).find(|&i| {
+            in_model(i)
+                && u.safe[base.states[i].val as usize]
+                && base.states[i].pending & (1 << ci) != 0
+                && !win[i]
+        });
+        if let Some(s) = bad {
+            violation = Some((win, s, c.owner));
+            break;
+        }
+    }
+    if violation.is_none() && cls.use_nonmasking {
+        // Good set: states whose whole program-closure stays safe.
+        let mut good: Vec<bool> = (0..n)
+            .map(|i| in_model(i) && u.safe[base.states[i].val as usize])
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if !good[i] {
+                    continue;
+                }
+                let leaky = base.states[i].prog.iter().any(|&e| {
+                    !is_deleted(e) && {
+                        let t = base.program[e as usize].2 as usize;
+                        in_model(t) && !good[t]
+                    }
+                });
+                if leaky {
+                    good[i] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let win = af_win(&|i: usize| good[i]);
+        let bad = (0..n).find(|&i| in_model(i) && !win[i]);
+        if let Some(s) = bad {
+            violation = Some((win, s, None));
+        }
+    }
+    let Some((win, s, obliged)) = violation else {
+        return Vec::new();
+    };
+
+    // Avoidance region: closure of `s` over path edges between non-win
+    // states.
+    let mut region = vec![false; n];
+    let mut stack = vec![s];
+    region[s] = true;
+    while let Some(x) = stack.pop() {
+        for (_, t) in succs(x) {
+            let t = t as usize;
+            if !win[t] && !region[t] {
+                region[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+
+    let mut children: Vec<Vec<u32>> = Vec::new();
+
+    // Bulk attractor repair: wherever a region state can step into the
+    // (growing) win set, delete its straying program edges; iterate
+    // until the violating state joins or no layer makes progress.
+    {
+        let mut w = win.clone();
+        let mut extra: Vec<u32> = Vec::new();
+        loop {
+            let mut changed = false;
+            for x in 0..n {
+                if !region[x] || w[x] {
+                    continue;
+                }
+                let fault_stray = !fault_free
+                    && base.states[x]
+                        .faults
+                        .iter()
+                        .any(|&(_, t)| in_model(t as usize) && !w[t as usize]);
+                if fault_stray {
+                    continue; // fault edges cannot be deleted
+                }
+                let ss = succs(x);
+                if !ss.iter().any(|&(_, t)| w[t as usize]) {
+                    continue;
+                }
+                for &(e, t) in &ss {
+                    if e != u32::MAX && !w[t as usize] && !extra.contains(&e) {
+                        extra.push(e);
+                    }
+                }
+                w[x] = true;
+                changed = true;
+            }
+            if w[s] || !changed {
+                break;
+            }
+        }
+        if w[s] && !extra.is_empty() {
+            let mut d = deleted.to_vec();
+            d.extend(extra);
+            d.sort_unstable();
+            d.dedup();
+            children.push(d);
+        }
+    }
+
+    // Single-edge children: program edges into the region. Internal
+    // edges first (repair: prefer movers other than the obliged
+    // process — the competitor edges that barge the obligation aside),
+    // then entry edges from outside (excision: a region that cannot be
+    // made to win can still be made unreachable by program moves).
+    let mut singles: Vec<(bool, bool, u32)> = Vec::new();
+    for x in 0..n {
+        if !in_model(x) {
+            continue;
+        }
+        for &e in &base.states[x].prog {
+            if is_deleted(e) {
+                continue;
+            }
+            let (_, mover, t) = base.program[e as usize];
+            if region[t as usize] {
+                singles.push((!region[x], Some(mover) == obliged, e));
+            }
+        }
+    }
+    singles.sort_unstable();
+    for (_, _, e) in singles.into_iter().take(config.max_children) {
+        let mut d = deleted.to_vec();
+        d.push(e);
+        d.sort_unstable();
+        d.dedup();
+        children.push(d);
+    }
+    children
+}
+
+// ====================================================================
+// The per-bound guess–verify–block loop
+// ====================================================================
+
+enum BoundResult {
+    Solved(Box<Synthesized>),
+    Exhausted,
+    CapHit,
+    Aborted(AbortReason),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_bound(
+    problem: &mut SynthesisProblem,
+    cls: &Classified,
+    u: &Universe,
+    base: &BaseGraph,
+    config: &CegisConfig,
+    gov: Option<&Governor>,
+    candidates: &mut usize,
+    profile: &mut CegisProfile,
+    stats: &mut SynthesisStats,
+) -> BoundResult {
+    let mut stack: Vec<Vec<u32>> = vec![Vec::new()];
+    let mut blocked: HashSet<Vec<u32>> = HashSet::new();
+    while let Some(deleted) = stack.pop() {
+        if !blocked.insert(deleted.clone()) {
+            continue;
+        }
+        profile.blocked += 1;
+        if let Some(g) = gov {
+            if let Err(reason) = g.check_realtime() {
+                return BoundResult::Aborted(reason);
+            }
+            if let Err(reason) = g.check_cegis_candidates(*candidates) {
+                return BoundResult::Aborted(reason);
+            }
+        }
+        if *candidates >= config.max_candidates {
+            return BoundResult::CapHit;
+        }
+        *candidates += 1;
+
+        let Some(cand) = prune(problem, cls, u, base, &deleted) else {
+            continue; // structurally dead; the blocking store remembers
+        };
+        if verify_semantic_ok(problem, &cand.model) {
+            match accept(problem, cand.model, gov, stats) {
+                AcceptOutcome::Solved(solved) => return BoundResult::Solved(solved),
+                AcceptOutcome::Rejected => {
+                    profile.oracle_rejections += 1;
+                    continue;
+                }
+                AcceptOutcome::Aborted(r) => return BoundResult::Aborted(r),
+            }
+        }
+        profile.oracle_rejections += 1;
+        let children = propose_children(problem, cls, u, base, &cand, &deleted, config);
+        for child in children.into_iter().rev() {
+            if !blocked.contains(&child) {
+                stack.push(child);
+            }
+        }
+    }
+    BoundResult::Exhausted
+}
+
+enum AcceptOutcome {
+    Solved(Box<Synthesized>),
+    Rejected,
+    Aborted(AbortReason),
+}
+
+/// Runs the full acceptance pipeline on a checker-approved candidate:
+/// shared-variable introduction, extraction, and the explore/re-verify
+/// refinement loop of the tableau pipeline — the same oracle, the same
+/// guarantees.
+fn accept(
+    problem: &mut SynthesisProblem,
+    mut model: FtKripke,
+    gov: Option<&Governor>,
+    stats: &mut SynthesisStats,
+) -> AcceptOutcome {
+    let t_ext = Instant::now();
+    let intro = introduce_shared_variables(&mut model);
+    let mut program = extract_program(&model, &problem.props, problem.arena.num_procs(), &intro);
+    let mut extract_profile = ExtractProfile {
+        model_states: model.len(),
+        shared_vars: intro.vars.len(),
+        ..ExtractProfile::default()
+    };
+    let refine_cap = gov
+        .and_then(|g| g.budget().max_extract_refine_rounds)
+        .unwrap_or(DEFAULT_EXTRACT_REFINE_ROUNDS);
+    let verified = loop {
+        if let Some(g) = gov {
+            if let Err(reason) = g.check_realtime() {
+                stats.extract_time += t_ext.elapsed();
+                stats.extract_profile = extract_profile;
+                return AcceptOutcome::Aborted(reason);
+            }
+        }
+        let Ok(ex) = explore(&program, &problem.faults, &problem.props) else {
+            break false;
+        };
+        extract_profile.explored_states = ex.kripke.len();
+        if verify_semantic_ok(problem, &ex.kripke) {
+            break true;
+        }
+        if extract_profile.refinement_rounds >= refine_cap {
+            break false;
+        }
+        let changed = refine_guards(problem, &model, &intro, &mut program);
+        extract_profile.refinement_rounds += 1;
+        extract_profile.refined_arcs += changed;
+        if changed == 0 {
+            break false;
+        }
+    };
+    stats.extract_time += t_ext.elapsed();
+    if !verified {
+        return AcceptOutcome::Rejected;
+    }
+    extract_profile.verified = true;
+    stats.extract_profile = extract_profile;
+    let t_ver = Instant::now();
+    let verification = verify_semantic(problem, &model);
+    stats.verify_time += t_ver.elapsed();
+    debug_assert!(verification.ok());
+    stats.model_states = model.len();
+    stats.fault_transitions = model.fault_edge_count();
+    stats.program_transitions = model.edge_count() - stats.fault_transitions;
+    AcceptOutcome::Solved(Box::new(Synthesized {
+        model,
+        program,
+        artifacts: None,
+        stats: SynthesisStats::default(), // replaced by the caller
+        verification,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{barrier, mutex};
+    use crate::synthesize;
+
+    fn run(problem: &mut SynthesisProblem) -> SynthesisOutcome {
+        cegis_synthesize(problem, ThreadPlan::uniform(1), None)
+    }
+
+    #[test]
+    fn mutex2_fail_stop_solves() {
+        let mut problem = mutex::with_fail_stop(2, Tolerance::Masking);
+        match run(&mut problem) {
+            SynthesisOutcome::Solved(s) => {
+                assert!(s.verification.ok(), "{:?}", s.verification.failures);
+                assert!(s.artifacts.is_none());
+                assert!(s.stats.cegis_profile.solved_at_bound.is_some());
+            }
+            other => panic!("expected Solved, got {}", outcome_name(&other)),
+        }
+    }
+
+    #[test]
+    fn mutex2_fault_free_solves() {
+        let mut problem = mutex::fault_free(2);
+        match run(&mut problem) {
+            SynthesisOutcome::Solved(s) => {
+                assert!(s.verification.ok(), "{:?}", s.verification.failures);
+            }
+            other => panic!("expected Solved, got {}", outcome_name(&other)),
+        }
+    }
+
+    #[test]
+    fn barrier_impossible_agrees() {
+        let mut problem = barrier::with_fail_stop_impossible(2);
+        let cegis = run(&mut problem);
+        assert!(
+            matches!(cegis, SynthesisOutcome::Impossible(_)),
+            "cegis: {}",
+            outcome_name(&cegis)
+        );
+        let mut problem = barrier::with_fail_stop_impossible(2);
+        let tableau = synthesize(&mut problem);
+        assert!(matches!(tableau, SynthesisOutcome::Impossible(_)));
+    }
+
+    fn outcome_name(o: &SynthesisOutcome) -> String {
+        match o {
+            SynthesisOutcome::Solved(_) => "Solved".into(),
+            SynthesisOutcome::Impossible(_) => "Impossible".into(),
+            SynthesisOutcome::Aborted(a) => format!("Aborted({})", a.reason),
+        }
+    }
+}
+

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cegis;
 mod check;
 mod extract;
 mod fragment;
@@ -62,6 +63,7 @@ mod verify;
 
 pub mod problems;
 
+pub use cegis::{cegis_synthesize, cegis_synthesize_with_config, CegisConfig, CegisProfile};
 pub use check::{check_program, CheckError, CheckReport};
 pub use extract::{
     extract_program, introduce_shared_variables, refine_guards, ExtractProfile,
@@ -77,8 +79,9 @@ pub use minimize::{semantic_minimize_reference, semantic_minimize_reference_gove
 pub use problem::{SynthesisProblem, Tolerance, ToleranceAssignment};
 pub use synthesize::{
     default_threads, synthesize, synthesize_governed, synthesize_planned, synthesize_resume,
-    synthesize_session, synthesize_with_threads, AbortedSynthesis, Impossibility,
-    SynthesisOutcome, SynthesisSession, SynthesisStats, Synthesized, ThreadPlan,
+    synthesize_session, synthesize_with_engine, synthesize_with_threads, AbortedSynthesis, Engine,
+    Impossibility, SynthesisOutcome, SynthesisSession, SynthesisStats, Synthesized, TableauArtifacts,
+    ThreadPlan,
 };
 pub use ftsyn_tableau::{
     AbortReason, Budget, CacheFill, CertMode, Checkpoint, CheckpointError, ExpansionCache,

@@ -7,6 +7,7 @@ use crate::extract::{
 use crate::minimize::{
     semantic_minimize_governed, semantic_minimize_with_threads, MinimizeProfile,
 };
+use crate::cegis::{cegis_synthesize, CegisProfile};
 use crate::problem::SynthesisProblem;
 use crate::unravel::{unravel_governed, unravel_mode, Unraveled};
 use crate::verify::{verify, verify_semantic, verify_semantic_ok, Failure, FailureKind, Verification};
@@ -76,6 +77,9 @@ pub struct SynthesisStats {
     /// Counters of the extraction + in-pipeline verification stage
     /// (explored vs model states, guard-refinement rounds).
     pub extract_profile: ExtractProfile,
+    /// Candidate/blocking counters of the CEGIS bounded-synthesis
+    /// engine (all zero for tableau runs).
+    pub cegis_profile: CegisProfile,
 }
 
 impl SynthesisStats {
@@ -91,14 +95,11 @@ impl SynthesisStats {
     }
 }
 
-/// A successful synthesis: the model, the extracted program, and the
-/// artifacts needed to inspect or re-verify them.
+/// Tableau-method artifacts of a solved run: the proof objects the
+/// tableau pipeline produced on the way to the model, kept for
+/// inspection and re-verification.
 #[derive(Debug)]
-pub struct Synthesized {
-    /// The fault-tolerant model `M_F` (with shared variables installed).
-    pub model: FtKripke,
-    /// The extracted concurrent program `P₁ ‖ … ‖ P_I`.
-    pub program: Program,
+pub struct TableauArtifacts {
     /// The closure the tableau was built over.
     pub closure: Closure,
     /// The pruned tableau `T_F`.
@@ -107,6 +108,20 @@ pub struct Synthesized {
     /// pre-minimization model (where label soundness is checked);
     /// indicative after semantic minimization merges copies.
     pub state_tableau: Vec<NodeId>,
+}
+
+/// A successful synthesis: the model, the extracted program, and the
+/// artifacts needed to inspect or re-verify them.
+#[derive(Debug)]
+pub struct Synthesized {
+    /// The fault-tolerant model `M_F` (with shared variables installed).
+    pub model: FtKripke,
+    /// The extracted concurrent program `P₁ ‖ … ‖ P_I`.
+    pub program: Program,
+    /// Tableau proof artifacts. `Some` for the tableau engine; `None`
+    /// for the CEGIS backend, which searches model space directly and
+    /// never builds a tableau on the solved path.
+    pub artifacts: Option<TableauArtifacts>,
     /// Measurements.
     pub stats: SynthesisStats,
     /// Mechanical verification results (soundness, fault closure).
@@ -283,6 +298,58 @@ pub fn synthesize_planned(
     outcome
 }
 
+/// Which synthesis backend to run: the complete tableau method of the
+/// source paper, or the CEGIS bounded-synthesis engine (guess–verify–
+/// block over candidate models, falling back to the tableau certificate
+/// for impossibility proofs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The tableau pipeline of Section 5.2 (complete; the default).
+    #[default]
+    Tableau,
+    /// The CEGIS bounded-synthesis backend
+    /// ([`cegis_synthesize`](crate::cegis_synthesize)): sound, and
+    /// complete up to its queue bound — bound exhaustion on a
+    /// satisfiable spec aborts rather than claiming impossibility.
+    Cegis,
+}
+
+impl Engine {
+    /// The engine's CLI/service name (`"tableau"` / `"cegis"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Tableau => "tableau",
+            Engine::Cegis => "cegis",
+        }
+    }
+
+    /// Parses a CLI/service engine name. `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "tableau" => Some(Engine::Tableau),
+            "cegis" => Some(Engine::Cegis),
+            _ => None,
+        }
+    }
+}
+
+/// [`synthesize_planned`] with an explicit backend selection: dispatches
+/// to the tableau pipeline or the CEGIS engine. Both return the same
+/// [`SynthesisOutcome`] shape (CEGIS runs leave
+/// [`Synthesized::artifacts`] empty and fill
+/// [`SynthesisStats::cegis_profile`]).
+pub fn synthesize_with_engine(
+    problem: &mut SynthesisProblem,
+    engine: Engine,
+    plan: ThreadPlan,
+    gov: Option<&Governor>,
+) -> SynthesisOutcome {
+    match engine {
+        Engine::Tableau => synthesize_planned(problem, plan, gov),
+        Engine::Cegis => cegis_synthesize(problem, plan, gov),
+    }
+}
+
 /// Cross-request context for one synthesis run inside a service: an
 /// optional *shared* [`ExpansionCache`] reference (the build only reads
 /// it — the deferred [`CacheFill`]s come back in the result for the
@@ -343,7 +410,7 @@ pub fn synthesize_resume(
 /// Packages an abort with final timing bookkeeping (mirrors the
 /// [`Impossibility`] return path: `elapsed`/`residual` reflect the
 /// truncated run).
-fn aborted(
+pub(crate) fn aborted(
     phase: Phase,
     reason: AbortReason,
     checkpoint: Option<Checkpoint>,
@@ -702,9 +769,11 @@ fn synthesize_impl(
         SynthesisOutcome::Solved(Box::new(Synthesized {
             model,
             program,
-            closure,
-            tableau,
-            state_tableau,
+            artifacts: Some(TableauArtifacts {
+                closure,
+                tableau,
+                state_tableau,
+            }),
             stats,
             verification,
         })),

@@ -48,8 +48,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLock
 use std::time::Duration;
 
 use ftsyn::{
-    synthesize_session, Budget, ExpansionCache, Governor, SynthesisOutcome, SynthesisProblem,
-    SynthesisSession, ThreadPlan,
+    synthesize_session, synthesize_with_engine, Budget, Engine, ExpansionCache, Governor,
+    SynthesisOutcome, SynthesisProblem, SynthesisSession, ThreadPlan,
 };
 
 use json::{ObjBuilder, Value};
@@ -82,6 +82,9 @@ pub struct Request {
     pub threads: usize,
     /// Per-request budget; `None` uses the service default.
     pub budget: Option<Budget>,
+    /// Synthesis backend. The CEGIS engine bypasses the shared cache
+    /// and the checkpoint store (its aborts are never resumable).
+    pub engine: Engine,
 }
 
 impl Request {
@@ -92,12 +95,19 @@ impl Request {
             source: ProblemSource::Corpus(name.to_owned()),
             threads,
             budget: None,
+            engine: Engine::default(),
         }
     }
 
     /// Sets a per-request budget.
     pub fn with_budget(mut self, budget: Budget) -> Request {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Selects the synthesis backend.
+    pub fn with_engine(mut self, engine: Engine) -> Request {
+        self.engine = engine;
         self
     }
 }
@@ -350,7 +360,9 @@ impl Service {
             Err(message) => return Reply::Error { message },
         };
         let budget = req.budget.unwrap_or_else(|| self.default_budget.clone());
-        self.run(&req.id, req.source, problem, req.threads, budget, None)
+        self.run(
+            &req.id, req.source, problem, req.threads, budget, req.engine, None,
+        )
     }
 
     /// Blocks until no request named `id` is active. Requests park
@@ -413,9 +425,20 @@ impl Service {
             Err(message) => return Reply::Error { message },
         };
         let budget = budget.unwrap_or_else(|| self.default_budget.clone());
-        self.run(id, stored.source, problem, threads, budget, Some(checkpoint))
+        // Checkpoints only exist on the tableau path, so a resume is
+        // always a tableau run regardless of how the original aborted.
+        self.run(
+            id,
+            stored.source,
+            problem,
+            threads,
+            budget,
+            Engine::Tableau,
+            Some(checkpoint),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &self,
         id: &str,
@@ -423,6 +446,7 @@ impl Service {
         mut problem: SynthesisProblem,
         threads: usize,
         budget: Budget,
+        engine: Engine,
         resume: Option<ftsyn::Checkpoint>,
     ) -> Reply {
         let gov = Arc::new(Governor::with_budget(budget));
@@ -440,7 +464,7 @@ impl Service {
         if self.hard_shutdown.load(Ordering::SeqCst) {
             gov.cancel();
         }
-        let reply = self.execute(id, source, &mut problem, threads, &gov, resume);
+        let reply = self.execute(id, source, &mut problem, threads, &gov, engine, resume);
         {
             let mut active = lock(&self.active);
             active.remove(id);
@@ -452,6 +476,7 @@ impl Service {
     /// The pipeline proper: runs while the request is registered in
     /// `active`; any checkpoint is parked before [`Service::run`]
     /// deregisters, preserving the [`Service::wait_for`] invariant.
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
         id: &str,
@@ -459,8 +484,37 @@ impl Service {
         problem: &mut SynthesisProblem,
         threads: usize,
         gov: &Governor,
+        engine: Engine,
         resume: Option<ftsyn::Checkpoint>,
     ) -> Reply {
+        if engine == Engine::Cegis {
+            // The CEGIS engine has no expansion cache to share and no
+            // checkpoint format: run it directly, with the governor
+            // still wired in for cancel/budget. Its aborts discard the
+            // candidate enumeration state, so they are not resumable.
+            let outcome = synthesize_with_engine(
+                problem,
+                Engine::Cegis,
+                ThreadPlan::uniform(threads),
+                Some(gov),
+            );
+            return match outcome {
+                SynthesisOutcome::Solved(s) => Reply::Solved {
+                    states: s.stats.model_states,
+                    transitions: s.stats.program_transitions,
+                    verified: s.verification.ok(),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    program: s.program.display(&problem.props).to_string(),
+                },
+                SynthesisOutcome::Impossible(_) => Reply::Impossible,
+                SynthesisOutcome::Aborted(a) => Reply::Aborted {
+                    phase: a.phase.name().to_owned(),
+                    reason: a.reason.to_string(),
+                    resumable: false,
+                },
+            };
+        }
         let partition = Arc::clone(write(&self.cache).entry(source.clone()).or_default());
         let result = {
             // Hold the partition's read guard across the whole
@@ -617,6 +671,19 @@ pub fn parse_op(line: &str) -> Result<Op, (String, String)> {
         None => None,
         Some(b) => Some(parse_budget(b).map_err(fail)?),
     };
+    let engine = match v.get("engine") {
+        None => Engine::default(),
+        Some(e) => {
+            let name = e
+                .as_str()
+                .ok_or_else(|| fail("\"engine\" must be a string".to_owned()))?;
+            Engine::parse(name).ok_or_else(|| {
+                fail(format!(
+                    "unknown engine \"{name}\" (expected tableau or cegis)"
+                ))
+            })?
+        }
+    };
     match op {
         "synthesize" => {
             let source = match (
@@ -641,9 +708,16 @@ pub fn parse_op(line: &str) -> Result<Op, (String, String)> {
                 source,
                 threads,
                 budget,
+                engine,
             }))
         }
         "resume" => {
+            if engine == Engine::Cegis {
+                return Err(fail(
+                    "resume is tableau-only (the CEGIS engine has no checkpoint format)"
+                        .to_owned(),
+                ));
+            }
             let from = v
                 .get("from")
                 .and_then(Value::as_str)
@@ -960,12 +1034,60 @@ mod tests {
             ),
             (r#"{"id":"q","op":"cancel"}"#, "needs a \"target\""),
             (r#"{"id":"q","op":"cancel","target":"ghost"}"#, "no active request"),
+            (
+                r#"{"id":"q","op":"synthesize","problem":"x","engine":"magic"}"#,
+                "unknown engine",
+            ),
+            (
+                r#"{"id":"q","op":"synthesize","problem":"x","engine":7}"#,
+                "\"engine\" must be a string",
+            ),
+            (
+                r#"{"id":"q","op":"resume","from":"p","engine":"cegis"}"#,
+                "tableau-only",
+            ),
         ] {
             let v = json::parse(&handle_line(&svc, line)).unwrap();
             assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
             let msg = v.get("message").and_then(Value::as_str).unwrap();
             assert!(msg.contains(needle), "{line} => {msg}");
         }
+    }
+
+    #[test]
+    fn the_engine_field_selects_the_cegis_backend_on_the_wire() {
+        let svc = Service::new();
+        let resp = handle_line(
+            &svc,
+            r#"{"id":"e1","op":"synthesize","problem":"mutex2-failstop-masking",
+                "threads":1,"engine":"cegis"}"#,
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("solved"));
+        assert_eq!(v.get("verified"), Some(&Value::Bool(true)));
+        // The CEGIS path never touches the shared expansion cache.
+        assert_eq!(v.get("cache_hits").and_then(Value::as_u64), Some(0));
+        assert_eq!(v.get("cache_misses").and_then(Value::as_u64), Some(0));
+        assert_eq!(svc.cache_entries().0, 0, "no fills were folded back");
+
+        // A CEGIS budget abort is not resumable: no checkpoint format.
+        let resp = handle_line(
+            &svc,
+            r#"{"id":"e2","op":"synthesize","problem":"mutex4-failstop-masking",
+                "threads":1,"engine":"cegis","budget":{"deadline_ms":1}}"#,
+        );
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("aborted"));
+        assert_eq!(v.get("resumable"), Some(&Value::Bool(false)));
+        assert!(svc.export_checkpoint("e2").is_none(), "nothing was parked");
+    }
+
+    #[test]
+    fn request_builders_default_to_the_tableau_engine() {
+        let req = Request::corpus("r", "mutex2-failstop-masking", 1);
+        assert_eq!(req.engine, Engine::Tableau);
+        let req = req.with_engine(Engine::Cegis);
+        assert_eq!(req.engine, Engine::Cegis);
     }
 
     #[test]

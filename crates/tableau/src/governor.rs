@@ -46,6 +46,12 @@ pub struct Budget {
     /// the run — it degrades the verification verdict instead — so
     /// there is no matching [`AbortReason`].
     pub max_extract_refine_rounds: Option<usize>,
+    /// Maximum candidate models the CEGIS bounded-synthesis engine may
+    /// examine. The candidate counter is a deterministic work counter
+    /// (the engine's search is sequential and its branching order
+    /// fixed), so a cap abort happens at the identical candidate with
+    /// the identical counters at every thread count.
+    pub max_cegis_candidates: Option<usize>,
 }
 
 impl Budget {
@@ -61,6 +67,7 @@ impl Budget {
             && self.max_deletion_work.is_none()
             && self.max_minimize_attempts.is_none()
             && self.max_extract_refine_rounds.is_none()
+            && self.max_cegis_candidates.is_none()
     }
 }
 
@@ -95,6 +102,26 @@ pub enum AbortReason {
         /// Candidate merges verified at the abort point.
         reached: usize,
     },
+    /// The CEGIS engine reached its candidate cap.
+    CegisCandidateCapExceeded {
+        /// The configured cap.
+        cap: usize,
+        /// Candidate models examined at the (deterministic) abort point.
+        reached: usize,
+    },
+    /// The CEGIS engine exhausted its bounded search space without
+    /// finding a program, while the tableau certificate shows the
+    /// specification *is* satisfiable — the bound was too small, so the
+    /// run stops structurally instead of claiming impossibility.
+    CegisBoundExhausted {
+        /// The obligation-queue bound the search widened up to (the
+        /// model may hold up to this many simultaneously tracked
+        /// eventuality obligations per state, which caps the number of
+        /// copies per admissible valuation).
+        bound: usize,
+        /// Candidate models examined across all bounds.
+        candidates: usize,
+    },
     /// An external caller flipped the cancel flag.
     Cancelled,
     /// A worker thread panicked; the scheduler contained the panic and
@@ -123,6 +150,19 @@ impl fmt::Display for AbortReason {
                     "minimize attempt cap of {cap} exceeded ({reached} attempts)"
                 )
             }
+            AbortReason::CegisCandidateCapExceeded { cap, reached } => {
+                write!(
+                    f,
+                    "cegis candidate cap of {cap} exceeded ({reached} candidates)"
+                )
+            }
+            AbortReason::CegisBoundExhausted { bound, candidates } => {
+                write!(
+                    f,
+                    "cegis bound exhausted at queue bound {bound} \
+                     ({candidates} candidates, spec still satisfiable)"
+                )
+            }
             AbortReason::Cancelled => write!(f, "cancelled by the caller"),
             AbortReason::WorkerPanic { message } => {
                 write!(f, "worker panic: {message}")
@@ -145,6 +185,9 @@ pub enum Phase {
     /// Program extraction + in-pipeline extraction verification
     /// (step 5).
     Extract,
+    /// The CEGIS bounded-synthesis engine's guess–verify–block loop
+    /// (the alternative backend; not part of the tableau pipeline).
+    Cegis,
 }
 
 impl Phase {
@@ -157,6 +200,7 @@ impl Phase {
             Phase::Unravel => "unravel",
             Phase::Minimize => "minimize",
             Phase::Extract => "extract",
+            Phase::Cegis => "cegis",
         }
     }
 
@@ -168,6 +212,7 @@ impl Phase {
             Phase::Unravel => 2,
             Phase::Minimize => 3,
             Phase::Extract => 4,
+            Phase::Cegis => 5,
         }
     }
 
@@ -178,6 +223,7 @@ impl Phase {
             1 => Phase::Deletion,
             2 => Phase::Unravel,
             3 => Phase::Minimize,
+            5 => Phase::Cegis,
             _ => Phase::Extract,
         }
     }
@@ -323,6 +369,18 @@ impl Governor {
         }
     }
 
+    /// Polls the CEGIS candidate cap against candidates examined so far.
+    #[inline]
+    pub fn check_cegis_candidates(&self, candidates: usize) -> Result<(), AbortReason> {
+        match self.budget.max_cegis_candidates {
+            Some(cap) if candidates >= cap => Err(AbortReason::CegisCandidateCapExceeded {
+                cap,
+                reached: candidates,
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// Test hook: arranges for the expansion worker that executes the
     /// batch with sequence id `seq` to panic. Batch numbering is
     /// deterministic across thread counts, so panic-containment tests
@@ -362,6 +420,7 @@ mod tests {
         assert!(g.check_states(usize::MAX).is_ok());
         assert!(g.check_deletion_work(usize::MAX).is_ok());
         assert!(g.check_minimize_attempts(usize::MAX).is_ok());
+        assert!(g.check_cegis_candidates(usize::MAX).is_ok());
     }
 
     #[test]
@@ -399,6 +458,23 @@ mod tests {
     }
 
     #[test]
+    fn cegis_candidate_cap_trips_on_reaching_the_cap() {
+        let g = Governor::with_budget(Budget {
+            max_cegis_candidates: Some(40),
+            ..Budget::default()
+        });
+        assert!(!g.budget().is_unlimited());
+        assert!(g.check_cegis_candidates(39).is_ok());
+        assert_eq!(
+            g.check_cegis_candidates(40),
+            Err(AbortReason::CegisCandidateCapExceeded {
+                cap: 40,
+                reached: 40
+            })
+        );
+    }
+
+    #[test]
     fn cancel_flag_trips_realtime_poll() {
         let g = Governor::unlimited();
         assert!(g.check_realtime().is_ok());
@@ -427,6 +503,8 @@ mod tests {
         assert_eq!(g.current_phase(), Phase::Minimize);
         g.enter_phase(Phase::Extract);
         assert_eq!(g.current_phase(), Phase::Extract);
+        g.enter_phase(Phase::Cegis);
+        assert_eq!(g.current_phase(), Phase::Cegis);
     }
 
     #[test]
@@ -449,5 +527,18 @@ mod tests {
         assert_eq!(r.to_string(), "state cap of 5 exceeded (7 tableau nodes)");
         assert_eq!(AbortReason::Cancelled.to_string(), "cancelled by the caller");
         assert_eq!(Phase::Minimize.to_string(), "minimize");
+        assert_eq!(
+            AbortReason::CegisCandidateCapExceeded { cap: 8, reached: 8 }.to_string(),
+            "cegis candidate cap of 8 exceeded (8 candidates)"
+        );
+        assert_eq!(
+            AbortReason::CegisBoundExhausted {
+                bound: 2,
+                candidates: 512
+            }
+            .to_string(),
+            "cegis bound exhausted at queue bound 2 (512 candidates, spec still satisfiable)"
+        );
+        assert_eq!(Phase::Cegis.to_string(), "cegis");
     }
 }

@@ -3,7 +3,15 @@
 
 use ftsyn::ctl::{FormulaArena, Owner, PropTable, Spec};
 use ftsyn::guarded::{BoolExpr, FaultAction, PropAssign};
-use ftsyn::{problems::barrier, problems::mutex, synthesize, SynthesisProblem, Tolerance};
+use ftsyn::{
+    problems::barrier, problems::mutex, synthesize, synthesize_with_engine, Engine,
+    SynthesisProblem, ThreadPlan, Tolerance,
+};
+
+/// Runs `problem` through the CEGIS backend (ungoverned, 1 thread).
+fn cegis(problem: &mut SynthesisProblem) -> ftsyn::SynthesisOutcome {
+    synthesize_with_engine(problem, Engine::Cegis, ThreadPlan::uniform(1), None)
+}
 
 #[test]
 fn barrier_with_fail_stop_and_nonmasking_is_impossible() {
@@ -27,6 +35,75 @@ fn barrier_with_fail_stop_and_nonmasking_is_impossible() {
     }
 }
 
+/// Impossibility agreement: the CEGIS backend must return `Impossible`
+/// on exactly the cases the tableau proves impossible — its negative
+/// path is itself a certificate (an empty admissible universe, or a
+/// deleted tableau root), never a bound artifact.
+#[test]
+fn both_engines_agree_the_barrier_case_is_impossible() {
+    let mut problem = barrier::with_fail_stop_impossible(2);
+    let outcome = cegis(&mut problem);
+    assert!(
+        matches!(outcome, ftsyn::SynthesisOutcome::Impossible(_)),
+        "CEGIS must agree with the tableau impossibility"
+    );
+}
+
+#[test]
+fn both_engines_agree_on_the_unguarded_repair_impossibility() {
+    let mut problem = unguarded_repair_problem();
+    assert!(!cegis(&mut problem).is_solved());
+}
+
+#[test]
+fn both_engines_agree_on_the_tolerance_strength_ordering() {
+    // The masking/nonmasking/fail-safe ladder of
+    // `tolerance_strength_ordering_on_one_problem`, judged by the CEGIS
+    // backend: same split between solvable and impossible.
+    for (tol, solvable) in [
+        (Tolerance::Masking, false),
+        (Tolerance::Nonmasking, false),
+        (Tolerance::FailSafe, true),
+    ] {
+        let mut problem = broken_task_problem(tol);
+        let outcome = cegis(&mut problem);
+        let what = match &outcome {
+            ftsyn::SynthesisOutcome::Solved(_) => "Solved".to_owned(),
+            ftsyn::SynthesisOutcome::Impossible(_) => "Impossible".to_owned(),
+            ftsyn::SynthesisOutcome::Aborted(a) => format!("Aborted({})", a.reason),
+        };
+        assert_eq!(
+            outcome.is_solved(),
+            solvable,
+            "CEGIS disagrees with the tableau on {tol:?}: {what}"
+        );
+        if let ftsyn::SynthesisOutcome::Solved(s) = outcome {
+            assert!(s.verification.ok(), "{:?}", s.verification.failures);
+        }
+    }
+}
+
+/// The bound-wins regression: four dining philosophers have a small
+/// deterministic solution, but the tableau for the conjoined conflict
+/// spec is large (the state explosion the second backend exists for).
+/// The CEGIS engine must find a verified program from a few dozen
+/// candidates without ever building that tableau; the wall-clock
+/// head-to-head is pinned in bench JSON (`backend_comparison`).
+#[test]
+fn cegis_bound_wins_on_philosophers4() {
+    let mut problem = mutex::dining_philosophers(4);
+    let s = cegis(&mut problem).unwrap_solved();
+    assert!(s.verification.ok(), "{:?}", s.verification.failures);
+    assert!(s.artifacts.is_none(), "no tableau on the CEGIS solved path");
+    let p = &s.stats.cegis_profile;
+    assert_eq!(p.certificate_nodes, 0, "solved without a certificate build");
+    assert!(
+        p.candidates <= 256,
+        "philosophers4 must stay a small search ({} candidates)",
+        p.candidates
+    );
+}
+
 #[test]
 fn the_solvable_counterpart_is_indeed_solvable() {
     // Sanity for the test above: the same barrier problem under general
@@ -42,8 +119,15 @@ fn unguarded_repair_into_critical_section_is_impossible() {
     // state where C2 holds, producing the perturbed valuation [C1 C2] —
     // propositionally inconsistent with the masking label AG ¬(C1∧C2) —
     // and the deletion rules cascade to the root.
+    let mut problem = unguarded_repair_problem();
+    let outcome = synthesize(&mut problem);
+    assert!(!outcome.is_solved(), "unguarded repair must be impossible");
+}
+
+/// mutex2-failstop with the guarded repair-to-C actions replaced by
+/// unguarded ones (the footnote-11 counterexample).
+fn unguarded_repair_problem() -> SynthesisProblem {
     let mut problem = mutex::with_fail_stop(2, Tolerance::Masking);
-    // Replace the guarded repair-to-C actions with unguarded ones.
     let mut faults = problem.faults.clone();
     for f in &mut faults {
         if f.name().starts_with("repair") && f.name().ends_with("to-C") {
@@ -60,8 +144,7 @@ fn unguarded_repair_into_critical_section_is_impossible() {
         "repair actions present"
     );
     problem.faults = faults;
-    let outcome = synthesize(&mut problem);
-    assert!(!outcome.is_solved(), "unguarded repair must be impossible");
+    problem
 }
 
 #[test]
@@ -178,3 +261,4 @@ fn broken_task_problem(tol: Tolerance) -> SynthesisProblem {
     .unwrap();
     SynthesisProblem::new(arena, props, spec, vec![fault], tol)
 }
+
