@@ -730,12 +730,38 @@ fn service_throughput(corpus_name: &str, requests: usize, threads: usize) -> Str
     }
     let warm = tick.elapsed();
 
+    let (cache_entries, cache_bytes, _, _) = svc.cache_stats();
+    let (admitted, shed, _, _) = svc.admission_counters();
+
+    // The same warm workload under a tight partition cap, so the
+    // eviction path (satellite of the admission governor work) is
+    // itself measured: entries are admitted, evicted in admission
+    // order, and recomputed — replies must still solve identically.
+    let capped_svc = Service::new().with_cache_limits(ftsyn::CacheLimits {
+        max_entries: Some(32),
+        max_bytes: None,
+    });
+    let prime = capped_svc.submit(Request::corpus("prime", corpus_name, threads));
+    assert!(matches!(prime, Reply::Solved { .. }));
+    let tick = Instant::now();
+    for i in 0..requests {
+        let reply = capped_svc.submit(Request::corpus(&format!("capped-{i}"), corpus_name, threads));
+        assert!(
+            matches!(reply, Reply::Solved { verified: true, .. }),
+            "{corpus_name}: capped request failed: {reply:?}"
+        );
+    }
+    let capped = tick.elapsed();
+    let (_, _, evicted_entries, evicted_bytes) = capped_svc.cache_stats();
+
     let cold_rps = requests as f64 / cold.as_secs_f64();
     let warm_rps = requests as f64 / warm.as_secs_f64();
+    let capped_rps = requests as f64 / capped.as_secs_f64();
     let speedup = warm_rps / cold_rps;
     eprintln!(
         "  {corpus_name}: cold {cold_rps:.2} req/s, warm {warm_rps:.2} req/s \
-         ({speedup:.2}x, {requests} requests, {threads} threads)"
+         ({speedup:.2}x), capped {capped_rps:.2} req/s \
+         ({evicted_entries} evictions, {requests} requests, {threads} threads)"
     );
     Obj::default()
         .str("name", corpus_name)
@@ -743,9 +769,17 @@ fn service_throughput(corpus_name: &str, requests: usize, threads: usize) -> Str
         .num("threads", threads)
         .ns("cold_ns", cold)
         .ns("warm_ns", warm)
+        .ns("capped_ns", capped)
         .float("cold_requests_per_sec", cold_rps)
         .float("warm_requests_per_sec", warm_rps)
+        .float("capped_requests_per_sec", capped_rps)
         .float("warm_speedup", speedup)
+        .num("cache_entries", cache_entries)
+        .num("cache_bytes", cache_bytes)
+        .num("capped_evicted_entries", evicted_entries)
+        .num("capped_evicted_bytes", evicted_bytes)
+        .num("admitted", admitted)
+        .num("shed", shed)
         .build()
 }
 
@@ -1074,7 +1108,7 @@ fn main() {
             "generated_by",
             "cargo run --release -p ftsyn-bench --bin bench_json",
         )
-        .str("schema_version", "9")
+        .str("schema_version", "10")
         .raw("problems", &arr(problems))
         .raw("budgeted", &arr(budgeted))
         .raw("service_throughput", &arr(service_rows))

@@ -50,7 +50,8 @@ USAGE: ftsyn <problem.ftsyn> [--engine tableau|cegis] [--dot <out.dot>]
              [--quiet] [--no-program]
              [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
              [--minimize-threads <n>] [--checkpoint <out.ckpt>] [--resume <in.ckpt>]
-       ftsyn serve
+       ftsyn serve [--checkpoint-dir <dir>] [--slots <n>] [--queue <n>]
+             [--cache-max-entries <n>] [--cache-max-bytes <n>]
 
   --engine <name>   synthesis backend: `tableau` (default; the paper's
                     deletion pipeline) or `cegis` (bounded guess-verify
@@ -84,9 +85,28 @@ USAGE: ftsyn <problem.ftsyn> [--engine tableau|cegis] [--dot <out.dot>]
                     one
 
 The serve form runs the synthesis daemon: one JSON request per stdin
-line ({\"id\", \"op\": synthesize|resume|cancel|shutdown, ...}), one
-JSON response per stdout line, with an expansion cache shared across
-requests and budget aborts parked as resumable checkpoints.
+line ({\"id\", \"op\": synthesize|resume|cancel|list-checkpoints|
+shutdown, ...}), one JSON response per stdout line, with an expansion
+cache shared across requests and budget aborts parked as resumable
+checkpoints. Budgets and thread counts are per-request protocol
+fields; the daemon itself takes:
+
+  --checkpoint-dir <dir>
+                    persist checkpoints in <dir> (created if missing)
+                    so they survive a daemon crash: on startup the
+                    directory is recovered, validated checkpoints are
+                    re-offered (see the list-checkpoints op) and
+                    damaged files are quarantined under <dir>/quarantine
+                    with the recovery report on stderr. An unusable
+                    directory is a startup error (exit 2)
+  --slots <n>       admit at most n concurrently running requests
+                    (default: unlimited)
+  --queue <n>       let up to n requests wait for a slot; beyond that
+                    requests are shed with a structured `overloaded`
+                    response and a retry_after_ms hint (default: 0)
+  --cache-max-entries <n>, --cache-max-bytes <n>
+                    cap each expansion-cache partition; oldest-admitted
+                    entries are evicted first (default: unlimited)
 
 Budget aborts are structured: the run stops at the next poll point and
 reports the phase, the limit that tripped, and the partial statistics.
@@ -128,6 +148,24 @@ pub struct CliArgs {
     pub engine: Engine,
 }
 
+/// Parsed options of the `ftsyn serve` daemon form.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// `--checkpoint-dir <dir>`: durable checkpoint store directory.
+    pub checkpoint_dir: Option<String>,
+    /// `--slots <n>`: concurrently running requests (`None` =
+    /// unlimited).
+    pub slots: Option<usize>,
+    /// `--queue <n>`: requests allowed to wait for a slot before load
+    /// shedding begins (default 0).
+    pub queue: usize,
+    /// `--cache-max-entries <n>`: per-partition expansion-cache entry
+    /// cap.
+    pub cache_max_entries: Option<usize>,
+    /// `--cache-max-bytes <n>`: per-partition expansion-cache byte cap.
+    pub cache_max_bytes: Option<usize>,
+}
+
 /// What the command line asks for: a synthesis run, the service loop,
 /// or just the usage banner (`--help`/`-h`).
 #[derive(Debug, PartialEq, Eq)]
@@ -135,7 +173,7 @@ pub enum CliCommand {
     /// Run synthesis with the parsed options.
     Run(Box<CliArgs>),
     /// Run the line-delimited JSON daemon on stdin/stdout.
-    Serve,
+    Serve(Box<ServeArgs>),
     /// Print [`USAGE`] and exit 0.
     Help,
 }
@@ -150,15 +188,7 @@ pub enum CliCommand {
 /// a file named `--quiet`.
 pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     if args.first().map(String::as_str) == Some("serve") {
-        return if args.len() == 1 {
-            Ok(CliCommand::Serve)
-        } else {
-            Err(format!(
-                "serve takes no arguments, found `{}` (budgets and thread \
-                 counts are per-request protocol fields)",
-                args[1]
-            ))
-        };
+        return parse_serve_args(&args[1..]);
     }
     let mut file = None;
     let mut dot_out = None;
@@ -169,18 +199,6 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut checkpoint_out = None;
     let mut resume = None;
     let mut engine = Engine::default();
-    // Fetches the value of a value-taking flag, rejecting a following
-    // flag so `--max-states --quiet` errors instead of parsing garbage.
-    let value_of = |flag: &str, i: &mut usize, args: &[String]| -> Result<String, String> {
-        *i += 1;
-        match args.get(*i) {
-            None => Err(format!("{flag} requires a value")),
-            Some(v) if v.starts_with("--") => {
-                Err(format!("{flag} requires a value, found flag `{v}`"))
-            }
-            Some(v) => Ok(v.clone()),
-        }
-    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -273,6 +291,61 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
         resume,
         engine,
     })))
+}
+
+/// Fetches the value of a value-taking flag, rejecting a following
+/// flag so `--max-states --quiet` errors instead of parsing garbage.
+fn value_of(flag: &str, i: &mut usize, args: &[String]) -> Result<String, String> {
+    *i += 1;
+    match args.get(*i) {
+        None => Err(format!("{flag} requires a value")),
+        Some(v) if v.starts_with("--") => Err(format!("{flag} requires a value, found flag `{v}`")),
+        Some(v) => Ok(v.clone()),
+    }
+}
+
+/// Parses the arguments after `serve`.
+fn parse_serve_args(args: &[String]) -> Result<CliCommand, String> {
+    let mut serve = ServeArgs::default();
+    let count_of = |flag: &str, i: &mut usize| -> Result<usize, String> {
+        let v = value_of(flag, i, args)?;
+        v.parse()
+            .map_err(|_| format!("{flag} expects a count, got `{v}`"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--checkpoint-dir" => {
+                serve.checkpoint_dir = Some(value_of("--checkpoint-dir", &mut i, args)?);
+            }
+            "--slots" => {
+                let n = count_of("--slots", &mut i)?;
+                if n == 0 {
+                    return Err("--slots expects at least 1 worker slot".into());
+                }
+                serve.slots = Some(n);
+            }
+            "--queue" => serve.queue = count_of("--queue", &mut i)?,
+            "--cache-max-entries" => {
+                serve.cache_max_entries = Some(count_of("--cache-max-entries", &mut i)?);
+            }
+            "--cache-max-bytes" => {
+                serve.cache_max_bytes = Some(count_of("--cache-max-bytes", &mut i)?);
+            }
+            "--help" | "-h" => return Ok(CliCommand::Help),
+            other => {
+                return Err(format!(
+                    "unknown serve argument `{other}` (budgets and thread \
+                     counts are per-request protocol fields)"
+                ));
+            }
+        }
+        i += 1;
+    }
+    if serve.queue > 0 && serve.slots.is_none() {
+        return Err("--queue only makes sense with --slots (unlimited slots never queue)".into());
+    }
+    Ok(CliCommand::Serve(Box::new(serve)))
 }
 
 /// Error while reading a problem description.
@@ -627,14 +700,62 @@ tolerance nonmasking
 
     #[test]
     fn serve_subcommand_parses_and_rejects_arguments() {
-        assert_eq!(parse_args(&argv(&["serve"])).unwrap(), CliCommand::Serve);
+        assert_eq!(
+            parse_args(&argv(&["serve"])).unwrap(),
+            CliCommand::Serve(Box::default())
+        );
         let e = parse_args(&argv(&["serve", "--quiet"])).unwrap_err();
-        assert!(e.contains("serve takes no arguments"), "{e}");
+        assert!(e.contains("unknown serve argument"), "{e}");
         // A file literally named `serve` is unreachable positionally —
         // spell it with a path prefix like the --dot escape hatch.
         let cmd = parse_args(&argv(&["./serve"])).unwrap();
         let CliCommand::Run(a) = cmd else { panic!() };
         assert_eq!(a.file, "./serve");
+    }
+
+    #[test]
+    fn serve_flags_parse_and_validate() {
+        let cmd = parse_args(&argv(&[
+            "serve",
+            "--checkpoint-dir",
+            "/tmp/ckpts",
+            "--slots",
+            "2",
+            "--queue",
+            "4",
+            "--cache-max-entries",
+            "1000",
+            "--cache-max-bytes",
+            "1048576",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            CliCommand::Serve(Box::new(ServeArgs {
+                checkpoint_dir: Some("/tmp/ckpts".into()),
+                slots: Some(2),
+                queue: 4,
+                cache_max_entries: Some(1000),
+                cache_max_bytes: Some(1048576),
+            }))
+        );
+        for bad in [
+            vec!["serve", "--checkpoint-dir"],
+            vec!["serve", "--slots", "0"],
+            vec!["serve", "--slots", "many"],
+            vec!["serve", "--queue", "4"], // queue without slots
+            vec!["serve", "--cache-max-entries", "--slots"],
+            vec!["serve", "p.ftsyn"],
+        ] {
+            assert!(
+                parse_args(&argv(&bad)).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+        assert_eq!(
+            parse_args(&argv(&["serve", "--help"])).unwrap(),
+            CliCommand::Help
+        );
     }
 
     #[test]

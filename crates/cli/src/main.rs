@@ -6,20 +6,59 @@
 //!              [--quiet] [--no-program]
 //!              [--timeout <secs>] [--max-states <n>] [--max-minimize-attempts <n>]
 //!              [--minimize-threads <n>] [--checkpoint <out.ckpt>] [--resume <in.ckpt>]
-//!        ftsyn serve
+//!        ftsyn serve [--checkpoint-dir <dir>] [--slots <n>] [--queue <n>]
+//!              [--cache-max-entries <n>] [--cache-max-bytes <n>]
 //! ```
 
 use ftsyn::kripke::StateRole;
-use ftsyn::{Checkpoint, Engine, Governor, SynthesisOutcome, ThreadPlan};
-use ftsyn_cli::{parse_args, CliArgs, CliCommand, USAGE};
+use ftsyn::{CacheLimits, Checkpoint, Engine, Governor, SynthesisOutcome, ThreadPlan};
+use ftsyn_cli::{parse_args, CliArgs, CliCommand, ServeArgs, USAGE};
+use ftsyn_service::admission::AdmissionConfig;
 use std::process::ExitCode;
 
 /// Runs the stdin/stdout JSON daemon, with the CLI's problem-file
 /// parser injected for inline `"spec"` requests.
-fn run_serve() -> ExitCode {
-    let service = ftsyn_service::Service::new().with_spec_parser(Box::new(|text: &str| {
+fn run_serve(args: ServeArgs) -> ExitCode {
+    let mut service = ftsyn_service::Service::new().with_spec_parser(Box::new(|text: &str| {
         ftsyn_cli::parse_problem(text).map_err(|e| e.to_string())
     }));
+    if let Some(slots) = args.slots {
+        service = service.with_admission(AdmissionConfig::bounded(slots, args.queue));
+    }
+    if args.cache_max_entries.is_some() || args.cache_max_bytes.is_some() {
+        service = service.with_cache_limits(CacheLimits {
+            max_entries: args.cache_max_entries,
+            max_bytes: args.cache_max_bytes,
+        });
+    }
+    if let Some(dir) = &args.checkpoint_dir {
+        service = match service.with_checkpoint_dir(std::path::Path::new(dir)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // The recovery report goes to stderr: stdout carries only
+        // protocol lines.
+        if let Some(recovery) = service.recovery() {
+            for rec in &recovery.recovered {
+                eprintln!(
+                    "recovered checkpoint \"{}\" ({} nodes); resume with \
+                     {{\"op\":\"resume\",\"from\":\"{}\"}}",
+                    rec.id,
+                    rec.nodes,
+                    rec.id
+                );
+            }
+            for (name, reason) in &recovery.quarantined {
+                eprintln!("quarantined {name}: {reason}");
+            }
+            for note in &recovery.notes {
+                eprintln!("recovery: {note}");
+            }
+        }
+    }
     let stdin = std::io::stdin();
     match ftsyn_service::serve(&service, stdin.lock(), std::io::stdout()) {
         Ok(()) => ExitCode::SUCCESS,
@@ -44,7 +83,7 @@ fn main() -> ExitCode {
         engine,
     } = match parse_args(&args) {
         Ok(CliCommand::Run(a)) => *a,
-        Ok(CliCommand::Serve) => return run_serve(),
+        Ok(CliCommand::Serve(a)) => return run_serve(*a),
         Ok(CliCommand::Help) => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -220,8 +220,15 @@ fn mismatched_checkpoints_are_refused_structurally() {
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
 
-    // Corrupted payload: flipping a node id out of range is caught.
+    // Payload truncation: the checksum over the payload no longer
+    // matches the one stored in the header.
     match Checkpoint::decode(&blob[..blob.len() - 1]) {
+        Err(CheckpointError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+
+    // Header truncation: too short to even carry the checksum.
+    match Checkpoint::decode(&blob[..12]) {
         Err(CheckpointError::Truncated) => {}
         other => panic!("expected Truncated, got {other:?}"),
     }

@@ -84,8 +84,8 @@ pub use synthesize::{
     ThreadPlan,
 };
 pub use ftsyn_tableau::{
-    AbortReason, Budget, CacheFill, CertMode, Checkpoint, CheckpointError, ExpansionCache,
-    Governor, Phase, CHECKPOINT_FORMAT_VERSION,
+    blob_checksum, AbortReason, Budget, CacheFill, CacheLimits, CertMode, Checkpoint,
+    CheckpointError, ExpansionCache, Governor, Phase, CHECKPOINT_FORMAT_VERSION,
 };
 pub use unravel::{unravel, unravel_governed, unravel_mode, Unraveled};
 pub use verify::{

@@ -363,6 +363,12 @@ pub struct SynthesisSession<'a> {
     /// Checkpoint to resume from (validated against the problem before
     /// any work happens).
     pub resume: Option<Checkpoint>,
+    /// Invoked with the checkpoint of a build-phase abort *inside* the
+    /// pipeline, before the abort outcome propagates to the caller. A
+    /// durable caller (the service's on-disk store) persists here, so a
+    /// fail-stop between the abort and the caller's own handling still
+    /// leaves the checkpoint recoverable.
+    pub on_checkpoint: Option<&'a (dyn Fn(&Checkpoint) + Sync)>,
 }
 
 /// The fully general pipeline entry: [`synthesize_planned`] plus a
@@ -401,8 +407,8 @@ pub fn synthesize_resume(
     checkpoint: Checkpoint,
 ) -> Result<SynthesisOutcome, CheckpointError> {
     let session = SynthesisSession {
-        cache: None,
         resume: Some(checkpoint),
+        ..SynthesisSession::default()
     };
     synthesize_impl(problem, plan, gov, session).map(|(outcome, _)| outcome)
 }
@@ -466,7 +472,11 @@ fn synthesize_impl(
             .index_of(spec_formula)
             .expect("spec is a closure root"),
     );
-    let SynthesisSession { cache, resume } = session;
+    let SynthesisSession {
+        cache,
+        resume,
+        on_checkpoint,
+    } = session;
     if let Some(ck) = &resume {
         // No silent resume of a stale blob: the checkpoint must carry
         // the fingerprint of exactly this problem's build inputs.
@@ -507,14 +517,12 @@ fn synthesize_impl(
             stats.build_time = t_build.elapsed();
             stats.build_profile = a.profile;
             stats.tableau_nodes = a.nodes;
+            let checkpoint = a.checkpoint.map(|ck| *ck);
+            if let (Some(sink), Some(ck)) = (on_checkpoint, &checkpoint) {
+                sink(ck);
+            }
             return Ok((
-                aborted(
-                    Phase::Build,
-                    a.reason,
-                    a.checkpoint.map(|ck| *ck),
-                    stats,
-                    start,
-                ),
+                aborted(Phase::Build, a.reason, checkpoint, stats, start),
                 a.fills,
             ));
         }

@@ -1,0 +1,322 @@
+//! Global admission control: one service-level arbiter deciding which
+//! requests may *work* at any moment, instead of first-come threads.
+//!
+//! The [`AdmissionGovernor`] holds a fixed number of worker **slots**
+//! and a bounded **wait queue**. A request acquires a slot before its
+//! pipeline runs; when every slot is busy it waits in the queue, and
+//! when the queue is full it is **shed** immediately with a
+//! structured `overloaded` reply carrying a retry-after hint — the
+//! service's load never exceeds `slots` concurrent pipelines plus
+//! `queue` parked waiters, no matter how many requests arrive.
+//!
+//! Deadline inheritance: a request's [`Governor`] starts its clock
+//! *before* admission, so time spent queued counts against the
+//! request's own deadline — a queued request whose deadline passes is
+//! aborted in the `admission` phase without ever running, and an
+//! external `cancel` or a shutdown cascade is honored while queued for
+//! the same reason.
+
+use ftsyn::Governor;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Admission limits. The default is fully permissive (every request
+/// gets a slot immediately), preserving the pre-governor behavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Concurrent pipelines allowed to run.
+    pub slots: usize,
+    /// Requests allowed to wait for a slot before shedding begins.
+    pub queue: usize,
+    /// Base of the retry-after hint on shed replies, in milliseconds.
+    /// The hint scales with the queue length at shed time.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            slots: usize::MAX,
+            queue: 0,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Caps concurrent pipelines at `slots` with a wait queue of
+    /// `queue`.
+    pub fn bounded(slots: usize, queue: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            slots: slots.max(1),
+            queue,
+            ..AdmissionConfig::default()
+        }
+    }
+}
+
+/// How an admission attempt ended.
+#[derive(Debug)]
+pub enum Admission {
+    /// A slot was reserved; drop the permit to release it.
+    Admitted(Permit),
+    /// Slots and queue are full: shed with this retry-after hint.
+    Shed {
+        /// Suggested client back-off, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline passed or it was cancelled while queued.
+    /// The reason string is the governor's own abort phrasing.
+    Expired {
+        /// Why the wait ended (`deadline`/`cancelled` phrasing from
+        /// the request governor).
+        reason: String,
+    },
+}
+
+#[derive(Debug, Default)]
+struct State {
+    running: usize,
+    queued: usize,
+    /// Lifetime counters for stats/bench.
+    admitted: usize,
+    shed: usize,
+    expired: usize,
+    peak_queued: usize,
+}
+
+/// Shared slot accounting, co-owned by the governor and every live
+/// permit (so a permit can release its slot wherever it is dropped).
+#[derive(Debug, Default)]
+struct Inner {
+    state: Mutex<State>,
+    freed: Condvar,
+}
+
+/// The service-wide admission arbiter. See the module docs.
+#[derive(Debug)]
+pub struct AdmissionGovernor {
+    config: AdmissionConfig,
+    inner: Arc<Inner>,
+}
+
+/// A held worker slot; dropping it releases the slot and wakes one
+/// queued waiter.
+#[derive(Debug)]
+pub struct Permit {
+    inner: Arc<Inner>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.running -= 1;
+        drop(state);
+        self.inner.freed.notify_one();
+    }
+}
+
+impl AdmissionGovernor {
+    /// A governor enforcing `config`.
+    pub fn new(config: AdmissionConfig) -> AdmissionGovernor {
+        AdmissionGovernor {
+            config,
+            inner: Arc::default(),
+        }
+    }
+
+    /// The enforced limits.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Tries to admit a request, blocking in the bounded queue when
+    /// every slot is busy. `gov` is the *request's* governor: its
+    /// deadline and cancel flag are polled while queued, so queue time
+    /// counts against the request's own budget.
+    pub fn admit(&self, gov: &Governor) -> Admission {
+        let permit = || Permit {
+            inner: Arc::clone(&self.inner),
+        };
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.running < self.config.slots {
+            state.running += 1;
+            state.admitted += 1;
+            return Admission::Admitted(permit());
+        }
+        if state.queued >= self.config.queue {
+            state.shed += 1;
+            let hint = self.config.retry_after_ms.max(1) * (state.queued as u64 + 1);
+            return Admission::Shed {
+                retry_after_ms: hint,
+            };
+        }
+        state.queued += 1;
+        state.peak_queued = state.peak_queued.max(state.queued);
+        loop {
+            if let Err(reason) = gov.check_realtime() {
+                state.queued -= 1;
+                state.expired += 1;
+                return Admission::Expired {
+                    reason: reason.to_string(),
+                };
+            }
+            if state.running < self.config.slots {
+                state.queued -= 1;
+                state.running += 1;
+                state.admitted += 1;
+                return Admission::Admitted(permit());
+            }
+            // Short waits so deadline/cancel are honored promptly even
+            // when no slot frees up.
+            (state, _) = self
+                .inner
+                .freed
+                .wait_timeout(state, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Lifetime counters `(admitted, shed, expired, peak_queued)`.
+    pub fn counters(&self) -> (usize, usize, usize, usize) {
+        let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        (state.admitted, state.shed, state.expired, state.peak_queued)
+    }
+
+    /// Requests currently `(running, queued)`.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        (state.running, state.queued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsyn::Budget;
+    use std::time::Instant;
+
+    fn governor() -> Governor {
+        Governor::with_budget(Budget::unlimited())
+    }
+
+    #[test]
+    fn default_config_admits_everything_immediately() {
+        let adm = AdmissionGovernor::new(AdmissionConfig::default());
+        let gov = governor();
+        let mut permits = Vec::new();
+        for _ in 0..64 {
+            match adm.admit(&gov) {
+                Admission::Admitted(p) => permits.push(p),
+                other => panic!("expected Admitted, got {other:?}"),
+            }
+        }
+        assert_eq!(adm.load(), (64, 0));
+        drop(permits);
+        assert_eq!(adm.load(), (0, 0));
+        assert_eq!(adm.counters(), (64, 0, 0, 0));
+    }
+
+    #[test]
+    fn full_slots_and_queue_shed_with_a_hint() {
+        let adm = AdmissionGovernor::new(AdmissionConfig::bounded(2, 0));
+        let gov = governor();
+        let p1 = match adm.admit(&gov) {
+            Admission::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        let _p2 = match adm.admit(&gov) {
+            Admission::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        match adm.admit(&gov) {
+            Admission::Shed { retry_after_ms } => assert!(retry_after_ms >= 1),
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        assert_eq!(adm.counters(), (2, 1, 0, 0));
+
+        // Releasing a slot readmits.
+        drop(p1);
+        match adm.admit(&gov) {
+            Admission::Admitted(_) => {}
+            other => panic!("expected Admitted after release, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queued_request_gets_the_freed_slot() {
+        let adm = AdmissionGovernor::new(AdmissionConfig::bounded(1, 1));
+        let gov = governor();
+        let p1 = match adm.admit(&gov) {
+            Admission::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let gov = governor();
+                adm.admit(&gov)
+            });
+            // Wait until the waiter is actually queued, then free the
+            // slot.
+            while adm.load().1 == 0 {
+                std::thread::yield_now();
+            }
+            drop(p1);
+            match waiter.join().unwrap() {
+                Admission::Admitted(_) => {}
+                other => panic!("expected the waiter to be admitted, got {other:?}"),
+            }
+        });
+        let (admitted, shed, expired, peak) = adm.counters();
+        assert_eq!((admitted, shed, expired), (2, 0, 0));
+        assert_eq!(peak, 1);
+    }
+
+    #[test]
+    fn queue_wait_counts_against_the_request_deadline() {
+        let adm = AdmissionGovernor::new(AdmissionConfig::bounded(1, 4));
+        let slow = governor();
+        let _held = match adm.admit(&slow) {
+            Admission::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        // The queued request's own deadline expires while it waits.
+        let gov = Governor::with_budget(Budget {
+            deadline: Some(Duration::from_millis(30)),
+            ..Budget::unlimited()
+        });
+        let start = Instant::now();
+        match adm.admit(&gov) {
+            Admission::Expired { reason } => {
+                assert!(reason.contains("deadline"), "{reason}")
+            }
+            other => panic!("expected Expired, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(adm.counters().2, 1);
+    }
+
+    #[test]
+    fn cancel_is_honored_while_queued() {
+        let adm = AdmissionGovernor::new(AdmissionConfig::bounded(1, 4));
+        let slow = governor();
+        let _held = match adm.admit(&slow) {
+            Admission::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        let gov = governor();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| adm.admit(&gov));
+            while adm.load().1 == 0 {
+                std::thread::yield_now();
+            }
+            gov.cancel();
+            match waiter.join().unwrap() {
+                Admission::Expired { reason } => {
+                    assert!(reason.contains("cancel"), "{reason}")
+                }
+                other => panic!("expected Expired on cancel, got {other:?}"),
+            }
+        });
+    }
+}

@@ -320,6 +320,14 @@ impl ObjBuilder {
         self
     }
 
+    /// Adds a pre-serialized JSON value verbatim (e.g. a nested array
+    /// of objects each built with its own [`ObjBuilder`]).
+    pub fn raw(mut self, key: &str, json: &str) -> ObjBuilder {
+        self.sep();
+        let _ = write!(self.body, "\"{}\":{}", escape(key), json);
+        self
+    }
+
     /// Finishes the object.
     pub fn build(self) -> String {
         format!("{{{}}}", self.body)

@@ -38,21 +38,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod corpus;
 pub mod json;
+pub mod store;
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
 use ftsyn::{
-    synthesize_session, synthesize_with_engine, Budget, Engine, ExpansionCache, Governor,
-    SynthesisOutcome, SynthesisProblem, SynthesisSession, ThreadPlan,
+    synthesize_session, synthesize_with_engine, Budget, CacheLimits, Engine, ExpansionCache,
+    Governor, SynthesisOutcome, SynthesisProblem, SynthesisSession, ThreadPlan,
 };
 
+use admission::{Admission, AdmissionConfig, AdmissionGovernor};
 use json::{ObjBuilder, Value};
+use store::{CheckpointStore, Recovery, StoreError};
 
 /// Callback that turns an inline spec-file text into a problem.
 ///
@@ -145,16 +150,58 @@ pub enum Reply {
     /// The request could not be served (bad name, stale checkpoint,
     /// duplicate id, ...).
     Error {
-        /// What went wrong.
+        /// Stable machine-readable error code (see the module docs'
+        /// error table): `bad-request`, `unknown-problem`, `bad-spec`,
+        /// `unknown-checkpoint`, `checkpoint-rejected`, `duplicate-id`,
+        /// `no-active-request`, or `shutting-down`.
+        code: String,
+        /// What went wrong, for humans.
         message: String,
+    },
+    /// The admission governor shed this request: every worker slot is
+    /// busy and the wait queue is full. Nothing ran; retry later.
+    Overloaded {
+        /// Suggested client back-off, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The durable/in-memory checkpoint store listing (the
+    /// `list-checkpoints` op).
+    Checkpoints {
+        /// One entry per stored checkpoint, sorted by id.
+        entries: Vec<CheckpointEntry>,
     },
     /// A `cancel` op was delivered to a live request.
     Cancelled,
     /// A `shutdown` op was accepted.
-    ShuttingDown,
+    ShuttingDown {
+        /// `true` for `mode:"drain"`: in-flight requests were
+        /// cancelled so each checkpoints and exits instead of running
+        /// to completion.
+        drain: bool,
+    },
+}
+
+/// One row of the `list-checkpoints` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointEntry {
+    /// Request id the checkpoint is stored under (`resume` with
+    /// `from` set to this id continues the run).
+    pub id: String,
+    /// Problem source: `corpus:<name>` or `spec`.
+    pub source: String,
+    /// Tableau nodes captured in the checkpoint.
+    pub nodes: usize,
 }
 
 impl Reply {
+    /// An error reply with its stable code.
+    fn error(code: &str, message: String) -> Reply {
+        Reply::Error {
+            code: code.to_owned(),
+            message,
+        }
+    }
+
     /// Serializes the reply as one JSON response line for `id`.
     pub fn to_line(&self, id: &str) -> String {
         let b = ObjBuilder::new().str("id", id);
@@ -186,9 +233,35 @@ impl Reply {
                 .str("reason", reason)
                 .bool("resumable", *resumable)
                 .build(),
-            Reply::Error { message } => b.str("status", "error").str("message", message).build(),
+            Reply::Error { code, message } => b
+                .str("status", "error")
+                .str("code", code)
+                .str("message", message)
+                .build(),
+            Reply::Overloaded { retry_after_ms } => b
+                .str("status", "overloaded")
+                .num("retry_after_ms", *retry_after_ms as usize)
+                .build(),
+            Reply::Checkpoints { entries } => {
+                let rows: Vec<String> = entries
+                    .iter()
+                    .map(|e| {
+                        ObjBuilder::new()
+                            .str("id", &e.id)
+                            .str("source", &e.source)
+                            .num("nodes", e.nodes)
+                            .build()
+                    })
+                    .collect();
+                b.str("status", "checkpoints")
+                    .raw("checkpoints", &format!("[{}]", rows.join(",")))
+                    .build()
+            }
             Reply::Cancelled => b.str("status", "cancelled").build(),
-            Reply::ShuttingDown => b.str("status", "shutting-down").build(),
+            Reply::ShuttingDown { drain } => b
+                .str("status", "shutting-down")
+                .str("mode", if *drain { "drain" } else { "graceful" })
+                .build(),
         }
     }
 }
@@ -199,6 +272,46 @@ struct Stored {
     /// wire format is exercised on every hop.
     blob: Vec<u8>,
     source: ProblemSource,
+    /// Tableau nodes in the blob (for `list-checkpoints`).
+    nodes: usize,
+}
+
+/// The checkpoint map: the in-memory view, optionally mirrored to a
+/// durable [`CheckpointStore`]. Disk failures degrade durability, not
+/// correctness — they are reported on stderr and the in-memory entry
+/// stands.
+#[derive(Default)]
+struct CheckpointMap {
+    mem: HashMap<String, Stored>,
+    disk: Option<CheckpointStore>,
+}
+
+impl CheckpointMap {
+    fn park(&mut self, id: &str, source: &ProblemSource, blob: Vec<u8>, nodes: usize) {
+        if let Some(store) = &mut self.disk {
+            if let Err(e) = store.persist(id, source, &blob) {
+                eprintln!("warning: checkpoint for \"{id}\" is not durable: {e}");
+            }
+        }
+        self.mem.insert(
+            id.to_owned(),
+            Stored {
+                blob,
+                source: source.clone(),
+                nodes,
+            },
+        );
+    }
+
+    fn take(&mut self, id: &str) -> Option<Stored> {
+        let stored = self.mem.remove(id)?;
+        if let Some(store) = &mut self.disk {
+            if let Err(e) = store.remove(id) {
+                eprintln!("warning: consumed checkpoint \"{id}\" not removed from disk: {e}");
+            }
+        }
+        Some(stored)
+    }
 }
 
 /// The daemon engine. See the crate docs for the architecture.
@@ -208,11 +321,18 @@ pub struct Service {
     /// problem). The outer lock is held briefly to find or create a
     /// partition; builds hold a read guard on their partition only.
     cache: RwLock<HashMap<ProblemSource, Arc<RwLock<ExpansionCache>>>>,
-    checkpoints: Mutex<HashMap<String, Stored>>,
+    /// Per-partition size caps, enforced after each fill fold-back.
+    cache_limits: CacheLimits,
+    checkpoints: Mutex<CheckpointMap>,
     active: Mutex<HashMap<String, Arc<Governor>>>,
     /// Signalled whenever a request leaves `active`; pipelined `resume`
     /// ops wait here for their `from` request to finish.
     idle: Condvar,
+    /// Global admission control: worker slots, bounded wait queue,
+    /// load shedding.
+    admission: AdmissionGovernor,
+    /// What startup recovery found, when a checkpoint dir is attached.
+    recovery: Option<Recovery>,
     default_budget: Budget,
     spec_parser: Option<SpecParser>,
     /// Refuse new work ([`Service::quiesce`] and [`Service::shutdown`]).
@@ -248,9 +368,12 @@ impl Service {
     pub fn new() -> Service {
         Service {
             cache: RwLock::new(HashMap::new()),
-            checkpoints: Mutex::new(HashMap::new()),
+            cache_limits: CacheLimits::unlimited(),
+            checkpoints: Mutex::new(CheckpointMap::default()),
             active: Mutex::new(HashMap::new()),
             idle: Condvar::new(),
+            admission: AdmissionGovernor::new(AdmissionConfig::default()),
+            recovery: None,
             default_budget: Budget::unlimited(),
             spec_parser: None,
             shutting_down: AtomicBool::new(false),
@@ -262,6 +385,62 @@ impl Service {
     pub fn with_default_budget(mut self, budget: Budget) -> Service {
         self.default_budget = budget;
         self
+    }
+
+    /// Applies admission limits (worker slots, bounded queue, load
+    /// shedding). The default admits everything immediately.
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Service {
+        self.admission = AdmissionGovernor::new(config);
+        self
+    }
+
+    /// Caps every expansion-cache partition; oldest-admitted entries
+    /// are evicted after each fill fold-back.
+    pub fn with_cache_limits(mut self, limits: CacheLimits) -> Service {
+        self.cache_limits = limits;
+        self
+    }
+
+    /// Attaches a durable checkpoint store at `dir`, running startup
+    /// recovery: validated checkpoints from a previous daemon life are
+    /// re-offered (see [`Service::list_checkpoints`] and the
+    /// `list-checkpoints` op), damaged files are quarantined. The
+    /// [`Recovery`] report is kept on the service
+    /// ([`Service::recovery`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the directory itself is unusable (cannot be
+    /// created, read, or indexed). Damaged records are never fatal.
+    pub fn with_checkpoint_dir(mut self, dir: &Path) -> Result<Service, StoreError> {
+        let (store, recovery) = CheckpointStore::open(dir)?;
+        {
+            let map = lock(&self.checkpoints);
+            let mut map = map;
+            for rec in &recovery.recovered {
+                map.mem.insert(
+                    rec.id.clone(),
+                    Stored {
+                        blob: rec.blob.clone(),
+                        source: rec.source.clone(),
+                        nodes: rec.nodes,
+                    },
+                );
+            }
+            map.disk = Some(store);
+        }
+        self.recovery = Some(recovery);
+        Ok(self)
+    }
+
+    /// The startup recovery report, when a checkpoint dir is attached.
+    pub fn recovery(&self) -> Option<&Recovery> {
+        self.recovery.as_ref()
+    }
+
+    /// Admission counters `(admitted, shed, expired, peak_queued)`.
+    pub fn admission_counters(&self) -> (usize, usize, usize, usize) {
+        self.admission.counters()
     }
 
     /// Injects the inline-spec parser (normally the CLI's spec-file
@@ -282,16 +461,53 @@ impl Service {
             })
     }
 
+    /// Cache size and eviction accounting summed over every partition:
+    /// `(entries, bytes, evicted_entries, evicted_bytes)`.
+    pub fn cache_stats(&self) -> (usize, usize, usize, usize) {
+        read(&self.cache)
+            .values()
+            .fold((0, 0, 0, 0), |(entries, bytes, ee, eb), partition| {
+                let p = read(partition);
+                let (blocks, tiles) = p.len();
+                let (pe, pb) = p.eviction_counters();
+                (entries + blocks + tiles, bytes + p.bytes(), ee + pe, eb + pb)
+            })
+    }
+
     /// The encoded checkpoint blob stored for `id`, if any.
     pub fn export_checkpoint(&self, id: &str) -> Option<Vec<u8>> {
-        lock(&self.checkpoints).get(id).map(|s| s.blob.clone())
+        lock(&self.checkpoints).mem.get(id).map(|s| s.blob.clone())
     }
 
     /// Parks an externally produced checkpoint blob (e.g. one a CLI
     /// run wrote to disk) so a later `resume` can pick it up. The blob
-    /// is validated on resume, not here.
+    /// is validated on resume, not here (a best-effort decode fills
+    /// the listing's node count).
     pub fn import_checkpoint(&self, id: &str, blob: Vec<u8>, source: ProblemSource) {
-        lock(&self.checkpoints).insert(id.to_owned(), Stored { blob, source });
+        let nodes = ftsyn::Checkpoint::decode(&blob)
+            .map(|ck| ck.tableau_nodes())
+            .unwrap_or(0);
+        lock(&self.checkpoints).park(id, &source, blob, nodes);
+    }
+
+    /// Every stored checkpoint (in-memory and recovered), sorted by
+    /// id — the `list-checkpoints` op.
+    pub fn list_checkpoints(&self) -> Vec<CheckpointEntry> {
+        let map = lock(&self.checkpoints);
+        let mut entries: Vec<CheckpointEntry> = map
+            .mem
+            .iter()
+            .map(|(id, s)| CheckpointEntry {
+                id: id.clone(),
+                source: match &s.source {
+                    ProblemSource::Corpus(name) => format!("corpus:{name}"),
+                    ProblemSource::Spec(_) => "spec".to_owned(),
+                },
+                nodes: s.nodes,
+            })
+            .collect();
+        entries.sort_by(|a, b| a.id.cmp(&b.id));
+        entries
     }
 
     /// Has [`Service::quiesce`] or [`Service::shutdown`] been called?
@@ -328,13 +544,17 @@ impl Service {
         }
     }
 
-    fn build_problem(&self, source: &ProblemSource) -> Result<SynthesisProblem, String> {
+    fn build_problem(&self, source: &ProblemSource) -> Result<SynthesisProblem, Reply> {
         match source {
-            ProblemSource::Corpus(name) => corpus::problem(name)
-                .ok_or_else(|| format!("unknown corpus problem \"{name}\"")),
+            ProblemSource::Corpus(name) => corpus::problem(name).ok_or_else(|| {
+                Reply::error("unknown-problem", format!("unknown corpus problem \"{name}\""))
+            }),
             ProblemSource::Spec(text) => match &self.spec_parser {
-                Some(parse) => parse(text),
-                None => Err("this service has no spec parser; use a corpus problem".to_owned()),
+                Some(parse) => parse(text).map_err(|m| Reply::error("bad-spec", m)),
+                None => Err(Reply::error(
+                    "bad-spec",
+                    "this service has no spec parser; use a corpus problem".to_owned(),
+                )),
             },
         }
     }
@@ -351,13 +571,11 @@ impl Service {
     /// the time its worker thread gets scheduled.
     fn submit_admitted(&self, req: Request, admitted: bool) -> Reply {
         if !admitted && self.is_shutting_down() {
-            return Reply::Error {
-                message: "service is shutting down".to_owned(),
-            };
+            return Reply::error("shutting-down", "service is shutting down".to_owned());
         }
         let problem = match self.build_problem(&req.source) {
             Ok(p) => p,
-            Err(message) => return Reply::Error { message },
+            Err(reply) => return reply,
         };
         let budget = req.budget.unwrap_or_else(|| self.default_budget.clone());
         self.run(
@@ -399,30 +617,34 @@ impl Service {
         admitted: bool,
     ) -> Reply {
         if !admitted && self.is_shutting_down() {
-            return Reply::Error {
-                message: "service is shutting down".to_owned(),
-            };
+            return Reply::error("shutting-down", "service is shutting down".to_owned());
         }
         self.wait_for(from);
-        let stored = match lock(&self.checkpoints).remove(from) {
+        let stored = match lock(&self.checkpoints).take(from) {
             Some(s) => s,
             None => {
-                return Reply::Error {
-                    message: format!("no checkpoint stored for request \"{from}\""),
-                }
+                // The distinct code for a resume miss: the id never
+                // aborted resumably, was already consumed, or its
+                // checkpoint did not survive (e.g. quarantined on
+                // recovery).
+                return Reply::error(
+                    "unknown-checkpoint",
+                    format!(
+                        "no checkpoint stored for request \"{from}\" \
+                         (unknown, already consumed, or lost)"
+                    ),
+                );
             }
         };
         let checkpoint = match ftsyn::Checkpoint::decode(&stored.blob) {
             Ok(ck) => ck,
             Err(e) => {
-                return Reply::Error {
-                    message: format!("checkpoint rejected: {e}"),
-                }
+                return Reply::error("checkpoint-rejected", format!("checkpoint rejected: {e}"))
             }
         };
         let problem = match self.build_problem(&stored.source) {
             Ok(p) => p,
-            Err(message) => return Reply::Error { message },
+            Err(reply) => return reply,
         };
         let budget = budget.unwrap_or_else(|| self.default_budget.clone());
         // Checkpoints only exist on the tableau path, so a resume is
@@ -449,13 +671,17 @@ impl Service {
         engine: Engine,
         resume: Option<ftsyn::Checkpoint>,
     ) -> Reply {
+        // The governor starts its clock *before* admission, so time
+        // spent in the admission queue counts against the request's
+        // own deadline, and cancel/shutdown reach queued requests too.
         let gov = Arc::new(Governor::with_budget(budget));
         {
             let mut active = lock(&self.active);
             if active.contains_key(id) {
-                return Reply::Error {
-                    message: format!("request id \"{id}\" is already active"),
-                };
+                return Reply::error(
+                    "duplicate-id",
+                    format!("request id \"{id}\" is already active"),
+                );
             }
             active.insert(id.to_owned(), Arc::clone(&gov));
         }
@@ -464,7 +690,19 @@ impl Service {
         if self.hard_shutdown.load(Ordering::SeqCst) {
             gov.cancel();
         }
-        let reply = self.execute(id, source, &mut problem, threads, &gov, engine, resume);
+        let reply = match self.admission.admit(&gov) {
+            Admission::Admitted(_permit) => {
+                // `_permit` releases the worker slot when this scope
+                // ends, whatever the pipeline outcome.
+                self.execute(id, source, &mut problem, threads, &gov, engine, resume)
+            }
+            Admission::Shed { retry_after_ms } => Reply::Overloaded { retry_after_ms },
+            Admission::Expired { reason } => Reply::Aborted {
+                phase: "admission".to_owned(),
+                reason,
+                resumable: false,
+            },
+        };
         {
             let mut active = lock(&self.active);
             active.remove(id);
@@ -516,6 +754,13 @@ impl Service {
             };
         }
         let partition = Arc::clone(write(&self.cache).entry(source.clone()).or_default());
+        // Parks an abort's checkpoint from *inside* the pipeline, the
+        // moment it is captured: with a durable store attached, the
+        // blob hits disk before the abort even propagates to a reply,
+        // so a daemon crash in that window loses nothing.
+        let sink = |ck: &ftsyn::Checkpoint| {
+            lock(&self.checkpoints).park(id, &source, ck.encode(), ck.tableau_nodes());
+        };
         let result = {
             // Hold the partition's read guard across the whole
             // pipeline: same-problem builders share it concurrently,
@@ -529,15 +774,14 @@ impl Service {
                 SynthesisSession {
                     cache: Some(&cache),
                     resume,
+                    on_checkpoint: Some(&sink),
                 },
             )
         };
         let (outcome, fills) = match result {
             Ok(pair) => pair,
             Err(e) => {
-                return Reply::Error {
-                    message: format!("checkpoint rejected: {e}"),
-                }
+                return Reply::error("checkpoint-rejected", format!("checkpoint rejected: {e}"))
             }
         };
         if !fills.is_empty() {
@@ -545,6 +789,7 @@ impl Service {
             for fill in fills {
                 cache.apply_fill(fill);
             }
+            cache.evict_to(self.cache_limits);
         }
         match outcome {
             SynthesisOutcome::Solved(s) => Reply::Solved {
@@ -556,23 +801,14 @@ impl Service {
                 program: s.program.display(&problem.props).to_string(),
             },
             SynthesisOutcome::Impossible(_) => Reply::Impossible,
-            SynthesisOutcome::Aborted(a) => {
-                let resumable = a.checkpoint.is_some();
-                if let Some(ck) = a.checkpoint {
-                    lock(&self.checkpoints).insert(
-                        id.to_owned(),
-                        Stored {
-                            blob: ck.encode(),
-                            source,
-                        },
-                    );
-                }
-                Reply::Aborted {
-                    phase: a.phase.name().to_owned(),
-                    reason: a.reason.to_string(),
-                    resumable,
-                }
-            }
+            SynthesisOutcome::Aborted(a) => Reply::Aborted {
+                // The checkpoint (when one was captured) was already
+                // parked by the sink above, durably when a store is
+                // attached.
+                phase: a.phase.name().to_owned(),
+                reason: a.reason.to_string(),
+                resumable: a.checkpoint.is_some(),
+            },
         }
     }
 }
@@ -600,10 +836,19 @@ pub enum Op {
         /// Id of the request to cancel.
         target: String,
     },
-    /// Stop accepting work and cancel everything in flight.
+    /// List every stored checkpoint (in-memory and recovered).
+    ListCheckpoints {
+        /// Id of the listing op.
+        id: String,
+    },
+    /// Stop accepting work.
     Shutdown {
         /// Id of the shutdown op.
         id: String,
+        /// `mode:"drain"`: additionally cancel in-flight requests so
+        /// each checkpoints and answers promptly instead of running to
+        /// completion.
+        drain: bool,
     },
 }
 
@@ -612,7 +857,10 @@ impl Op {
     pub fn id(&self) -> &str {
         match self {
             Op::Synthesize(r) => &r.id,
-            Op::Resume { id, .. } | Op::Cancel { id, .. } | Op::Shutdown { id } => id,
+            Op::Resume { id, .. }
+            | Op::Cancel { id, .. }
+            | Op::ListCheckpoints { id }
+            | Op::Shutdown { id, .. } => id,
         }
     }
 }
@@ -738,7 +986,20 @@ pub fn parse_op(line: &str) -> Result<Op, (String, String)> {
                 .to_owned();
             Ok(Op::Cancel { id, target })
         }
-        "shutdown" => Ok(Op::Shutdown { id }),
+        "list-checkpoints" => Ok(Op::ListCheckpoints { id }),
+        "shutdown" => {
+            let drain = match v.get("mode").map(|m| m.as_str()) {
+                None => false,
+                Some(Some("graceful")) => false,
+                Some(Some("drain")) => true,
+                Some(_) => {
+                    return Err(fail(
+                        "shutdown \"mode\" must be \"graceful\" or \"drain\"".to_owned(),
+                    ))
+                }
+            };
+            Ok(Op::Shutdown { id, drain })
+        }
         other => Err(fail(format!("unknown op \"{other}\""))),
     }
 }
@@ -763,17 +1024,29 @@ fn dispatch_admitted(service: &Service, op: Op, admitted: bool) -> Reply {
             if service.cancel(&target) {
                 Reply::Cancelled
             } else {
-                Reply::Error {
-                    message: format!("no active request \"{target}\""),
-                }
+                Reply::error(
+                    "no-active-request",
+                    format!("no active request \"{target}\""),
+                )
             }
         }
-        Op::Shutdown { .. } => {
-            // Graceful: stop accepting work, let in-flight requests
-            // finish (pipelined clients still get real answers). Hard
-            // cancellation of individual requests is the `cancel` op.
-            service.quiesce();
-            Reply::ShuttingDown
+        Op::ListCheckpoints { .. } => Reply::Checkpoints {
+            entries: service.list_checkpoints(),
+        },
+        Op::Shutdown { drain, .. } => {
+            if drain {
+                // Drain: cancel everything in flight so each request
+                // aborts at its next governor poll, checkpoints
+                // (durably, when a store is attached), and answers —
+                // the fast path to a restartable exit.
+                service.shutdown();
+            } else {
+                // Graceful: stop accepting work, let in-flight
+                // requests finish (pipelined clients still get real
+                // answers).
+                service.quiesce();
+            }
+            Reply::ShuttingDown { drain }
         }
     }
 }
@@ -783,7 +1056,7 @@ fn dispatch_admitted(service: &Service, op: Op, admitted: bool) -> Reply {
 /// concurrent loop.
 pub fn handle_line(service: &Service, line: &str) -> String {
     match parse_op(line) {
-        Err((id, message)) => Reply::Error { message }.to_line(&id),
+        Err((id, message)) => Reply::error("bad-request", message).to_line(&id),
         Ok(op) => {
             let id = op.id().to_owned();
             dispatch(service, op).to_line(&id)
@@ -825,7 +1098,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
             match parse_op(&line) {
                 Err((id, message)) => {
                     let mut w = lock(&out);
-                    let _ = writeln!(w, "{}", Reply::Error { message }.to_line(&id));
+                    let _ = writeln!(w, "{}", Reply::error("bad-request", message).to_line(&id));
                     let _ = w.flush();
                 }
                 Ok(op @ Op::Shutdown { .. }) => {
@@ -843,9 +1116,8 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     // line read before a shutdown line runs even if
                     // quiescing begins before its worker is scheduled.
                     if service.is_shutting_down() {
-                        let reply = Reply::Error {
-                            message: "service is shutting down".to_owned(),
-                        };
+                        let reply =
+                            Reply::error("shutting-down", "service is shutting down".to_owned());
                         let mut w = lock(&out);
                         let _ = writeln!(w, "{}", reply.to_line(op.id()));
                         let _ = w.flush();
@@ -945,8 +1217,13 @@ mod tests {
     #[test]
     fn corrupted_and_missing_checkpoints_are_structured_errors() {
         let svc = Service::new();
+        // A resume against an id that never parked a checkpoint gets
+        // the *distinct* unknown-checkpoint code, not a generic error.
         match svc.resume("x", "never-ran", 1, None) {
-            Reply::Error { message } => assert!(message.contains("no checkpoint")),
+            Reply::Error { code, message } => {
+                assert_eq!(code, "unknown-checkpoint");
+                assert!(message.contains("no checkpoint"));
+            }
             other => panic!("expected Error, got {other:?}"),
         }
 
@@ -956,9 +1233,16 @@ mod tests {
             ProblemSource::Corpus("mutex2-failstop-masking".to_owned()),
         );
         match svc.resume("y", "garbage", 1, None) {
-            Reply::Error { message } => {
+            Reply::Error { code, message } => {
+                assert_eq!(code, "checkpoint-rejected");
                 assert!(message.contains("checkpoint rejected"), "{message}")
             }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // Consuming the bad blob removed it: a second resume now gets
+        // the unknown-checkpoint code.
+        match svc.resume("y2", "garbage", 1, None) {
+            Reply::Error { code, .. } => assert_eq!(code, "unknown-checkpoint"),
             other => panic!("expected Error, got {other:?}"),
         }
 
@@ -979,7 +1263,8 @@ mod tests {
             ProblemSource::Corpus("mutex2-failstop-masking".to_owned()),
         );
         match svc.resume("z", "stale", 1, None) {
-            Reply::Error { message } => {
+            Reply::Error { code, message } => {
+                assert_eq!(code, "checkpoint-rejected");
                 assert!(message.contains("checkpoint rejected"), "{message}")
             }
             other => panic!("expected Error, got {other:?}"),
@@ -1015,40 +1300,80 @@ mod tests {
         let v = json::parse(&resp).unwrap();
         assert_eq!(v.get("status").and_then(Value::as_str), Some("solved"));
 
-        for (line, needle) in [
-            ("not json", "bad request"),
-            (r#"{"op":"synthesize"}"#, "missing a non-empty \"id\""),
-            (r#"{"id":"q","op":"noop"}"#, "unknown op"),
-            (r#"{"id":"q","op":"synthesize"}"#, "needs a \"problem\""),
+        // The full error table: every row asserts its stable code next
+        // to the human message.
+        for (line, code, needle) in [
+            ("not json", "bad-request", "bad request"),
+            (
+                r#"{"op":"synthesize"}"#,
+                "bad-request",
+                "missing a non-empty \"id\"",
+            ),
+            (r#"{"id":"q","op":"noop"}"#, "bad-request", "unknown op"),
+            (
+                r#"{"id":"q","op":"synthesize"}"#,
+                "bad-request",
+                "needs a \"problem\"",
+            ),
             (
                 r#"{"id":"q","op":"synthesize","problem":"nope"}"#,
+                "unknown-problem",
                 "unknown corpus problem",
             ),
             (
+                r#"{"id":"q","op":"synthesize","spec":"whatever"}"#,
+                "bad-spec",
+                "no spec parser",
+            ),
+            (
                 r#"{"id":"q","op":"synthesize","problem":"x","threads":0}"#,
+                "bad-request",
                 "positive integer",
             ),
             (
                 r#"{"id":"q","op":"synthesize","problem":"x","budget":{"max_bananas":1}}"#,
+                "bad-request",
                 "unknown budget field",
             ),
-            (r#"{"id":"q","op":"cancel"}"#, "needs a \"target\""),
-            (r#"{"id":"q","op":"cancel","target":"ghost"}"#, "no active request"),
+            (r#"{"id":"q","op":"cancel"}"#, "bad-request", "needs a \"target\""),
+            (
+                r#"{"id":"q","op":"cancel","target":"ghost"}"#,
+                "no-active-request",
+                "no active request",
+            ),
+            (
+                r#"{"id":"q","op":"resume","from":"never-aborted"}"#,
+                "unknown-checkpoint",
+                "no checkpoint stored",
+            ),
+            (
+                r#"{"id":"q","op":"shutdown","mode":"violent"}"#,
+                "bad-request",
+                "\"graceful\" or \"drain\"",
+            ),
             (
                 r#"{"id":"q","op":"synthesize","problem":"x","engine":"magic"}"#,
+                "bad-request",
                 "unknown engine",
             ),
             (
                 r#"{"id":"q","op":"synthesize","problem":"x","engine":7}"#,
+                "bad-request",
                 "\"engine\" must be a string",
             ),
             (
                 r#"{"id":"q","op":"resume","from":"p","engine":"cegis"}"#,
+                "bad-request",
                 "tableau-only",
             ),
         ] {
             let v = json::parse(&handle_line(&svc, line)).unwrap();
             assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+            assert_eq!(
+                v.get("code").and_then(Value::as_str),
+                Some(code),
+                "code for {line}"
+            );
             let msg = v.get("message").and_then(Value::as_str).unwrap();
             assert!(msg.contains(needle), "{line} => {msg}");
         }
@@ -1171,7 +1496,10 @@ mod tests {
         );
         assert!(svc.is_shutting_down());
         match svc.submit(Request::corpus("post", "mutex2-failstop-masking", 1)) {
-            Reply::Error { message } => assert!(message.contains("shutting down")),
+            Reply::Error { code, message } => {
+                assert_eq!(code, "shutting-down");
+                assert!(message.contains("shutting down"));
+            }
             other => panic!("expected Error, got {other:?}"),
         }
     }

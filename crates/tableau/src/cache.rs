@@ -27,8 +27,67 @@
 
 use crate::expand::Tile;
 use ftsyn_ctl::LabelSet;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Size caps for an [`ExpansionCache`]. `None` means uncapped. A capped
+/// cache evicts whole entries in *admission order* (oldest fill first)
+/// via [`ExpansionCache::evict_to`] — a deterministic function of the
+/// fill sequence, with no clock or access-recency input, so two daemons
+/// that admit the same fills in the same order hold identical caches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheLimits {
+    /// Maximum memoized entries (blocks + tiles) to retain.
+    pub max_entries: Option<usize>,
+    /// Maximum approximate payload bytes to retain.
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheLimits {
+    /// No caps: the cache never evicts (the pre-eviction behavior).
+    pub fn unlimited() -> CacheLimits {
+        CacheLimits::default()
+    }
+
+    /// Whether neither cap is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_entries.is_none() && self.max_bytes.is_none()
+    }
+}
+
+/// Which memo table an admission-queue entry lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EntryKind {
+    Blocks,
+    Tiles,
+}
+
+/// Approximate heap bytes of a label bitset.
+fn label_bytes(label: &LabelSet) -> usize {
+    label.words().len() * 8
+}
+
+/// Approximate retained bytes of a memoized `Blocks` entry: key, result
+/// labels, and a flat per-entry overhead for the map slot and vec
+/// headers. The figure feeds the `max_bytes` cap and the stats/bench
+/// counters; it is a stable estimate, not an allocator measurement.
+fn blocks_bytes(key: &LabelSet, result: &[LabelSet]) -> usize {
+    32 + label_bytes(key) + result.iter().map(label_bytes).sum::<usize>()
+}
+
+/// Approximate retained bytes of a memoized `Tiles` entry.
+fn tiles_bytes(key: &LabelSet, result: &[Tile]) -> usize {
+    32 + label_bytes(key)
+        + result
+            .iter()
+            .map(|t| {
+                16 + match t {
+                    Tile::Or { or_label, .. } => label_bytes(or_label),
+                    Tile::Dummy => 0,
+                }
+            })
+            .sum::<usize>()
+}
 
 /// A deferred cache insert, produced on a worker thread during the pure
 /// expansion half and applied by the sequential apply phase.
@@ -47,6 +106,15 @@ pub struct ExpansionCache {
     tiles: HashMap<LabelSet, Vec<Tile>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Fill-admission order, the eviction order under [`CacheLimits`].
+    /// Every queue entry is present in its map until evicted (eviction
+    /// is the only removal path).
+    admission: VecDeque<(EntryKind, LabelSet)>,
+    /// Approximate retained payload bytes across both maps.
+    bytes: usize,
+    /// Lifetime eviction counters.
+    evicted_entries: usize,
+    evicted_bytes: usize,
 }
 
 impl ExpansionCache {
@@ -81,15 +149,65 @@ impl ExpansionCache {
 
     /// Applies a deferred insert (first result for a label wins; the
     /// kernels are deterministic so later fills are identical anyway).
+    /// A fill that actually inserts joins the tail of the admission
+    /// queue; duplicate fills change nothing, including the queue.
     pub fn apply_fill(&mut self, fill: CacheFill) {
+        use std::collections::hash_map::Entry;
         match fill {
             CacheFill::Blocks(label, result) => {
-                self.blocks.entry(label).or_insert(result);
+                if let Entry::Vacant(slot) = self.blocks.entry(label.clone()) {
+                    self.bytes += blocks_bytes(&label, &result);
+                    self.admission.push_back((EntryKind::Blocks, label));
+                    slot.insert(result);
+                }
             }
             CacheFill::Tiles(label, result) => {
-                self.tiles.entry(label).or_insert(result);
+                if let Entry::Vacant(slot) = self.tiles.entry(label.clone()) {
+                    self.bytes += tiles_bytes(&label, &result);
+                    self.admission.push_back((EntryKind::Tiles, label));
+                    slot.insert(result);
+                }
             }
         }
+    }
+
+    /// Evicts oldest-admitted entries until both caps in `limits` are
+    /// respected. Returns `(entries, bytes)` evicted by this call. A
+    /// no-op under [`CacheLimits::unlimited`]. An evicted label misses
+    /// on its next lookup and, if re-filled, re-enters the admission
+    /// queue at the tail.
+    pub fn evict_to(&mut self, limits: CacheLimits) -> (usize, usize) {
+        let mut entries = 0;
+        let mut bytes = 0;
+        loop {
+            let total = self.blocks.len() + self.tiles.len();
+            let over_entries = limits.max_entries.is_some_and(|cap| total > cap);
+            let over_bytes = limits.max_bytes.is_some_and(|cap| self.bytes > cap);
+            if !over_entries && !over_bytes {
+                break;
+            }
+            let Some((kind, label)) = self.admission.pop_front() else {
+                break;
+            };
+            let freed = match kind {
+                EntryKind::Blocks => self
+                    .blocks
+                    .remove(&label)
+                    .map(|result| blocks_bytes(&label, &result)),
+                EntryKind::Tiles => self
+                    .tiles
+                    .remove(&label)
+                    .map(|result| tiles_bytes(&label, &result)),
+            };
+            if let Some(freed) = freed {
+                self.bytes -= freed;
+                entries += 1;
+                bytes += freed;
+            }
+        }
+        self.evicted_entries += entries;
+        self.evicted_bytes += bytes;
+        (entries, bytes)
     }
 
     /// Number of memoized entries `(blocks, tiles)`.
@@ -108,6 +226,16 @@ impl ExpansionCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Approximate retained payload bytes (the `max_bytes` accounting).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Lifetime eviction counters `(entries, bytes)`.
+    pub fn eviction_counters(&self) -> (usize, usize) {
+        (self.evicted_entries, self.evicted_bytes)
     }
 }
 
@@ -213,6 +341,66 @@ mod tests {
             }
         });
         assert_eq!(cache.counters(), (400, 400));
+    }
+
+    /// Entry-cap eviction removes entries strictly in admission order,
+    /// and an evicted label can be re-filled, re-entering at the tail.
+    #[test]
+    fn entry_cap_evicts_in_admission_order() {
+        let (_, cl, _) = setup("p & q");
+        let mut cache = ExpansionCache::new();
+        for i in 0..4u32 {
+            cache.apply_fill(CacheFill::Blocks(label(&cl, &[i]), vec![label(&cl, &[i])]));
+        }
+        assert_eq!(cache.evict_to(CacheLimits::unlimited()), (0, 0));
+        assert_eq!(cache.len(), (4, 0));
+
+        let limits = CacheLimits {
+            max_entries: Some(2),
+            max_bytes: None,
+        };
+        let (evicted, freed) = cache.evict_to(limits);
+        assert_eq!(evicted, 2);
+        assert!(freed > 0);
+        assert_eq!(cache.len(), (2, 0));
+        // The two oldest admissions are gone, the two newest survive.
+        assert!(cache.lookup_blocks(&label(&cl, &[0])).is_none());
+        assert!(cache.lookup_blocks(&label(&cl, &[1])).is_none());
+        assert!(cache.lookup_blocks(&label(&cl, &[2])).is_some());
+        assert!(cache.lookup_blocks(&label(&cl, &[3])).is_some());
+        assert_eq!(cache.eviction_counters(), (2, freed));
+
+        // Re-filling an evicted label re-admits it at the tail: the
+        // next eviction round takes label 2, not the re-filled 0.
+        cache.apply_fill(CacheFill::Blocks(label(&cl, &[0]), vec![label(&cl, &[0])]));
+        assert_eq!(cache.evict_to(limits), (1, freed / 2));
+        assert!(cache.lookup_blocks(&label(&cl, &[2])).is_none());
+        assert!(cache.lookup_blocks(&label(&cl, &[0])).is_some());
+    }
+
+    /// Byte-cap eviction frees oldest entries until under the cap, with
+    /// the byte accounting consistent between `bytes()`, the eviction
+    /// return, and the lifetime counters.
+    #[test]
+    fn byte_cap_evicts_until_under() {
+        let (_, cl, _) = setup("p & q");
+        let mut cache = ExpansionCache::new();
+        cache.apply_fill(CacheFill::Tiles(label(&cl, &[0]), vec![Tile::Dummy]));
+        cache.apply_fill(CacheFill::Blocks(label(&cl, &[1]), vec![label(&cl, &[2])]));
+        let full = cache.bytes();
+        assert!(full > 0);
+
+        let limits = CacheLimits {
+            max_entries: None,
+            max_bytes: Some(full - 1),
+        };
+        let (evicted, freed) = cache.evict_to(limits);
+        assert_eq!(evicted, 1, "one eviction suffices to get under the cap");
+        assert_eq!(cache.bytes(), full - freed);
+        assert!(cache.bytes() < full);
+        // Admission order: the tiles entry was older and is the victim.
+        assert_eq!(cache.len(), (1, 0));
+        assert_eq!(cache.eviction_counters(), (1, freed));
     }
 
     /// A warm multi-threaded build served by a cache filled by a cold

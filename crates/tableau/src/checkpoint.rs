@@ -36,7 +36,11 @@ const MAGIC: &[u8; 8] = b"FTSYNCKP";
 /// Current checkpoint format version. Bump on any layout change;
 /// [`Checkpoint::decode`] rejects every other version with
 /// [`CheckpointError::UnsupportedVersion`].
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+///
+/// v2 added a payload checksum after the version field, so corruption
+/// anywhere in the blob — including counters a structural parse would
+/// swallow silently — fails with [`CheckpointError::ChecksumMismatch`].
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// A structured checkpoint failure: why a blob cannot be decoded or
 /// resumed. Returned instead of silently resuming stale or damaged
@@ -54,6 +58,14 @@ pub enum CheckpointError {
     },
     /// The blob ended before its structure was complete.
     Truncated,
+    /// The blob's integrity checksum does not match its payload: the
+    /// bytes were damaged (torn write, bit rot) after encoding.
+    ChecksumMismatch {
+        /// Checksum stored in the blob header.
+        stored: u64,
+        /// Checksum computed over the payload as read.
+        computed: u64,
+    },
     /// The blob is structurally invalid (bad tag, out-of-range id,
     /// trailing bytes, …).
     Corrupt(String),
@@ -86,6 +98,11 @@ impl fmt::Display for CheckpointError {
                 "unsupported checkpoint format version {found} (this build reads {expected})"
             ),
             CheckpointError::Truncated => write!(f, "checkpoint blob is truncated"),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint blob is damaged: payload checksum {computed:#018x} \
+                 does not match the stored {stored:#018x}"
+            ),
             CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint blob: {msg}"),
             CheckpointError::SpecHashMismatch { found, expected } => write!(
                 f,
@@ -193,11 +210,10 @@ impl Checkpoint {
     }
 
     /// Serializes the checkpoint into a self-describing binary blob
-    /// (magic, format version, fingerprint, then the scheduler state).
+    /// (magic, format version, payload checksum, fingerprint, then the
+    /// scheduler state).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.tableau.len() * (8 * self.label_words + 16));
-        out.extend_from_slice(MAGIC);
-        put_u32(&mut out, CHECKPOINT_FORMAT_VERSION);
         put_u64(&mut out, self.spec_hash);
         put_u64(&mut out, self.closure_len as u64);
         put_u64(&mut out, self.label_words as u64);
@@ -234,7 +250,15 @@ impl Checkpoint {
         }
         put_u64(&mut out, self.nodes_expanded as u64);
         put_u64(&mut out, self.intern_probes as u64);
-        out
+        // Prepend the header last: the checksum covers every payload
+        // byte, so any later flip — even in a counter a structural
+        // parse would accept — is detected.
+        let mut blob = Vec::with_capacity(out.len() + MAGIC.len() + 12);
+        blob.extend_from_slice(MAGIC);
+        put_u32(&mut blob, CHECKPOINT_FORMAT_VERSION);
+        put_u64(&mut blob, blob_checksum(&out));
+        blob.extend_from_slice(&out);
+        blob
     }
 
     /// Deserializes a blob produced by [`Checkpoint::encode`],
@@ -261,6 +285,11 @@ impl Checkpoint {
                 expected: CHECKPOINT_FORMAT_VERSION,
             });
         }
+        let stored = r.u64()?;
+        let computed = blob_checksum(&bytes[r.pos..]);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
         let spec_hash = r.u64()?;
         let closure_len = r.usize()?;
         let label_words = r.usize()?;
@@ -270,7 +299,7 @@ impl Checkpoint {
             )));
         }
         let node_count = r.usize()?;
-        let mut parts = Vec::with_capacity(node_count);
+        let mut parts = Vec::with_capacity(node_count.min(1 << 20));
         for _ in 0..node_count {
             let flags = r.u8()?;
             if flags & !3 != 0 {
@@ -284,7 +313,7 @@ impl Checkpoint {
                 NodeKind::Or
             };
             let dummy = flags & 2 != 0;
-            let mut words = Vec::with_capacity(label_words);
+            let mut words = Vec::with_capacity(label_words.min(1 << 20));
             for _ in 0..label_words {
                 words.push(r.u64()?);
             }
@@ -297,7 +326,7 @@ impl Checkpoint {
             return Err(CheckpointError::Corrupt("checkpoint has no nodes".into()));
         }
         let pending_count = r.usize()?;
-        let mut pending = Vec::with_capacity(pending_count);
+        let mut pending = Vec::with_capacity(pending_count.min(1 << 20));
         for _ in 0..pending_count {
             let seq = r.usize()?;
             let level = r.usize()?;
@@ -374,6 +403,24 @@ pub fn spec_fingerprint(
         fold(tol.stable_hash());
     }
     h
+}
+
+/// Integrity checksum over a byte payload: the same rotate-xor-multiply
+/// fold as [`spec_fingerprint`], applied to the bytes in 8-byte
+/// little-endian chunks (the tail zero-padded) and salted with the
+/// length. Each fold step is a bijection of the running state, so for
+/// equal-length payloads any change to a single chunk — in particular
+/// any single-bit flip — is guaranteed to change the result. Shared
+/// with the service's on-disk store records.
+pub fn blob_checksum(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = 0x66_74_73_79_6e_63_6b_73u64; // "ftsyncks"
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(w)).wrapping_mul(K);
+    }
+    h ^ bytes.len() as u64
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -623,6 +670,7 @@ mod tests {
             match Checkpoint::decode(&blob[..cut]) {
                 Err(CheckpointError::Truncated)
                 | Err(CheckpointError::BadMagic)
+                | Err(CheckpointError::ChecksumMismatch { .. })
                 | Err(CheckpointError::Corrupt(_)) => {}
                 other => panic!("prefix of {cut} bytes must fail, got {other:?}"),
             }
@@ -634,10 +682,66 @@ mod tests {
         let mut blob = sample().encode();
         blob.push(0);
         match Checkpoint::decode(&blob) {
-            Err(CheckpointError::Corrupt(msg)) => {
-                assert!(msg.contains("trailing"), "{msg}");
+            // The trailing byte extends the checksummed payload, so the
+            // integrity check fires before the structural parse.
+            Err(CheckpointError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    /// Every single-bit flip, at every bit position of the blob, must
+    /// yield a structured error — never a panic, never a silent accept.
+    /// Flips in the magic report `BadMagic`, in the version field
+    /// `UnsupportedVersion`, everywhere else `ChecksumMismatch` (the
+    /// fold checksum provably detects any single-chunk change).
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let blob = sample().encode();
+        for byte in 0..blob.len() {
+            for bit in 0..8 {
+                let mut damaged = blob.clone();
+                damaged[byte] ^= 1 << bit;
+                match Checkpoint::decode(&damaged) {
+                    Err(CheckpointError::BadMagic) => {
+                        assert!(byte < MAGIC.len(), "BadMagic from flip at {byte}:{bit}")
+                    }
+                    Err(CheckpointError::UnsupportedVersion { .. }) => assert!(
+                        (MAGIC.len()..MAGIC.len() + 4).contains(&byte),
+                        "UnsupportedVersion from flip at {byte}:{bit}"
+                    ),
+                    Err(CheckpointError::ChecksumMismatch { .. }) => {}
+                    other => panic!("flip at {byte}:{bit} must be detected, got {other:?}"),
+                }
             }
-            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    /// Seeded multi-bit corruption: random bursts of flips anywhere in
+    /// the blob must decode to a structured error or — only when every
+    /// flip cancelled out — the identical checkpoint.
+    #[test]
+    fn seeded_random_corruption_never_panics_or_silently_differs() {
+        let blob = sample().encode();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64; // fixed seed
+        let mut next = move || {
+            // xorshift64* — deterministic, dependency-free.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for _ in 0..2000 {
+            let mut damaged = blob.clone();
+            let flips = 1 + (next() as usize % 8);
+            for _ in 0..flips {
+                let r = next();
+                let byte = r as usize % damaged.len();
+                damaged[byte] ^= 1u8 << ((r >> 32) % 8);
+            }
+            match Checkpoint::decode(&damaged) {
+                Err(_) => {}
+                Ok(back) => assert_eq!(back.encode(), blob, "corruption accepted silently"),
+            }
         }
     }
 

@@ -39,9 +39,10 @@ pub use build::{
     build_shared_cache_governed, build_with_cache, build_with_threads, valuation_of, BuildAbort,
     BuildProfile, FaultSpec,
 };
-pub use cache::{CacheFill, ExpansionCache};
+pub use cache::{CacheFill, CacheLimits, ExpansionCache};
 pub use checkpoint::{
-    spec_fingerprint, Checkpoint, CheckpointError, PendingBatch, CHECKPOINT_FORMAT_VERSION,
+    blob_checksum, spec_fingerprint, Checkpoint, CheckpointError, PendingBatch,
+    CHECKPOINT_FORMAT_VERSION,
 };
 #[cfg(any(test, feature = "slow-reference"))]
 pub use delete::{apply_deletion_rules_naive_mode, au_fulfillment_naive, eu_fulfillment_naive};
