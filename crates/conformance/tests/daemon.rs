@@ -160,6 +160,115 @@ fn full_governor_sheds_with_a_retry_hint_and_loses_nothing() {
     assert_eq!((admitted, shed, expired), (2, 1, 0), "occupant + retry");
 }
 
+/// A resume shed by a full governor consumes nothing: the checkpoint
+/// must still be listed (and durable) after the `overloaded` reply,
+/// and the retry must resume it byte-identically once a slot frees —
+/// including from a fresh daemon life, proving the blob never left
+/// the on-disk store.
+#[test]
+fn shed_resume_keeps_the_checkpoint_parked_and_durable() {
+    let scratch = Scratch::new("shed-resume");
+    let svc = Service::new()
+        .with_admission(AdmissionConfig::bounded(1, 0))
+        .with_checkpoint_dir(&scratch.0)
+        .unwrap();
+    // Park a durable checkpoint under "r1" (admission #1; the slot
+    // frees again when the abort returns).
+    match svc.submit(Request::corpus("r1", PROBLEM, 1).with_budget(small_budget())) {
+        Reply::Aborted { resumable, .. } => assert!(resumable),
+        other => panic!("expected Aborted, got {other:?}"),
+    }
+    std::thread::scope(|s| {
+        let occupant =
+            s.spawn(|| svc.submit(Request::corpus("occupant", "mutex4-failstop-masking", 1)));
+        let start = Instant::now();
+        while svc.admission_counters().0 < 2 {
+            assert!(
+                start.elapsed() < Duration::from_secs(30),
+                "occupant was never admitted"
+            );
+            std::thread::yield_now();
+        }
+        match svc.resume("r2", "r1", 1, None) {
+            Reply::Overloaded { retry_after_ms } => assert!(retry_after_ms >= 1),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // The shed resume consumed nothing: "r1" is still parked.
+        assert!(
+            svc.list_checkpoints().iter().any(|e| e.id == "r1"),
+            "shed resume lost the checkpoint"
+        );
+        assert!(svc.cancel("occupant"));
+        match occupant.join().unwrap() {
+            Reply::Aborted { resumable, .. } => assert!(resumable),
+            other => panic!("expected the occupant to abort, got {other:?}"),
+        }
+    });
+    // Still durable: a fresh daemon life recovers it from disk and the
+    // retried resume hands back the uninterrupted program.
+    drop(svc);
+    let svc = Service::new()
+        .with_admission(AdmissionConfig::bounded(1, 0))
+        .with_checkpoint_dir(&scratch.0)
+        .unwrap();
+    assert!(
+        svc.list_checkpoints().iter().any(|e| e.id == "r1"),
+        "shed resume must not have consumed the durable blob"
+    );
+    let resumed = svc.resume("r2", "r1", 1, None);
+    assert_eq!(program_of(&resumed), direct_program());
+    assert!(!svc.list_checkpoints().iter().any(|e| e.id == "r1"));
+}
+
+/// A resume whose deadline expires in the admission queue consumes
+/// nothing either: the admission abort leaves the checkpoint parked
+/// for a later retry.
+#[test]
+fn expired_resume_keeps_the_checkpoint_parked() {
+    let svc = Service::new().with_admission(AdmissionConfig::bounded(1, 4));
+    match svc.submit(Request::corpus("r1", PROBLEM, 1).with_budget(small_budget())) {
+        Reply::Aborted { resumable, .. } => assert!(resumable),
+        other => panic!("expected Aborted, got {other:?}"),
+    }
+    std::thread::scope(|s| {
+        let occupant =
+            s.spawn(|| svc.submit(Request::corpus("occupant", "mutex4-failstop-masking", 1)));
+        let start = Instant::now();
+        while svc.admission_counters().0 < 2 {
+            assert!(
+                start.elapsed() < Duration::from_secs(30),
+                "occupant was never admitted"
+            );
+            std::thread::yield_now();
+        }
+        let hurried = Budget {
+            deadline: Some(Duration::from_millis(50)),
+            ..Budget::unlimited()
+        };
+        match svc.resume("r2", "r1", 1, Some(hurried)) {
+            Reply::Aborted {
+                phase, resumable, ..
+            } => {
+                assert_eq!(phase, "admission");
+                assert!(!resumable, "nothing ran, nothing new to resume");
+            }
+            other => panic!("expected an admission abort, got {other:?}"),
+        }
+        assert!(
+            svc.list_checkpoints().iter().any(|e| e.id == "r1"),
+            "expired resume lost the checkpoint"
+        );
+        assert!(svc.cancel("occupant"));
+        match occupant.join().unwrap() {
+            Reply::Aborted { resumable, .. } => assert!(resumable),
+            other => panic!("expected the occupant to abort, got {other:?}"),
+        }
+    });
+    // With the slot free again the same resume succeeds.
+    let resumed = svc.resume("r2", "r1", 1, None);
+    assert_eq!(program_of(&resumed), direct_program());
+}
+
 /// A queued request whose own deadline passes while waiting is aborted
 /// in the `admission` phase — queue time counts against the deadline.
 #[test]

@@ -86,6 +86,7 @@ pub use synthesize::{
 pub use ftsyn_tableau::{
     blob_checksum, AbortReason, Budget, CacheFill, CacheLimits, CertMode, Checkpoint,
     CheckpointError, ExpansionCache, Governor, Phase, CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_MIN_FORMAT_VERSION,
 };
 pub use unravel::{unravel, unravel_governed, unravel_mode, Unraveled};
 pub use verify::{

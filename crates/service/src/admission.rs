@@ -9,6 +9,11 @@
 //! service's load never exceeds `slots` concurrent pipelines plus
 //! `queue` parked waiters, no matter how many requests arrive.
 //!
+//! Admission is FIFO-fair: freed slots are granted to waiters in
+//! arrival (ticket) order, and a new arrival takes the fast path only
+//! when the queue is empty — under sustained pressure arrivals cannot
+//! starve a parked waiter out of its deadline.
+//!
 //! Deadline inheritance: a request's [`Governor`] starts its clock
 //! *before* admission, so time spent queued counts against the
 //! request's own deadline — a queued request whose deadline passes is
@@ -17,6 +22,7 @@
 //! the same reason.
 
 use ftsyn::Governor;
+use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -77,12 +83,31 @@ pub enum Admission {
 #[derive(Debug, Default)]
 struct State {
     running: usize,
-    queued: usize,
+    /// Tickets of the waiters parked in the queue, oldest first.
+    /// Freed slots are granted strictly in ticket order, so a new
+    /// arrival can never jump ahead of a queued waiter.
+    wait_order: VecDeque<u64>,
+    /// The next ticket to hand out.
+    next_ticket: u64,
     /// Lifetime counters for stats/bench.
     admitted: usize,
     shed: usize,
     expired: usize,
     peak_queued: usize,
+}
+
+impl State {
+    fn queued(&self) -> usize {
+        self.wait_order.len()
+    }
+
+    fn leave_queue(&mut self, ticket: u64) {
+        if self.wait_order.front() == Some(&ticket) {
+            self.wait_order.pop_front();
+        } else {
+            self.wait_order.retain(|&t| t != ticket);
+        }
+    }
 }
 
 /// Shared slot accounting, co-owned by the governor and every live
@@ -112,7 +137,10 @@ impl Drop for Permit {
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         state.running -= 1;
         drop(state);
-        self.inner.freed.notify_one();
+        // Wake every waiter: only the head-of-queue ticket may claim
+        // the slot, and notify_one could wake a younger waiter that
+        // would just park again.
+        self.inner.freed.notify_all();
     }
 }
 
@@ -139,30 +167,35 @@ impl AdmissionGovernor {
             inner: Arc::clone(&self.inner),
         };
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        if state.running < self.config.slots {
+        // FIFO fairness: the fast path applies only when nobody is
+        // queued — while waiters exist, a free slot belongs to the
+        // oldest ticket, and arrivals line up behind it.
+        if state.running < self.config.slots && state.queued() == 0 {
             state.running += 1;
             state.admitted += 1;
             return Admission::Admitted(permit());
         }
-        if state.queued >= self.config.queue {
+        if state.queued() >= self.config.queue {
             state.shed += 1;
-            let hint = self.config.retry_after_ms.max(1) * (state.queued as u64 + 1);
+            let hint = self.config.retry_after_ms.max(1) * (state.queued() as u64 + 1);
             return Admission::Shed {
                 retry_after_ms: hint,
             };
         }
-        state.queued += 1;
-        state.peak_queued = state.peak_queued.max(state.queued);
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.wait_order.push_back(ticket);
+        state.peak_queued = state.peak_queued.max(state.queued());
         loop {
             if let Err(reason) = gov.check_realtime() {
-                state.queued -= 1;
+                state.leave_queue(ticket);
                 state.expired += 1;
                 return Admission::Expired {
                     reason: reason.to_string(),
                 };
             }
-            if state.running < self.config.slots {
-                state.queued -= 1;
+            if state.running < self.config.slots && state.wait_order.front() == Some(&ticket) {
+                state.leave_queue(ticket);
                 state.running += 1;
                 state.admitted += 1;
                 return Admission::Admitted(permit());
@@ -186,7 +219,7 @@ impl AdmissionGovernor {
     /// Requests currently `(running, queued)`.
     pub fn load(&self) -> (usize, usize) {
         let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        (state.running, state.queued)
+        (state.running, state.queued())
     }
 }
 
@@ -294,6 +327,83 @@ mod tests {
         }
         assert!(start.elapsed() < Duration::from_secs(5));
         assert_eq!(adm.counters().2, 1);
+    }
+
+    #[test]
+    fn arrivals_cannot_jump_a_queued_waiter() {
+        let adm = AdmissionGovernor::new(AdmissionConfig::bounded(1, 1));
+        let gov = governor();
+        let held = match adm.admit(&gov) {
+            Admission::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let gov = governor();
+                match adm.admit(&gov) {
+                    // Release the slot from here so no interleaving
+                    // can leave the arrival below parked forever.
+                    Admission::Admitted(p) => drop(p),
+                    other => panic!("expected the waiter to be admitted, got {other:?}"),
+                }
+            });
+            while adm.load().1 == 0 {
+                std::thread::yield_now();
+            }
+            // The slot frees with the waiter still parked. Whatever
+            // the arrival below races into, it must never hold a slot
+            // while the older waiter is still queued.
+            drop(held);
+            match adm.admit(&gov) {
+                // Queue full, waiter not yet through: correctly shed.
+                Admission::Shed { .. } => {}
+                // Only legal once the waiter is out of the queue.
+                Admission::Admitted(_) => {
+                    assert_eq!(adm.load().1, 0, "arrival jumped the queued waiter")
+                }
+                other => panic!("{other:?}"),
+            }
+            waiter.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn freed_slots_are_granted_in_arrival_order() {
+        let adm = AdmissionGovernor::new(AdmissionConfig::bounded(1, 2));
+        let gov = governor();
+        let held = match adm.admit(&gov) {
+            Admission::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        std::thread::scope(|s| {
+            let first = s.spawn(|| {
+                let gov = governor();
+                adm.admit(&gov)
+            });
+            while adm.load().1 != 1 {
+                std::thread::yield_now();
+            }
+            let second = s.spawn(|| {
+                let gov = governor();
+                adm.admit(&gov)
+            });
+            while adm.load().1 != 2 {
+                std::thread::yield_now();
+            }
+            drop(held);
+            // Exactly the older waiter runs; the younger stays parked.
+            let first_permit = match first.join().unwrap() {
+                Admission::Admitted(p) => p,
+                other => panic!("expected the older waiter first, got {other:?}"),
+            };
+            assert_eq!(adm.load(), (1, 1), "younger waiter must still be queued");
+            drop(first_permit);
+            match second.join().unwrap() {
+                Admission::Admitted(_) => {}
+                other => panic!("expected the younger waiter next, got {other:?}"),
+            }
+        });
+        assert_eq!(adm.counters().0, 3);
     }
 
     #[test]

@@ -266,6 +266,21 @@ impl Reply {
     }
 }
 
+/// What [`Service::run`] executes once admission grants a slot. A
+/// resume carries only the checkpoint *id*: the blob is consumed from
+/// the store post-admission, so shedding or expiring in the admission
+/// queue leaves it parked (and durable) for the retry.
+enum Work {
+    Fresh {
+        source: ProblemSource,
+        problem: Box<SynthesisProblem>,
+        engine: Engine,
+    },
+    Resume {
+        from: String,
+    },
+}
+
 /// A checkpoint parked in the store between an abort and its resume.
 struct Stored {
     /// The **encoded** blob — resume decodes and validates it, so the
@@ -301,6 +316,10 @@ impl CheckpointMap {
                 nodes,
             },
         );
+    }
+
+    fn contains(&self, id: &str) -> bool {
+        self.mem.contains_key(id)
     }
 
     fn take(&mut self, id: &str) -> Option<Stored> {
@@ -579,7 +598,14 @@ impl Service {
         };
         let budget = req.budget.unwrap_or_else(|| self.default_budget.clone());
         self.run(
-            &req.id, req.source, problem, req.threads, budget, req.engine, None,
+            &req.id,
+            req.threads,
+            budget,
+            Work::Fresh {
+                source: req.source,
+                problem: Box::new(problem),
+                engine: req.engine,
+            },
         )
     }
 
@@ -620,57 +646,35 @@ impl Service {
             return Reply::error("shutting-down", "service is shutting down".to_owned());
         }
         self.wait_for(from);
-        let stored = match lock(&self.checkpoints).take(from) {
-            Some(s) => s,
-            None => {
-                // The distinct code for a resume miss: the id never
-                // aborted resumably, was already consumed, or its
-                // checkpoint did not survive (e.g. quarantined on
-                // recovery).
-                return Reply::error(
-                    "unknown-checkpoint",
-                    format!(
-                        "no checkpoint stored for request \"{from}\" \
-                         (unknown, already consumed, or lost)"
-                    ),
-                );
-            }
-        };
-        let checkpoint = match ftsyn::Checkpoint::decode(&stored.blob) {
-            Ok(ck) => ck,
-            Err(e) => {
-                return Reply::error("checkpoint-rejected", format!("checkpoint rejected: {e}"))
-            }
-        };
-        let problem = match self.build_problem(&stored.source) {
-            Ok(p) => p,
-            Err(reply) => return reply,
-        };
+        // Fail a miss fast, but do NOT consume the checkpoint yet: it
+        // stays parked (and durable) until admission actually grants a
+        // slot, so a shed or expired resume loses nothing — the retry
+        // finds the blob exactly where it was.
+        if !lock(&self.checkpoints).contains(from) {
+            // The distinct code for a resume miss: the id never
+            // aborted resumably, was already consumed, or its
+            // checkpoint did not survive (e.g. quarantined on
+            // recovery).
+            return Reply::error(
+                "unknown-checkpoint",
+                format!(
+                    "no checkpoint stored for request \"{from}\" \
+                     (unknown, already consumed, or lost)"
+                ),
+            );
+        }
         let budget = budget.unwrap_or_else(|| self.default_budget.clone());
-        // Checkpoints only exist on the tableau path, so a resume is
-        // always a tableau run regardless of how the original aborted.
         self.run(
             id,
-            stored.source,
-            problem,
             threads,
             budget,
-            Engine::Tableau,
-            Some(checkpoint),
+            Work::Resume {
+                from: from.to_owned(),
+            },
         )
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn run(
-        &self,
-        id: &str,
-        source: ProblemSource,
-        mut problem: SynthesisProblem,
-        threads: usize,
-        budget: Budget,
-        engine: Engine,
-        resume: Option<ftsyn::Checkpoint>,
-    ) -> Reply {
+    fn run(&self, id: &str, threads: usize, budget: Budget, work: Work) -> Reply {
         // The governor starts its clock *before* admission, so time
         // spent in the admission queue counts against the request's
         // own deadline, and cancel/shutdown reach queued requests too.
@@ -694,7 +698,17 @@ impl Service {
             Admission::Admitted(_permit) => {
                 // `_permit` releases the worker slot when this scope
                 // ends, whatever the pipeline outcome.
-                self.execute(id, source, &mut problem, threads, &gov, engine, resume)
+                match work {
+                    Work::Fresh {
+                        source,
+                        mut problem,
+                        engine,
+                    } => self.execute(id, source, &mut problem, threads, &gov, engine, None),
+                    // The resume's checkpoint is consumed only now,
+                    // with a slot in hand — a shed/expired resume
+                    // below never touched it.
+                    Work::Resume { from } => self.execute_resume(id, &from, threads, &gov),
+                }
             }
             Admission::Shed { retry_after_ms } => Reply::Overloaded { retry_after_ms },
             Admission::Expired { reason } => Reply::Aborted {
@@ -709,6 +723,55 @@ impl Service {
             self.idle.notify_all();
         }
         reply
+    }
+
+    /// The admitted half of a resume: claims the checkpoint from the
+    /// store (the single consume point), decodes it, and runs the
+    /// pipeline. A resume that cannot start — the blob vanished while
+    /// queued, fails to decode, or its problem no longer builds — does
+    /// not consume: the claim is parked right back, so only a resume
+    /// that actually begins executing takes the checkpoint out of the
+    /// store.
+    fn execute_resume(&self, id: &str, from: &str, threads: usize, gov: &Governor) -> Reply {
+        let stored = match lock(&self.checkpoints).take(from) {
+            Some(s) => s,
+            // Consumed by a concurrent resume while this one queued.
+            None => {
+                return Reply::error(
+                    "unknown-checkpoint",
+                    format!(
+                        "no checkpoint stored for request \"{from}\" \
+                         (unknown, already consumed, or lost)"
+                    ),
+                )
+            }
+        };
+        let checkpoint = match ftsyn::Checkpoint::decode(&stored.blob) {
+            Ok(ck) => ck,
+            Err(e) => {
+                let reply = Reply::error("checkpoint-rejected", format!("checkpoint rejected: {e}"));
+                lock(&self.checkpoints).park(from, &stored.source, stored.blob, stored.nodes);
+                return reply;
+            }
+        };
+        let mut problem = match self.build_problem(&stored.source) {
+            Ok(p) => p,
+            Err(reply) => {
+                lock(&self.checkpoints).park(from, &stored.source, stored.blob, stored.nodes);
+                return reply;
+            }
+        };
+        // Checkpoints only exist on the tableau path, so a resume is
+        // always a tableau run regardless of how the original aborted.
+        self.execute(
+            id,
+            stored.source,
+            &mut problem,
+            threads,
+            gov,
+            Engine::Tableau,
+            Some(checkpoint),
+        )
     }
 
     /// The pipeline proper: runs while the request is registered in
@@ -1239,12 +1302,18 @@ mod tests {
             }
             other => panic!("expected Error, got {other:?}"),
         }
-        // Consuming the bad blob removed it: a second resume now gets
-        // the unknown-checkpoint code.
+        // A rejected blob is NOT consumed — only a resume that starts
+        // executing takes the checkpoint out of the store, so the
+        // retry gets the same structured rejection, not a misleading
+        // unknown-checkpoint.
         match svc.resume("y2", "garbage", 1, None) {
-            Reply::Error { code, .. } => assert_eq!(code, "unknown-checkpoint"),
+            Reply::Error { code, .. } => assert_eq!(code, "checkpoint-rejected"),
             other => panic!("expected Error, got {other:?}"),
         }
+        assert!(
+            svc.export_checkpoint("garbage").is_some(),
+            "a rejected blob stays parked"
+        );
 
         // A blob from one spec must not resume under another: the
         // validation inside the pipeline rejects the spec-hash

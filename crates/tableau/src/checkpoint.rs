@@ -33,14 +33,21 @@ use std::fmt;
 /// The magic bytes every checkpoint blob starts with.
 const MAGIC: &[u8; 8] = b"FTSYNCKP";
 
-/// Current checkpoint format version. Bump on any layout change;
-/// [`Checkpoint::decode`] rejects every other version with
-/// [`CheckpointError::UnsupportedVersion`].
+/// Current checkpoint format version: what [`Checkpoint::encode`]
+/// writes. Bump on any layout change.
 ///
 /// v2 added a payload checksum after the version field, so corruption
 /// anywhere in the blob — including counters a structural parse would
 /// swallow silently — fails with [`CheckpointError::ChecksumMismatch`].
+/// [`Checkpoint::decode`] still reads v1 blobs (same payload layout,
+/// no checksum field) so checkpoints written by earlier builds remain
+/// resumable after an upgrade; versions above
+/// [`CHECKPOINT_FORMAT_VERSION`] are rejected with
+/// [`CheckpointError::UnsupportedVersion`].
 pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+
+/// Oldest checkpoint format version [`Checkpoint::decode`] accepts.
+pub const CHECKPOINT_MIN_FORMAT_VERSION: u32 = 1;
 
 /// A structured checkpoint failure: why a blob cannot be decoded or
 /// resumed. Returned instead of silently resuming stale or damaged
@@ -265,6 +272,12 @@ impl Checkpoint {
     /// rebuilding the tableau (intern tables and edge-dedup set
     /// re-derived bit-identically).
     ///
+    /// Accepts every version from [`CHECKPOINT_MIN_FORMAT_VERSION`] up
+    /// to [`CHECKPOINT_FORMAT_VERSION`]: v1 blobs (written before the
+    /// payload checksum existed) share the payload layout and decode
+    /// without the integrity check, so `.ckpt` files from earlier
+    /// builds stay resumable.
+    ///
     /// # Errors
     ///
     /// [`CheckpointError::BadMagic`] /
@@ -279,16 +292,18 @@ impl Checkpoint {
             return Err(CheckpointError::BadMagic);
         }
         let version = r.u32()?;
-        if version != CHECKPOINT_FORMAT_VERSION {
+        if !(CHECKPOINT_MIN_FORMAT_VERSION..=CHECKPOINT_FORMAT_VERSION).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion {
                 found: version,
                 expected: CHECKPOINT_FORMAT_VERSION,
             });
         }
-        let stored = r.u64()?;
-        let computed = blob_checksum(&bytes[r.pos..]);
-        if stored != computed {
-            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        if version >= 2 {
+            let stored = r.u64()?;
+            let computed = blob_checksum(&bytes[r.pos..]);
+            if stored != computed {
+                return Err(CheckpointError::ChecksumMismatch { stored, computed });
+            }
         }
         let spec_hash = r.u64()?;
         let closure_len = r.usize()?;
@@ -661,6 +676,36 @@ mod tests {
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn version_zero_is_rejected() {
+        let mut blob = sample().encode();
+        blob[8] = 0;
+        match Checkpoint::decode(&blob) {
+            Err(CheckpointError::UnsupportedVersion { found, .. }) => assert_eq!(found, 0),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_blobs_without_a_checksum_still_decode() {
+        let ck = sample();
+        let v2 = ck.encode();
+        // A v1 blob is the v2 blob minus the 8-byte checksum field,
+        // with the version field rewritten: magic(8) + version(4) +
+        // payload — exactly what pre-v2 builds wrote to .ckpt files.
+        let mut v1 = Vec::with_capacity(v2.len() - 8);
+        v1.extend_from_slice(&v2[..8]);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[20..]);
+        let back = Checkpoint::decode(&v1).expect("v1 blob must stay resumable");
+        assert_eq!(back.spec_hash, ck.spec_hash);
+        assert_eq!(back.pending, ck.pending);
+        assert_eq!(back.fresh, ck.fresh);
+        assert_eq!(back.tableau.len(), ck.tableau.len());
+        // Re-encoding upgrades it to the current checksummed format.
+        assert_eq!(back.encode(), v2);
     }
 
     #[test]

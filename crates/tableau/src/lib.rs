@@ -42,7 +42,7 @@ pub use build::{
 pub use cache::{CacheFill, CacheLimits, ExpansionCache};
 pub use checkpoint::{
     blob_checksum, spec_fingerprint, Checkpoint, CheckpointError, PendingBatch,
-    CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MIN_FORMAT_VERSION,
 };
 #[cfg(any(test, feature = "slow-reference"))]
 pub use delete::{apply_deletion_rules_naive_mode, au_fulfillment_naive, eu_fulfillment_naive};
